@@ -1,0 +1,140 @@
+// Ablation: baseline strength.
+//
+// The paper reports up to ~60% improvement of ACS over "WCS".  Our WCS —
+// the WCEC-optimal static schedule *plus* full greedy online reclamation —
+// is a strong baseline that already sits near the energy floor, capping the
+// measurable gap (see EXPERIMENTS.md).  This bench brackets the claim by
+// measuring ACS against three baselines of decreasing strength:
+//   1. WCS + greedy reclamation (our default comparison, strongest)
+//   2. WCS static-only (offline voltages, no online slack pass-through)
+//   3. no DVS at all (always Vmax)
+// and against the uniform average-utilisation energy floor.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/formulation.h"
+#include "core/pipeline.h"
+#include "core/scheduler.h"
+#include "fps/expansion.h"
+#include "model/workload.h"
+#include "sim/policy.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+
+int main(int argc, char** argv) {
+  using namespace dvs;
+  bench::SweepConfig config;
+  config.tasksets = 6;
+  util::ArgParser parser("bench_ablation_baseline",
+                         "ACS improvement vs baselines of varying strength");
+  config.Register(parser);
+  try {
+    if (!parser.Parse(argc, argv)) {
+      return 0;
+    }
+    config.Finalize();
+
+    const model::LinearDvsModel cpu = workload::DefaultModel();
+    const double ratio = 0.1;  // the paper's high-flexibility point
+    const int num_tasks = 8;
+
+    stats::OnlineStats vs_wcs_greedy;
+    stats::OnlineStats vs_wcs_static;
+    stats::OnlineStats vs_vmax;
+    stats::OnlineStats headroom;  // ACS energy over the uniform floor
+
+    stats::Rng stream(config.seed);
+    for (std::int64_t i = 0; i < config.tasksets; ++i) {
+      workload::RandomTaskSetOptions gen;
+      gen.num_tasks = num_tasks;
+      gen.bcec_wcec_ratio = ratio;
+      stats::Rng set_rng = stream.Fork();
+      const model::TaskSet set =
+          workload::GenerateRandomTaskSet(gen, cpu, set_rng);
+      const fps::FullyPreemptiveSchedule fps(set);
+
+      const core::ScheduleResult wcs = core::SolveWcs(fps, cpu);
+      const core::ScheduleResult acs = core::SolveSchedule(
+          fps, cpu, core::Scenario::kAverage, {}, wcs.schedule);
+
+      const std::uint64_t seed = stream.NextU64();
+      const model::TruncatedNormalWorkload sampler(set, 6.0);
+      const sim::GreedyReclaimPolicy greedy(cpu);
+      const sim::StaticOnlyPolicy static_only(fps, wcs.schedule, cpu);
+      const sim::VmaxPolicy vmax(cpu);
+
+      const double e_acs =
+          core::SimulateWith(fps, acs.schedule, cpu, greedy, sampler, seed,
+                             config.hyper_periods)
+              .total_energy;
+      const double e_wcs_greedy =
+          core::SimulateWith(fps, wcs.schedule, cpu, greedy, sampler, seed,
+                             config.hyper_periods)
+              .total_energy;
+      const double e_wcs_static =
+          core::SimulateWith(fps, wcs.schedule, cpu, static_only, sampler,
+                             seed, config.hyper_periods)
+              .total_energy;
+      const double e_vmax =
+          core::SimulateWith(fps, wcs.schedule, cpu, vmax, sampler, seed,
+                             config.hyper_periods)
+              .total_energy;
+
+      vs_wcs_greedy.Add((e_wcs_greedy - e_acs) / e_wcs_greedy);
+      vs_wcs_static.Add((e_wcs_static - e_acs) / e_wcs_static);
+      vs_vmax.Add((e_vmax - e_acs) / e_vmax);
+
+      // Uniform average-utilisation floor: all average cycles at the
+      // voltage that sustains the average load.
+      const double avg_util = set.AverageUtilization(cpu);
+      const double v_floor =
+          cpu.ClampVoltage(cpu.VoltageForSpeed(avg_util * cpu.MaxSpeed()));
+      double avg_cycles_per_hp = 0.0;
+      for (const model::Task& t : set.tasks()) {
+        avg_cycles_per_hp += t.acec * static_cast<double>(
+                                          set.hyper_period() / t.period);
+      }
+      const double floor_energy = cpu.Energy(v_floor, avg_cycles_per_hp) *
+                                  static_cast<double>(config.hyper_periods);
+      headroom.Add(e_acs / floor_energy);
+    }
+
+    util::TextTable table({"ACS improvement vs", "mean", "min", "max"});
+    const auto add = [&table](const char* name, const stats::OnlineStats& s) {
+      table.AddRow({name, util::FormatPercent(s.mean()),
+                    util::FormatPercent(s.min()),
+                    util::FormatPercent(s.max())});
+    };
+    std::cout << "Ablation: baseline strength (" << num_tasks
+              << " tasks, ratio " << ratio << ", " << config.tasksets
+              << " sets)\n\n";
+    add("WCS + greedy reclamation", vs_wcs_greedy);
+    add("WCS static-only (no reclamation)", vs_wcs_static);
+    add("no DVS (always Vmax)", vs_vmax);
+    std::cout << table.Render();
+    std::cout << "\nACS energy over the uniform average-utilisation floor: "
+              << util::FormatDouble(headroom.mean(), 3)
+              << "x (1.0 = unattainable lower bound)\n";
+    std::cout << "reading: the paper's ~60% magnitude is reachable against "
+                 "the weaker baselines; against WCS+reclamation the floor "
+                 "caps the possible gap\n";
+
+    util::CsvTable csv({"baseline", "improvement_mean", "improvement_min",
+                        "improvement_max"});
+    csv.NewRow().Add("wcs_greedy").Add(vs_wcs_greedy.mean(), 6)
+        .Add(vs_wcs_greedy.min(), 6).Add(vs_wcs_greedy.max(), 6);
+    csv.NewRow().Add("wcs_static").Add(vs_wcs_static.mean(), 6)
+        .Add(vs_wcs_static.min(), 6).Add(vs_wcs_static.max(), 6);
+    csv.NewRow().Add("vmax").Add(vs_vmax.mean(), 6).Add(vs_vmax.min(), 6)
+        .Add(vs_vmax.max(), 6);
+    if (!config.csv.empty()) {
+      csv.WriteFile(config.csv);
+    }
+    return 0;
+  } catch (const util::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

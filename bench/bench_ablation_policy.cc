@@ -1,0 +1,97 @@
+// Ablation: why the runtime gates each sub-instance at its segment start.
+//
+// The greedy dispatcher refuses to start a sub-instance before its segment
+// (its release): the static plan assigns the pre-release window to *other*
+// tasks, and slack is handed to the next sub-instance in the total order —
+// the premise of the paper's constraint (11).  The "eager" variant removes
+// that gate: a task rolls straight into its next segment's budget at a
+// stretched voltage, hogging windows the plan reserved for lower-priority
+// tasks.  This bench measures both: the eager variant sometimes saves a
+// little energy and sometimes MISSES DEADLINES — which is the point.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "core/scheduler.h"
+#include "fps/expansion.h"
+#include "model/workload.h"
+#include "sim/policy.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+
+int main(int argc, char** argv) {
+  using namespace dvs;
+  bench::SweepConfig config;
+  config.tasksets = 8;
+  util::ArgParser parser("bench_ablation_policy",
+                         "segment gating vs eager early-start dispatch");
+  config.Register(parser);
+  try {
+    if (!parser.Parse(argc, argv)) {
+      return 0;
+    }
+    config.Finalize();
+
+    const model::LinearDvsModel cpu = workload::DefaultModel();
+    stats::OnlineStats gated_energy;
+    stats::OnlineStats eager_energy;
+    std::int64_t gated_misses = 0;
+    std::int64_t eager_misses = 0;
+
+    stats::Rng stream(config.seed);
+    for (std::int64_t i = 0; i < config.tasksets; ++i) {
+      workload::RandomTaskSetOptions gen;
+      gen.num_tasks = 6;
+      gen.bcec_wcec_ratio = 0.3;
+      stats::Rng set_rng = stream.Fork();
+      const model::TaskSet set =
+          workload::GenerateRandomTaskSet(gen, cpu, set_rng);
+      const fps::FullyPreemptiveSchedule fps(set);
+      const core::ScheduleResult wcs = core::SolveWcs(fps, cpu);
+      const core::ScheduleResult acs = core::SolveSchedule(
+          fps, cpu, core::Scenario::kAverage, {}, wcs.schedule);
+
+      const model::TruncatedNormalWorkload sampler(set, 6.0);
+      const sim::GreedyReclaimPolicy gated(cpu, /*allow_early_start=*/false);
+      const sim::GreedyReclaimPolicy eager(cpu, /*allow_early_start=*/true);
+      const std::uint64_t seed = stream.NextU64();
+
+      const auto rg = core::SimulateWith(fps, acs.schedule, cpu, gated,
+                                         sampler, seed, config.hyper_periods);
+      const auto re = core::SimulateWith(fps, acs.schedule, cpu, eager,
+                                         sampler, seed, config.hyper_periods);
+      gated_energy.Add(rg.total_energy);
+      eager_energy.Add(re.total_energy);
+      gated_misses += rg.deadline_misses;
+      eager_misses += re.deadline_misses;
+    }
+
+    util::TextTable table({"dispatch policy", "mean energy",
+                           "deadline misses"});
+    table.AddRow({"gated at segment start (paper)",
+                  util::FormatDouble(gated_energy.mean(), 1),
+                  std::to_string(gated_misses)});
+    table.AddRow({"eager early-start (unsafe)",
+                  util::FormatDouble(eager_energy.mean(), 1),
+                  std::to_string(eager_misses)});
+    std::cout << "Ablation: dispatch gating (6 tasks, ratio 0.3, "
+              << config.tasksets << " sets, ACS schedules)\n\n"
+              << table.Render();
+    std::cout << "\nreading: gating costs little energy and is what makes "
+                 "the offline worst-case guarantee hold at runtime; the "
+                 "eager variant breaks the planned interleaving\n";
+
+    util::CsvTable csv({"policy", "mean_energy", "deadline_misses"});
+    csv.NewRow().Add("gated").Add(gated_energy.mean(), 3).Add(gated_misses);
+    csv.NewRow().Add("eager").Add(eager_energy.mean(), 3).Add(eager_misses);
+    if (!config.csv.empty()) {
+      csv.WriteFile(config.csv);
+    }
+    return 0;
+  } catch (const util::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

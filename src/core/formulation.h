@@ -1,0 +1,126 @@
+// Reduced NLP formulation of the ACS scheduling problem (paper §3.2).
+//
+// Decision variables: end-time e_u of every sub-instance (total order) plus
+// the worst-case workload split w_{I,k} of every instance that the fully
+// preemptive expansion cut into two or more sub-instances (single-segment
+// instances carry their full WCEC).  All other quantities of the paper's
+// formulation — average start times, average workloads, dispatch voltages —
+// are *derived* by replaying the greedy runtime under the scenario workload:
+//
+//   avg workload  : the Fig. 5 case analysis  avg_u = clamp(ACEC - cum, 0, w_u)
+//   start chain   : s_u = max(release_u, finish_{u-1})
+//   voltage       : V_u = clamp(V(speed = w_u / (e_u - s_u)))   (greedy DVS)
+//   finish        : f_u = s_u + avg_u * t_cyc(V_u)
+//   objective     : sum ceff * V_u^2 * avg_u
+//
+// so the objective literally *is* the runtime energy of the scenario the
+// schedule is being optimised for (ACEC for ACS, WCEC for the WCS baseline).
+// The eliminated paper constraints (6)-(14) reappear as the feasible set
+// (segment boxes + per-instance budget simplexes) plus linear worst-case
+// chain constraints; see BuildFeasibleSet / BuildChainConstraints.
+//
+// The gradient is computed analytically by reverse-mode accumulation through
+// the forward chain (piecewise smooth: max/clamp kinks take one-sided
+// derivatives); tests validate it against central finite differences.
+#ifndef ACS_CORE_FORMULATION_H
+#define ACS_CORE_FORMULATION_H
+
+#include <memory>
+#include <vector>
+
+#include "core/case_analysis.h"
+#include "fps/expansion.h"
+#include "model/power_model.h"
+#include "opt/problem.h"
+#include "sim/static_schedule.h"
+
+namespace dvs::core {
+
+/// Which workload the static schedule should be optimal for.
+enum class Scenario {
+  kAverage,  // ACS: plan for ACEC (the paper's contribution)
+  kWorst,    // WCS: plan for WCEC (the paper's baseline)
+};
+
+/// Per-sub-instance quantities of one forward replay — exposed for tests,
+/// examples and the experiment reports.
+struct ForwardDetail {
+  std::vector<double> start;       // s_u
+  std::vector<double> avg_cycles;  // avg_u
+  std::vector<double> voltage;     // V_u (clamped)
+  std::vector<double> finish;      // f_u
+  std::vector<double> energy;      // per-sub energy
+  double total_energy = 0.0;
+};
+
+class EnergyObjective final : public opt::Objective {
+ public:
+  /// `fps` and `dvs` must outlive the objective.
+  EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
+                  const model::DvsModel& dvs, Scenario scenario);
+
+  // --- opt::Objective -------------------------------------------------------
+  std::size_t dim() const override { return dim_; }
+  double Value(const opt::Vector& x) const override;
+  void Gradient(const opt::Vector& x, opt::Vector& grad) const override;
+  double ValueAndGradient(const opt::Vector& x,
+                          opt::Vector& grad) const override;
+
+  // --- Variable layout ------------------------------------------------------
+  std::size_t sub_count() const { return n_; }
+  std::size_t end_time_index(std::size_t order) const { return order; }
+  /// True when the sub-instance's budget is a decision variable (parent has
+  /// two or more sub-instances).
+  bool HasBudgetVariable(std::size_t order) const;
+  std::size_t budget_index(std::size_t order) const;
+  /// Budget value under `x` (variable or the fixed WCEC).
+  double BudgetOf(const opt::Vector& x, std::size_t order) const;
+
+  // --- Problem assembly -----------------------------------------------------
+  /// Segment boxes on end-times + per-instance budget simplexes.
+  std::shared_ptr<opt::BoxSimplexSet> BuildFeasibleSet() const;
+
+  /// Worst-case chain constraints (linear; see DESIGN.md §3.1):
+  ///   e_u - e_{u-1} >= w_u * t_cyc(Vmax)      (total-order chaining)
+  ///   e_u - r_u     >= w_u * t_cyc(Vmax)      (release offset)
+  std::vector<opt::LinearConstraint> BuildChainConstraints() const;
+
+  // --- Schedule conversion --------------------------------------------------
+  opt::Vector PackSchedule(const sim::StaticSchedule& schedule) const;
+  sim::StaticSchedule ExtractSchedule(const opt::Vector& x) const;
+
+  /// Full forward replay with per-sub detail (slower; for reports/tests).
+  ForwardDetail Replay(const opt::Vector& x) const;
+
+  const fps::FullyPreemptiveSchedule& fps() const { return *fps_; }
+  const model::DvsModel& dvs() const { return *dvs_; }
+  Scenario scenario() const { return scenario_; }
+
+ private:
+  struct SubRecord {
+    std::size_t parent = 0;
+    int k = 0;
+    double release = 0.0;
+    double acec = 0.0;   // parent task ACEC
+    double wcec = 0.0;   // parent task WCEC (fixed budget when single-sub)
+    bool has_budget_var = false;
+    std::size_t budget_var = 0;  // index into x when has_budget_var
+  };
+
+  /// Forward + optional reverse pass; grad may be nullptr.
+  double Evaluate(const opt::Vector& x, opt::Vector* grad,
+                  ForwardDetail* detail) const;
+
+  const fps::FullyPreemptiveSchedule* fps_;
+  const model::DvsModel* dvs_;
+  Scenario scenario_;
+  std::size_t n_ = 0;    // sub-instance count
+  std::size_t dim_ = 0;  // n_ + number of budget variables
+  std::vector<SubRecord> records_;
+  double ct_vmax_ = 0.0;
+  double max_speed_ = 0.0;
+};
+
+}  // namespace dvs::core
+
+#endif  // ACS_CORE_FORMULATION_H

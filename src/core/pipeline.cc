@@ -1,0 +1,68 @@
+#include "core/pipeline.h"
+
+#include "sim/policy.h"
+#include "util/error.h"
+
+namespace dvs::core {
+
+sim::SimResult SimulateWith(const fps::FullyPreemptiveSchedule& fps,
+                            const sim::StaticSchedule& schedule,
+                            const model::DvsModel& dvs,
+                            const sim::DvsPolicy& policy,
+                            const model::WorkloadSampler& sampler,
+                            std::uint64_t seed,
+                            std::int64_t hyper_periods) {
+  stats::Rng rng(seed);
+  sim::SimOptions sim_options;
+  sim_options.hyper_periods = hyper_periods;
+  return sim::Simulate(fps, schedule, dvs, policy, sampler, rng, sim_options);
+}
+
+sim::SimResult SimulateSchedule(const fps::FullyPreemptiveSchedule& fps,
+                                const sim::StaticSchedule& schedule,
+                                const model::DvsModel& dvs,
+                                const ExperimentOptions& options) {
+  const model::TruncatedNormalWorkload sampler(fps.task_set(),
+                                               options.sigma_divisor);
+  const sim::GreedyReclaimPolicy policy(dvs);
+  return SimulateWith(fps, schedule, dvs, policy, sampler, options.seed,
+                      options.hyper_periods);
+}
+
+ComparisonResult CompareAcsWcs(const model::TaskSet& set,
+                               const model::DvsModel& dvs,
+                               const ExperimentOptions& options) {
+  const fps::FullyPreemptiveSchedule fps(set);
+
+  ComparisonResult result;
+  result.sub_instances = fps.sub_count();
+
+  const ScheduleResult wcs = SolveWcs(fps, dvs, options.scheduler);
+  ScheduleResult acs =
+      options.scheduler.warm_start_acs_with_wcs
+          ? SolveSchedule(fps, dvs, Scenario::kAverage, options.scheduler,
+                          wcs.schedule)
+          : SolveAcs(fps, dvs, options.scheduler);
+
+  // Identical workload streams: both methods face the same realisations.
+  const sim::SimResult acs_sim =
+      SimulateSchedule(fps, acs.schedule, dvs, options);
+  const sim::SimResult wcs_sim =
+      SimulateSchedule(fps, wcs.schedule, dvs, options);
+
+  result.acs.predicted_energy = acs.predicted_energy;
+  result.acs.measured_energy =
+      acs_sim.EnergyPerHyperPeriod(options.hyper_periods);
+  result.acs.deadline_misses = acs_sim.deadline_misses;
+  result.acs.used_fallback = acs.used_fallback;
+
+  result.wcs.predicted_energy = wcs.predicted_energy;
+  result.wcs.measured_energy =
+      wcs_sim.EnergyPerHyperPeriod(options.hyper_periods);
+  result.wcs.deadline_misses = wcs_sim.deadline_misses;
+  result.wcs.used_fallback = wcs.used_fallback;
+
+  return result;
+}
+
+}  // namespace dvs::core

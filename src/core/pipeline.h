@@ -1,0 +1,75 @@
+// End-to-end experiment pipeline: task set -> offline schedules (ACS + WCS)
+// -> online simulation on identical workload realisations -> energy
+// comparison.  This is the public API the benches, the examples and most
+// integration tests drive.
+#ifndef ACS_CORE_PIPELINE_H
+#define ACS_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <optional>
+
+#include "core/scheduler.h"
+#include "fps/expansion.h"
+#include "model/power_model.h"
+#include "model/task.h"
+#include "model/workload.h"
+#include "sim/engine.h"
+#include "stats/rng.h"
+
+namespace dvs::core {
+
+struct ExperimentOptions {
+  std::int64_t hyper_periods = 200;  // paper: 1000 (set via --paper)
+  double sigma_divisor = 6.0;        // workload sigma = (WCEC-BCEC)/divisor
+  std::uint64_t seed = 1;            // workload sampling stream
+  SchedulerOptions scheduler;
+};
+
+struct MethodOutcome {
+  double predicted_energy = 0.0;      // NLP objective (per hyper-period)
+  double measured_energy = 0.0;       // simulated energy per hyper-period
+  std::int64_t deadline_misses = 0;
+  bool used_fallback = false;         // scheduler kept its warm start
+};
+
+struct ComparisonResult {
+  MethodOutcome acs;
+  MethodOutcome wcs;
+  std::size_t sub_instances = 0;
+
+  /// The paper's reported metric: (E_wcs - E_acs) / E_wcs on measured
+  /// runtime energy.
+  double Improvement() const {
+    return wcs.measured_energy > 0.0
+               ? (wcs.measured_energy - acs.measured_energy) /
+                     wcs.measured_energy
+               : 0.0;
+  }
+};
+
+/// Runs the full ACS-vs-WCS comparison.  Both schedules are simulated over
+/// the *same* workload realisations (identical seeded streams), mirroring
+/// the paper's methodology.  Throws InfeasibleError when the set is not
+/// RM-schedulable at Vmax.
+ComparisonResult CompareAcsWcs(const model::TaskSet& set,
+                               const model::DvsModel& dvs,
+                               const ExperimentOptions& options = {});
+
+/// Simulates one schedule under the paper's truncated-normal workload with
+/// the greedy-reclamation policy; returns energy per hyper-period.
+sim::SimResult SimulateSchedule(const fps::FullyPreemptiveSchedule& fps,
+                                const sim::StaticSchedule& schedule,
+                                const model::DvsModel& dvs,
+                                const ExperimentOptions& options);
+
+/// Simulates one schedule under an arbitrary sampler / policy (ablations).
+sim::SimResult SimulateWith(const fps::FullyPreemptiveSchedule& fps,
+                            const sim::StaticSchedule& schedule,
+                            const model::DvsModel& dvs,
+                            const sim::DvsPolicy& policy,
+                            const model::WorkloadSampler& sampler,
+                            std::uint64_t seed, std::int64_t hyper_periods);
+
+}  // namespace dvs::core
+
+#endif  // ACS_CORE_PIPELINE_H

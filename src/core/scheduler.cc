@@ -1,0 +1,176 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dvs::core {
+
+opt::AlmOptions SchedulerOptions::DefaultAlmOptions() {
+  opt::AlmOptions alm;
+  alm.max_outer = 14;
+  alm.feasibility_tol = 1e-8;
+  alm.initial_penalty = 10.0;
+  alm.penalty_growth = 10.0;
+  alm.inner.max_iterations = 700;
+  alm.inner.tolerance = 1e-7;
+  alm.inner_tol_start = 1e-4;
+  return alm;
+}
+
+std::optional<sim::StaticSchedule> RepairSchedule(
+    const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
+    const std::vector<double>& end_times, const std::vector<double>& budgets) {
+  ACS_REQUIRE(end_times.size() == fps.sub_count(), "end-time size mismatch");
+  ACS_REQUIRE(budgets.size() == fps.sub_count(), "budget size mismatch");
+  const model::TaskSet& set = fps.task_set();
+  const double ct_max = dvs.CycleTime(dvs.vmax());
+
+  // Exact per-instance budget projection (>= 0, sum == WCEC).
+  std::vector<double> w = budgets;
+  for (const fps::InstanceRecord& rec : fps.instances()) {
+    std::vector<double> group;
+    group.reserve(rec.subs.size());
+    for (std::size_t order : rec.subs) {
+      group.push_back(std::max(0.0, w[order]));
+    }
+    opt::ProjectOntoSimplex(group, set.task(rec.info.task).wcec);
+    for (std::size_t j = 0; j < rec.subs.size(); ++j) {
+      w[rec.subs[j]] = group[j];
+    }
+  }
+
+  // Forward sweep: honour the worst-case chain; overflow spills to the next
+  // sub-instance of the same instance.  Returns the residual budget per
+  // instance that fell past its deadline.
+  std::vector<double> e(fps.sub_count(), 0.0);
+  std::vector<double> pending(fps.instance_count(), 0.0);
+  const std::vector<double>& end_cap = fps.effective_end_bounds();
+  const auto sweep = [&]() {
+    std::fill(pending.begin(), pending.end(), 0.0);
+    double finish = 0.0;
+    for (std::size_t u = 0; u < fps.sub_count(); ++u) {
+      const fps::SubInstance& sub = fps.sub(u);
+      const double start = std::max(finish, sub.release());
+      double want = w[u] + pending[sub.parent];
+      pending[sub.parent] = 0.0;
+      const double capacity =
+          std::max(0.0, (end_cap[u] - start) / ct_max);
+      if (want > capacity) {
+        pending[sub.parent] = want - capacity;
+        want = capacity;
+      }
+      w[u] = want;
+      const double chain_min = start + w[u] * ct_max;
+      e[u] = std::clamp(std::max(end_times[u], chain_min), sub.seg_begin,
+                        end_cap[u]);
+      if (w[u] > 0.0) {
+        finish = e[u];
+      }
+    }
+  };
+
+  // Residual budget below this is dropped: it represents less processor
+  // time than any tolerance in the system (audits use 1e-6, the engine
+  // resolves events to 1e-9), so it cannot affect schedulability.
+  const double drop_cycles = 1e-7 / ct_max;
+
+  sweep();
+  bool leftover = false;
+  for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+    if (pending[p] > drop_cycles) {
+      // Residual that could not move later (capacity-tight tail, typically
+      // solver dust).  Front-load it: the next sweep re-places it at the
+      // earliest spare capacity of the instance instead.
+      w[fps.instance(p).subs.front()] += pending[p];
+      leftover = true;
+    }
+  }
+  if (leftover) {
+    sweep();
+    for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+      if (pending[p] > drop_cycles) {
+        ACS_LOG_DEBUG << "repair: instance " << p << " has " << pending[p]
+                      << " cycles of budget past its deadline";
+        return std::nullopt;
+      }
+    }
+  }
+
+  sim::StaticSchedule repaired(fps, std::move(e), std::move(w));
+  const sim::FeasibilityReport audit = VerifyWorstCase(fps, repaired, dvs);
+  if (!audit.feasible) {
+    ACS_LOG_DEBUG << "repair audit failed: " << audit.detail;
+    return std::nullopt;
+  }
+  return repaired;
+}
+
+ScheduleResult SolveSchedule(
+    const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
+    Scenario scenario, const SchedulerOptions& options,
+    const std::optional<sim::StaticSchedule>& warm_start) {
+  const sim::StaticSchedule start_schedule =
+      warm_start.has_value() ? *warm_start
+                             : sim::BuildVmaxAsapSchedule(fps, dvs);
+
+  EnergyObjective objective(fps, dvs, scenario);
+  const auto feasible_set = objective.BuildFeasibleSet();
+  const std::vector<opt::LinearConstraint> chain =
+      objective.BuildChainConstraints();
+
+  opt::Vector x = objective.PackSchedule(start_schedule);
+  const double start_energy = objective.Value(x);
+
+  ScheduleResult result{start_schedule, start_energy, {}, false};
+  result.alm = opt::MinimizeAlm(objective, *feasible_set, chain, x,
+                                options.alm);
+
+  std::vector<double> end_times(fps.sub_count());
+  std::vector<double> budgets(fps.sub_count());
+  for (std::size_t u = 0; u < fps.sub_count(); ++u) {
+    end_times[u] = x[u];
+    budgets[u] = objective.BudgetOf(x, u);
+  }
+  std::optional<sim::StaticSchedule> repaired =
+      RepairSchedule(fps, dvs, end_times, budgets);
+
+  if (repaired.has_value()) {
+    const double repaired_energy =
+        objective.Value(objective.PackSchedule(*repaired));
+    if (repaired_energy <= start_energy + 1e-12 * std::fabs(start_energy)) {
+      result.schedule = std::move(*repaired);
+      result.predicted_energy = repaired_energy;
+      return result;
+    }
+    ACS_LOG_WARN << "solver result (" << repaired_energy
+                 << ") worse than warm start (" << start_energy
+                 << "); keeping warm start";
+  } else {
+    ACS_LOG_WARN << "feasibility repair failed; keeping warm start";
+  }
+  result.used_fallback = true;
+  return result;
+}
+
+ScheduleResult SolveWcs(const fps::FullyPreemptiveSchedule& fps,
+                        const model::DvsModel& dvs,
+                        const SchedulerOptions& options) {
+  return SolveSchedule(fps, dvs, Scenario::kWorst, options);
+}
+
+ScheduleResult SolveAcs(const fps::FullyPreemptiveSchedule& fps,
+                        const model::DvsModel& dvs,
+                        const SchedulerOptions& options) {
+  std::optional<sim::StaticSchedule> warm;
+  if (options.warm_start_acs_with_wcs) {
+    warm = SolveWcs(fps, dvs, options).schedule;
+  }
+  return SolveSchedule(fps, dvs, Scenario::kAverage, options, warm);
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,70 @@
+// Offline schedulers: ACS (the paper's contribution) and the WCS baseline.
+//
+// Both run the same pipeline — fully preemptive expansion -> reduced NLP ->
+// augmented-Lagrangian solve -> feasibility repair — differing only in the
+// scenario the objective replays (ACEC vs WCEC).  The repair pass converts
+// the solver's epsilon-feasible iterate into a *strictly* feasible static
+// schedule (exact budget simplexes, chain-respecting end-times); if repair
+// cannot absorb the residual violation the scheduler falls back to its warm
+// start, which is feasible by construction, and flags it in the result.
+#ifndef ACS_CORE_SCHEDULER_H
+#define ACS_CORE_SCHEDULER_H
+
+#include <optional>
+
+#include "core/formulation.h"
+#include "fps/expansion.h"
+#include "model/power_model.h"
+#include "opt/augmented_lagrangian.h"
+#include "sim/static_schedule.h"
+
+namespace dvs::core {
+
+struct SchedulerOptions {
+  opt::AlmOptions alm = DefaultAlmOptions();
+  /// ACS warm-starts from the solved WCS schedule (recommended: WCS is both
+  /// the paper's baseline and a good feasible incumbent).  When false, ACS
+  /// starts from the Vmax-ASAP schedule.
+  bool warm_start_acs_with_wcs = true;
+
+  static opt::AlmOptions DefaultAlmOptions();
+};
+
+struct ScheduleResult {
+  sim::StaticSchedule schedule;
+  double predicted_energy = 0.0;  // scenario energy of the final schedule
+  opt::AlmReport alm;
+  bool used_fallback = false;     // repair failed; warm start returned
+};
+
+/// Solves for one scenario.  `warm_start` must be worst-case feasible; when
+/// absent the Vmax-ASAP schedule is used.  Throws InfeasibleError when the
+/// task set is not RM-schedulable at Vmax.
+ScheduleResult SolveSchedule(
+    const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
+    Scenario scenario, const SchedulerOptions& options = {},
+    const std::optional<sim::StaticSchedule>& warm_start = std::nullopt);
+
+/// WCS: the classical WCEC-only minimum-energy static schedule (paper §4's
+/// comparison baseline).
+ScheduleResult SolveWcs(const fps::FullyPreemptiveSchedule& fps,
+                        const model::DvsModel& dvs,
+                        const SchedulerOptions& options = {});
+
+/// ACS: the paper's average-case-aware schedule.
+ScheduleResult SolveAcs(const fps::FullyPreemptiveSchedule& fps,
+                        const model::DvsModel& dvs,
+                        const SchedulerOptions& options = {});
+
+/// Repairs an epsilon-feasible (end-times, budgets) pair into a strictly
+/// feasible StaticSchedule: exact per-instance budget simplex projection,
+/// then a forward sweep that pushes capacity overflow to later sub-instances
+/// of the same instance and lifts end-times onto the worst-case chain.
+/// Returns std::nullopt when the overflow cannot be absorbed.
+std::optional<sim::StaticSchedule> RepairSchedule(
+    const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
+    const std::vector<double>& end_times, const std::vector<double>& budgets);
+
+}  // namespace dvs::core
+
+#endif  // ACS_CORE_SCHEDULER_H

@@ -1,0 +1,150 @@
+#include "model/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dvs::model {
+
+double DvsModel::ClampVoltage(double v) const {
+  return std::min(std::max(v, vmin()), vmax());
+}
+
+double DvsModel::VoltageForWork(double cycles, double window) const {
+  ACS_REQUIRE(cycles >= 0.0, "negative cycle count");
+  if (cycles == 0.0) {
+    return vmin();
+  }
+  if (window <= 0.0) {
+    return vmax();
+  }
+  return ClampVoltage(VoltageForSpeed(cycles / window));
+}
+
+LinearDvsModel::LinearDvsModel(double vmin, double vmax, double ceff,
+                               double cycles_per_ms_per_volt)
+    : vmin_(vmin), vmax_(vmax), ceff_(ceff), k_(cycles_per_ms_per_volt) {
+  ACS_REQUIRE(vmin > 0.0, "vmin must be positive");
+  ACS_REQUIRE(vmax > vmin, "vmax must exceed vmin");
+  ACS_REQUIRE(ceff > 0.0, "ceff must be positive");
+  ACS_REQUIRE(k_ > 0.0, "speed constant must be positive");
+}
+
+double LinearDvsModel::SpeedAt(double v) const {
+  ACS_REQUIRE(v > 0.0, "voltage must be positive");
+  return k_ * v;
+}
+
+double LinearDvsModel::VoltageForSpeed(double speed) const {
+  ACS_REQUIRE(speed > 0.0, "speed must be positive");
+  return speed / k_;
+}
+
+double LinearDvsModel::VoltageSlope(double /*speed*/) const { return 1.0 / k_; }
+
+double LinearDvsModel::SpeedSlope(double /*v*/) const { return k_; }
+
+AlphaDvsModel::AlphaDvsModel(double vmin, double vmax, double ceff,
+                             double k_delay, double vth, double alpha)
+    : vmin_(vmin),
+      vmax_(vmax),
+      ceff_(ceff),
+      k_delay_(k_delay),
+      vth_(vth),
+      alpha_(alpha) {
+  ACS_REQUIRE(vth >= 0.0, "threshold voltage must be non-negative");
+  ACS_REQUIRE(vmin > vth, "vmin must exceed the threshold voltage");
+  ACS_REQUIRE(vmax > vmin, "vmax must exceed vmin");
+  ACS_REQUIRE(ceff > 0.0, "ceff must be positive");
+  ACS_REQUIRE(k_delay > 0.0, "delay constant must be positive");
+  ACS_REQUIRE(alpha >= 1.0 && alpha <= 2.0, "alpha must lie in [1, 2]");
+}
+
+double AlphaDvsModel::SpeedAt(double v) const {
+  ACS_REQUIRE(v > vth_, "voltage at or below threshold");
+  return std::pow(v - vth_, alpha_) / (k_delay_ * v);
+}
+
+double AlphaDvsModel::SpeedSlope(double v) const {
+  // d/dV [ (V-Vth)^a / (K V) ]
+  //   = (V-Vth)^(a-1) * (a V - (V - Vth)) / (K V^2)
+  const double vv = v - vth_;
+  return std::pow(vv, alpha_ - 1.0) * (alpha_ * v - vv) / (k_delay_ * v * v);
+}
+
+double AlphaDvsModel::VoltageForSpeed(double speed) const {
+  ACS_REQUIRE(speed > 0.0, "speed must be positive");
+  // SpeedAt is strictly increasing on (vth, inf) for alpha >= 1, so we use
+  // bisection-safeguarded Newton.  Bracket: grow the upper bound until the
+  // target speed is covered.
+  double lo = vth_ + 1e-9;
+  double hi = std::max(vmax_, vth_ + 1.0);
+  while (SpeedAt(hi) < speed) {
+    hi *= 2.0;
+    ACS_CHECK(hi < 1e9, "voltage bracket runaway in VoltageForSpeed");
+  }
+  double v = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 128; ++iter) {
+    const double f = SpeedAt(v) - speed;
+    if (std::fabs(f) <= 1e-12 * std::max(1.0, speed)) {
+      return v;
+    }
+    if (f > 0.0) {
+      hi = v;
+    } else {
+      lo = v;
+    }
+    const double df = SpeedSlope(v);
+    double next = v - f / df;
+    if (!(next > lo && next < hi)) {
+      next = 0.5 * (lo + hi);  // Newton left the bracket; bisect instead.
+    }
+    v = next;
+  }
+  return v;
+}
+
+double AlphaDvsModel::VoltageSlope(double speed) const {
+  const double v = VoltageForSpeed(speed);
+  return 1.0 / SpeedSlope(v);
+}
+
+DiscreteDvsModel::DiscreteDvsModel(std::shared_ptr<const DvsModel> base,
+                                   std::vector<double> levels)
+    : base_(std::move(base)), levels_(std::move(levels)) {
+  ACS_REQUIRE(base_ != nullptr, "base model must not be null");
+  ACS_REQUIRE(!levels_.empty(), "at least one voltage level is required");
+  std::sort(levels_.begin(), levels_.end());
+  for (double v : levels_) {
+    ACS_REQUIRE(v >= base_->vmin() && v <= base_->vmax(),
+                "discrete level outside base model's voltage range");
+  }
+}
+
+double DiscreteDvsModel::VoltageForSpeed(double speed) const {
+  for (double v : levels_) {
+    if (base_->SpeedAt(v) >= speed) {
+      return v;
+    }
+  }
+  return levels_.back();
+}
+
+std::vector<double> DiscreteDvsModel::EvenLevels(const DvsModel& base,
+                                                 int count) {
+  ACS_REQUIRE(count >= 1, "need at least one level");
+  std::vector<double> levels;
+  if (count == 1) {
+    levels.push_back(base.vmax());
+    return levels;
+  }
+  const double step = (base.vmax() - base.vmin()) / (count - 1);
+  for (int i = 0; i < count; ++i) {
+    levels.push_back(base.vmin() + step * i);
+  }
+  levels.back() = base.vmax();
+  return levels;
+}
+
+}  // namespace dvs::model

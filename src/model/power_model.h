@@ -1,0 +1,179 @@
+// Variable-voltage processor models.
+//
+// The paper assumes a continuously variable-voltage CPU.  Its motivational
+// example uses the simplification "clock cycle time inversely proportional to
+// the supply voltage" (LinearDvsModel); its energy/delay preliminaries quote
+// the classical alpha-power law t_cyc = K*V/(V - Vth)^alpha (AlphaDvsModel).
+// Both are implemented behind one interface so the scheduler, the NLP
+// formulation and the runtime simulator are model-agnostic.  A discrete-level
+// wrapper (DiscreteDvsModel) models processors exposing a finite set of
+// operating points, quantising requested speeds upward so deadlines hold.
+//
+// Conventions: time in milliseconds, speed in cycles per millisecond, energy
+// in units of Ceff * V^2 per cycle (arbitrary but consistent; the paper only
+// reports ratios).
+#ifndef ACS_MODEL_POWER_MODEL_H
+#define ACS_MODEL_POWER_MODEL_H
+
+#include <memory>
+#include <vector>
+
+namespace dvs::model {
+
+/// Abstract DVS processor.
+class DvsModel {
+ public:
+  virtual ~DvsModel() = default;
+
+  /// Supply-voltage range (volts); vmin > 0, vmax > vmin.
+  virtual double vmin() const = 0;
+  virtual double vmax() const = 0;
+
+  /// Effective switching capacitance (energy scale factor).
+  virtual double ceff() const = 0;
+
+  /// Execution speed in cycles/ms at voltage `v` (v within [vmin, vmax]).
+  virtual double SpeedAt(double v) const = 0;
+
+  /// Inverse of SpeedAt.  `speed` must lie in (0, SpeedAt(vmax)]; values
+  /// below SpeedAt(vmin) return voltages below vmin — callers clamp with
+  /// ClampVoltage to decide between "run slower" and "run at vmin and idle".
+  virtual double VoltageForSpeed(double speed) const = 0;
+
+  /// d VoltageForSpeed / d speed — used by the NLP gradient.
+  virtual double VoltageSlope(double speed) const = 0;
+
+  /// d SpeedAt / d voltage — used by the NLP gradient (chain through the
+  /// cycle time).  Inverse of VoltageSlope at corresponding points.
+  virtual double SpeedSlope(double v) const = 0;
+
+  // --- Derived conveniences -------------------------------------------------
+
+  /// Seconds... milliseconds per cycle at voltage v.
+  double CycleTime(double v) const { return 1.0 / SpeedAt(v); }
+
+  /// Fastest achievable speed (cycles/ms).
+  double MaxSpeed() const { return SpeedAt(vmax()); }
+
+  /// Slowest sustainable speed (cycles/ms).
+  double MinSpeed() const { return SpeedAt(vmin()); }
+
+  /// Energy of one cycle at voltage v: ceff * v^2.
+  double EnergyPerCycle(double v) const { return ceff() * v * v; }
+
+  /// Energy of `cycles` cycles at voltage v.
+  double Energy(double v, double cycles) const {
+    return EnergyPerCycle(v) * cycles;
+  }
+
+  /// Clamps a voltage into the legal range.
+  double ClampVoltage(double v) const;
+
+  /// Voltage needed to run `cycles` within `window` ms, clamped to range.
+  /// A non-positive window returns vmax (degenerate dispatch; the caller is
+  /// responsible for feasibility checking).
+  double VoltageForWork(double cycles, double window) const;
+};
+
+/// f = k * V: the motivational example's model ("cycle time inversely
+/// proportional to supply voltage").
+class LinearDvsModel final : public DvsModel {
+ public:
+  /// `cycles_per_ms_per_volt` is the proportionality constant k;
+  /// speed(V) = k * V.
+  LinearDvsModel(double vmin, double vmax, double ceff,
+                 double cycles_per_ms_per_volt);
+
+  double vmin() const override { return vmin_; }
+  double vmax() const override { return vmax_; }
+  double ceff() const override { return ceff_; }
+  double SpeedAt(double v) const override;
+  double VoltageForSpeed(double speed) const override;
+  double VoltageSlope(double speed) const override;
+  double SpeedSlope(double v) const override;
+
+  double k() const { return k_; }
+
+ private:
+  double vmin_;
+  double vmax_;
+  double ceff_;
+  double k_;
+};
+
+/// Alpha-power law: t_cyc(V) = K * V / (V - Vth)^alpha, 1 < alpha <= 2.
+/// Speed is strictly increasing in V for V > Vth, so VoltageForSpeed is a
+/// well-posed monotone inversion (safeguarded Newton).
+class AlphaDvsModel final : public DvsModel {
+ public:
+  AlphaDvsModel(double vmin, double vmax, double ceff, double k_delay,
+                double vth, double alpha);
+
+  double vmin() const override { return vmin_; }
+  double vmax() const override { return vmax_; }
+  double ceff() const override { return ceff_; }
+  double SpeedAt(double v) const override;
+  double VoltageForSpeed(double speed) const override;
+  double VoltageSlope(double speed) const override;
+  double SpeedSlope(double v) const override;
+
+  double vth() const { return vth_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double vmin_;
+  double vmax_;
+  double ceff_;
+  double k_delay_;
+  double vth_;
+  double alpha_;
+};
+
+/// Finite operating points over an underlying continuous model.  Requested
+/// speeds round *up* to the next level so every deadline guarantee of the
+/// continuous analysis still holds (the processor just finishes early).
+class DiscreteDvsModel final : public DvsModel {
+ public:
+  /// `levels` are supply voltages; they are sorted and must lie within the
+  /// base model's range.  At least one level is required.
+  DiscreteDvsModel(std::shared_ptr<const DvsModel> base,
+                   std::vector<double> levels);
+
+  double vmin() const override { return levels_.front(); }
+  double vmax() const override { return levels_.back(); }
+  double ceff() const override { return base_->ceff(); }
+  double SpeedAt(double v) const override { return base_->SpeedAt(v); }
+
+  /// Returns the smallest level whose speed covers `speed` (vmax when even
+  /// the top level is too slow — callers detect overload separately).
+  double VoltageForSpeed(double speed) const override;
+
+  /// Piecewise-constant quantisation has zero slope almost everywhere.
+  double VoltageSlope(double) const override { return 0.0; }
+
+  /// Underlying physics still governs speed-vs-voltage between levels.
+  double SpeedSlope(double v) const override { return base_->SpeedSlope(v); }
+
+  const std::vector<double>& levels() const { return levels_; }
+
+  /// Builds `count` evenly spaced levels across the base model's range.
+  static std::vector<double> EvenLevels(const DvsModel& base, int count);
+
+ private:
+  std::shared_ptr<const DvsModel> base_;
+  std::vector<double> levels_;
+};
+
+/// Voltage-transition overhead (ignored by the paper's formulation; the
+/// simulator can charge it to quantify the assumption — see the ablation
+/// bench).  Both costs scale with |delta V|.
+struct TransitionOverhead {
+  double time_per_volt = 0.0;    // ms of stall per volt of change
+  double energy_per_volt = 0.0;  // energy per volt of change
+
+  bool IsZero() const { return time_per_volt == 0.0 && energy_per_volt == 0.0; }
+};
+
+}  // namespace dvs::model
+
+#endif  // ACS_MODEL_POWER_MODEL_H

@@ -1,0 +1,130 @@
+#include "model/task.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace dvs::model {
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  ACS_REQUIRE(!tasks_.empty(), "task set must not be empty");
+  std::vector<std::int64_t> periods;
+  periods.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    ACS_REQUIRE(t.period > 0,
+                "task " + std::to_string(i) + " has non-positive period");
+    ACS_REQUIRE(t.wcec > 0.0,
+                "task " + std::to_string(i) + " has non-positive WCEC");
+    ACS_REQUIRE(t.bcec >= 0.0,
+                "task " + std::to_string(i) + " has negative BCEC");
+    ACS_REQUIRE(t.bcec <= t.acec && t.acec <= t.wcec,
+                "task " + std::to_string(i) +
+                    " must satisfy BCEC <= ACEC <= WCEC");
+    periods.push_back(t.period);
+  }
+  hyper_period_ = util::LcmAll(periods);
+}
+
+const Task& TaskSet::task(TaskIndex i) const {
+  ACS_REQUIRE(i < tasks_.size(), "task index out of range");
+  return tasks_[i];
+}
+
+std::int64_t TaskSet::InstanceCount(TaskIndex i) const {
+  return hyper_period_ / task(i).period;
+}
+
+std::int64_t TaskSet::TotalInstances() const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    total += InstanceCount(i);
+  }
+  return total;
+}
+
+bool TaskSet::OutranksForDispatch(TaskIndex a, TaskIndex b) const {
+  const Task& ta = task(a);
+  const Task& tb = task(b);
+  if (ta.period != tb.period) {
+    return ta.period < tb.period;
+  }
+  return a < b;
+}
+
+bool TaskSet::CanPreempt(TaskIndex a, TaskIndex b) const {
+  return task(a).period < task(b).period;
+}
+
+double TaskSet::Utilization(const DvsModel& model) const {
+  const double max_speed = model.MaxSpeed();
+  double u = 0.0;
+  for (const Task& t : tasks_) {
+    u += t.wcec / (static_cast<double>(t.period) * max_speed);
+  }
+  return u;
+}
+
+double TaskSet::AverageUtilization(const DvsModel& model) const {
+  const double max_speed = model.MaxSpeed();
+  double u = 0.0;
+  for (const Task& t : tasks_) {
+    u += t.acec / (static_cast<double>(t.period) * max_speed);
+  }
+  return u;
+}
+
+TaskSet TaskSet::ScaledBy(double factor) const {
+  ACS_REQUIRE(factor > 0.0, "scale factor must be positive");
+  std::vector<Task> scaled = tasks_;
+  for (Task& t : scaled) {
+    t.wcec *= factor;
+    t.acec *= factor;
+    t.bcec *= factor;
+  }
+  return TaskSet(std::move(scaled));
+}
+
+std::string TaskSet::Describe() const {
+  std::ostringstream out;
+  out << tasks_.size() << " tasks, hyper-period " << hyper_period_ << " [";
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << tasks_[i].name << "(P=" << tasks_[i].period
+        << ", W=" << tasks_[i].wcec << ")";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::vector<TaskInstance> EnumerateInstances(const TaskSet& set) {
+  std::vector<TaskInstance> instances;
+  instances.reserve(static_cast<std::size_t>(set.TotalInstances()));
+  for (TaskIndex i = 0; i < set.size(); ++i) {
+    const Task& t = set.task(i);
+    const std::int64_t count = set.InstanceCount(i);
+    for (std::int64_t k = 0; k < count; ++k) {
+      TaskInstance inst;
+      inst.task = i;
+      inst.instance = k;
+      inst.release = static_cast<double>(k * t.period);
+      inst.deadline = static_cast<double>((k + 1) * t.period);
+      instances.push_back(inst);
+    }
+  }
+  std::sort(instances.begin(), instances.end(),
+            [&set](const TaskInstance& a, const TaskInstance& b) {
+              if (a.release != b.release) {
+                return a.release < b.release;
+              }
+              if (a.task != b.task) {
+                return set.OutranksForDispatch(a.task, b.task);
+              }
+              return a.instance < b.instance;
+            });
+  return instances;
+}
+
+}  // namespace dvs::model

@@ -1,0 +1,94 @@
+// Task and task-set model (paper §2.1).
+//
+// Frame-based periodic hard real-time system: relative deadline == period,
+// first release at t = 0, rate-monotonic fixed priorities (shorter period ->
+// higher priority; equal periods share a priority and never preempt each
+// other — ties are dispatched by task index).  Execution-cycle demand is
+// characterised by best/average/worst-case cycles (BCEC <= ACEC <= WCEC).
+#ifndef ACS_MODEL_TASK_H
+#define ACS_MODEL_TASK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/power_model.h"
+
+namespace dvs::model {
+
+/// Index of a task inside its TaskSet.
+using TaskIndex = std::size_t;
+
+struct Task {
+  std::string name;
+  std::int64_t period = 0;  // also the relative deadline (ms, or any unit)
+  double wcec = 0.0;        // worst-case execution cycles
+  double acec = 0.0;        // average-case execution cycles
+  double bcec = 0.0;        // best-case execution cycles
+
+  /// BCEC/WCEC flexibility ratio (paper x-axis); 1 when WCEC == 0.
+  double BcecWcecRatio() const { return wcec > 0.0 ? bcec / wcec : 1.0; }
+};
+
+/// Immutable, validated collection of tasks.
+class TaskSet {
+ public:
+  /// Validates every task (positive period, 0 <= BCEC <= ACEC <= WCEC,
+  /// WCEC > 0) and the hyper-period; throws InvalidArgumentError otherwise.
+  explicit TaskSet(std::vector<Task> tasks);
+
+  std::size_t size() const { return tasks_.size(); }
+  const Task& task(TaskIndex i) const;
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  /// LCM of all periods.
+  std::int64_t hyper_period() const { return hyper_period_; }
+
+  /// Number of instances task `i` releases per hyper-period.
+  std::int64_t InstanceCount(TaskIndex i) const;
+
+  /// Total instances across all tasks per hyper-period.
+  std::int64_t TotalInstances() const;
+
+  /// True when `a` outranks `b` for dispatching: shorter period first,
+  /// task index as the deterministic tie-break.
+  bool OutranksForDispatch(TaskIndex a, TaskIndex b) const;
+
+  /// True when `a` preempts a running `b` (strictly shorter period only —
+  /// equal-period tasks share a priority, paper §2.1).
+  bool CanPreempt(TaskIndex a, TaskIndex b) const;
+
+  /// Worst-case utilisation at the model's top speed:
+  /// sum_i WCEC_i / (period_i * SpeedAt(vmax)).
+  double Utilization(const DvsModel& model) const;
+
+  /// Same using ACEC — the load the system usually carries.
+  double AverageUtilization(const DvsModel& model) const;
+
+  /// Returns a copy with every task's WCEC scaled by `factor` (ACEC/BCEC
+  /// scale along, preserving the ratios).
+  TaskSet ScaledBy(double factor) const;
+
+  /// One-line description for logs.
+  std::string Describe() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::int64_t hyper_period_ = 0;
+};
+
+/// A single periodic release of a task within the hyper-period.
+struct TaskInstance {
+  TaskIndex task = 0;
+  std::int64_t instance = 0;  // 0-based instance number within hyper-period
+  double release = 0.0;
+  double deadline = 0.0;
+};
+
+/// Enumerates all task instances in one hyper-period, ordered by
+/// (release, dispatch rank).
+std::vector<TaskInstance> EnumerateInstances(const TaskSet& set);
+
+}  // namespace dvs::model
+
+#endif  // ACS_MODEL_TASK_H

@@ -1,0 +1,78 @@
+// Per-instance actual-workload sampling (paper §4 experimental model).
+//
+// "the number of execution cycles of each task [varies] between the best
+// case (BCEC) and worst case (WCEC) following a normal distribution with
+// mean = ACEC".  The sigma constant is lost to OCR; we default to the
+// 3-sigma convention sigma = (WCEC - BCEC) / 6 and expose it as a knob
+// (see bench_ablation_sigma).
+#ifndef ACS_MODEL_WORKLOAD_H
+#define ACS_MODEL_WORKLOAD_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/task.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace dvs::model {
+
+/// Interface: draws the actual execution cycles of one task instance.
+class WorkloadSampler {
+ public:
+  virtual ~WorkloadSampler() = default;
+
+  /// Cycles for the next instance of task `task`; must lie within
+  /// [BCEC, WCEC] of that task.
+  virtual double SampleCycles(TaskIndex task, stats::Rng& rng) const = 0;
+};
+
+/// The paper's truncated-normal workload.
+class TruncatedNormalWorkload final : public WorkloadSampler {
+ public:
+  /// sigma_i = (WCEC_i - BCEC_i) / sigma_divisor.  Tasks with
+  /// BCEC == WCEC degenerate to a point mass.
+  TruncatedNormalWorkload(const TaskSet& set, double sigma_divisor = 6.0);
+
+  double SampleCycles(TaskIndex task, stats::Rng& rng) const override;
+
+  /// The analytic mean of task `i`'s truncated distribution (slightly
+  /// different from ACEC whenever the window is asymmetric).
+  double AnalyticMean(TaskIndex task) const;
+
+ private:
+  std::vector<std::optional<stats::TruncatedNormal>> dists_;
+  std::vector<double> fixed_;  // used when the window collapses
+};
+
+/// Deterministic scenarios: every instance takes exactly BCEC / ACEC / WCEC.
+/// The WCEC scenario is the adversarial run used to verify deadline
+/// guarantees; the ACEC scenario matches the NLP's planning assumption.
+enum class FixedScenario { kBest, kAverage, kWorst };
+
+class FixedWorkload final : public WorkloadSampler {
+ public:
+  FixedWorkload(const TaskSet& set, FixedScenario scenario);
+
+  double SampleCycles(TaskIndex task, stats::Rng& rng) const override;
+
+ private:
+  std::vector<double> cycles_;
+};
+
+/// Uniform on [BCEC, WCEC] — a heavier-tailed stress variant used by
+/// property tests (not part of the paper's setup).
+class UniformWorkload final : public WorkloadSampler {
+ public:
+  explicit UniformWorkload(const TaskSet& set);
+
+  double SampleCycles(TaskIndex task, stats::Rng& rng) const override;
+
+ private:
+  std::vector<std::pair<double, double>> windows_;
+};
+
+}  // namespace dvs::model
+
+#endif  // ACS_MODEL_WORKLOAD_H

@@ -1,0 +1,172 @@
+#include "opt/augmented_lagrangian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dvs::opt {
+namespace {
+
+/// f(x) plus the augmented-Lagrangian terms of the constraints.
+class AugmentedObjective final : public Objective {
+ public:
+  AugmentedObjective(const Objective& base,
+                     const std::vector<const ConstraintFunction*>& constraints,
+                     const std::vector<double>& multipliers, double penalty)
+      : base_(base),
+        constraints_(constraints),
+        multipliers_(multipliers),
+        penalty_(penalty) {}
+
+  std::size_t dim() const override { return base_.dim(); }
+
+  double Value(const Vector& x) const override { return Evaluate(x, nullptr); }
+
+  void Gradient(const Vector& x, Vector& grad) const override {
+    grad.assign(dim(), 0.0);
+    (void)Evaluate(x, &grad);
+  }
+
+  double ValueAndGradient(const Vector& x, Vector& grad) const override {
+    grad.assign(dim(), 0.0);
+    return Evaluate(x, &grad);
+  }
+
+ private:
+  double Evaluate(const Vector& x, Vector* grad) const {
+    double value = grad != nullptr ? base_.ValueAndGradient(x, *grad)
+                                   : base_.Value(x);
+    for (std::size_t c = 0; c < constraints_.size(); ++c) {
+      const ConstraintFunction& con = *constraints_[c];
+      const double cv = con.Evaluate(x);
+      const double lambda = multipliers_[c];
+      if (con.kind() == ConstraintKind::kGeZero) {
+        // Treat as g(x) = -c(x) <= 0.
+        const double active = std::max(0.0, lambda / penalty_ - cv);
+        value += 0.5 * penalty_ * active * active -
+                 0.5 * lambda * lambda / penalty_;
+        if (grad != nullptr && active > 0.0) {
+          con.AccumulateGradient(x, -penalty_ * active, *grad);
+        }
+      } else {
+        value += lambda * cv + 0.5 * penalty_ * cv * cv;
+        if (grad != nullptr) {
+          con.AccumulateGradient(x, lambda + penalty_ * cv, *grad);
+        }
+      }
+    }
+    return value;
+  }
+
+  const Objective& base_;
+  const std::vector<const ConstraintFunction*>& constraints_;
+  const std::vector<double>& multipliers_;
+  double penalty_;
+};
+
+double MaxViolation(const std::vector<const ConstraintFunction*>& constraints,
+                    const Vector& x) {
+  double worst = 0.0;
+  for (const ConstraintFunction* con : constraints) {
+    worst = std::max(worst, con->Violation(x));
+  }
+  return worst;
+}
+
+}  // namespace
+
+AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
+                      const std::vector<const ConstraintFunction*>& constraints,
+                      Vector& x, const AlmOptions& options) {
+  ACS_REQUIRE(x.size() == objective.dim(), "start point dimension mismatch");
+  AlmReport report;
+
+  if (constraints.empty()) {
+    const SpgReport inner = MinimizeSpg(objective, set, x, options.inner);
+    report.feasible = true;
+    report.inner_status = inner.status;
+    report.outer_iterations = 1;
+    report.total_inner_iterations = inner.iterations;
+    report.evaluations = inner.evaluations;
+    report.final_value = inner.final_value;
+    return report;
+  }
+
+  std::vector<double> multipliers(constraints.size(), 0.0);
+  double penalty = options.initial_penalty;
+  double inner_tol = options.inner_tol_start;
+  double previous_violation = std::numeric_limits<double>::infinity();
+
+  set.Project(x);
+
+  for (std::size_t outer = 0; outer < options.max_outer; ++outer) {
+    report.outer_iterations = outer + 1;
+
+    AugmentedObjective augmented(objective, constraints, multipliers, penalty);
+    SpgOptions inner_options = options.inner;
+    inner_options.tolerance = std::max(options.inner.tolerance, inner_tol);
+    const SpgReport inner = MinimizeSpg(augmented, set, x, inner_options);
+    report.inner_status = inner.status;
+    report.total_inner_iterations += inner.iterations;
+    report.evaluations += inner.evaluations;
+
+    const double violation = MaxViolation(constraints, x);
+    report.max_violation = violation;
+    report.final_penalty = penalty;
+    ACS_LOG_DEBUG << "ALM outer " << outer << ": viol=" << violation
+                  << " rho=" << penalty << " inner="
+                  << SolveStatusName(inner.status) << "/" << inner.iterations;
+
+    if (violation <= options.feasibility_tol &&
+        inner_options.tolerance <= options.inner.tolerance * (1.0 + 1e-12)) {
+      report.feasible = true;
+      break;
+    }
+
+    // First-order multiplier updates.
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      const double cv = constraints[c]->Evaluate(x);
+      if (constraints[c]->kind() == ConstraintKind::kGeZero) {
+        multipliers[c] = std::max(0.0, multipliers[c] - penalty * cv);
+      } else {
+        multipliers[c] += penalty * cv;
+      }
+    }
+
+    // Penalty growth when feasibility stalls.
+    if (violation > options.violation_shrink * previous_violation &&
+        violation > options.feasibility_tol) {
+      penalty = std::min(penalty * options.penalty_growth,
+                         options.max_penalty);
+    }
+    previous_violation = violation;
+    inner_tol = std::max(inner_tol * 0.1, options.inner.tolerance);
+  }
+
+  report.final_value = objective.Value(x);
+  report.max_violation = MaxViolation(constraints, x);
+  report.feasible = report.max_violation <= options.feasibility_tol;
+  ++report.evaluations;
+  return report;
+}
+
+AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
+                      const std::vector<LinearConstraint>& constraints,
+                      Vector& x, const AlmOptions& options) {
+  std::vector<LinearConstraintFn> adapters;
+  adapters.reserve(constraints.size());
+  for (const LinearConstraint& con : constraints) {
+    adapters.emplace_back(con);
+  }
+  std::vector<const ConstraintFunction*> pointers;
+  pointers.reserve(adapters.size());
+  for (const LinearConstraintFn& fn : adapters) {
+    pointers.push_back(&fn);
+  }
+  return MinimizeAlm(objective, set, pointers, x, options);
+}
+
+}  // namespace dvs::opt

@@ -1,0 +1,58 @@
+// Augmented-Lagrangian method for linearly constrained minimisation over a
+// projectable set:
+//
+//     minimise  f(x)    s.t.  x in X,   c_i(x) >= 0  /  c_j(x) == 0
+//
+// with c linear.  X (boxes x simplexes) is handled exactly by the SPG inner
+// solver's projection; the linear couplings (the worst-case chain
+// constraints of the ACS formulation) get multipliers + quadratic penalty.
+// Classic safeguarded scheme: multipliers update on sufficient feasibility
+// progress, otherwise the penalty grows.
+#ifndef ACS_OPT_AUGMENTED_LAGRANGIAN_H
+#define ACS_OPT_AUGMENTED_LAGRANGIAN_H
+
+#include <vector>
+
+#include "opt/problem.h"
+#include "opt/spg.h"
+#include "opt/vec.h"
+
+namespace dvs::opt {
+
+struct AlmOptions {
+  std::size_t max_outer = 25;
+  double feasibility_tol = 1e-7;   // sup-norm of constraint violations
+  double initial_penalty = 10.0;
+  double penalty_growth = 10.0;
+  double max_penalty = 1e12;
+  double violation_shrink = 0.25;  // required per-outer improvement factor
+  SpgOptions inner;                // inner SPG settings (final tolerance)
+  double inner_tol_start = 1e-4;   // loose early, tightens geometrically
+};
+
+struct AlmReport {
+  bool feasible = false;
+  SolveStatus inner_status = SolveStatus::kMaxIterations;
+  std::size_t outer_iterations = 0;
+  std::size_t total_inner_iterations = 0;
+  std::size_t evaluations = 0;
+  double final_value = 0.0;      // objective f (without penalty terms)
+  double max_violation = 0.0;
+  double final_penalty = 0.0;
+};
+
+/// Minimises over `x` in place (projected onto `set` first).  Constraints
+/// are non-owning pointers; callers keep them alive through the solve.
+AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
+                      const std::vector<const ConstraintFunction*>& constraints,
+                      Vector& x, const AlmOptions& options = {});
+
+/// Convenience overload for all-linear constraint systems (the reduced ACS
+/// formulation).
+AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
+                      const std::vector<LinearConstraint>& constraints,
+                      Vector& x, const AlmOptions& options = {});
+
+}  // namespace dvs::opt
+
+#endif  // ACS_OPT_AUGMENTED_LAGRANGIAN_H

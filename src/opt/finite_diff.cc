@@ -1,0 +1,46 @@
+#include "opt/finite_diff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dvs::opt {
+
+Vector FiniteDifferenceGradient(const std::function<double(const Vector&)>& f,
+                                const Vector& x, double h) {
+  ACS_REQUIRE(h > 0.0, "finite-difference step must be positive");
+  Vector grad(x.size(), 0.0);
+  Vector probe = x;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double save = probe[i];
+    probe[i] = save + h;
+    const double fp = f(probe);
+    probe[i] = save - h;
+    const double fm = f(probe);
+    probe[i] = save;
+    grad[i] = (fp - fm) / (2.0 * h);
+  }
+  return grad;
+}
+
+Vector FiniteDifferenceGradient(const Objective& objective, const Vector& x,
+                                double h) {
+  return FiniteDifferenceGradient(
+      [&objective](const Vector& p) { return objective.Value(p); }, x, h);
+}
+
+double GradientCheck(const Objective& objective, const Vector& x, double h) {
+  Vector analytic(x.size(), 0.0);
+  objective.Gradient(x, analytic);
+  const Vector numeric = FiniteDifferenceGradient(objective, x, h);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double scale =
+        std::max({std::fabs(analytic[i]), std::fabs(numeric[i]), 1.0});
+    worst = std::max(worst, std::fabs(analytic[i] - numeric[i]) / scale);
+  }
+  return worst;
+}
+
+}  // namespace dvs::opt

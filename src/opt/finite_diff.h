@@ -1,0 +1,27 @@
+// Central finite-difference derivatives — the reference implementation the
+// analytic gradients are unit-tested against (never used inside solvers).
+#ifndef ACS_OPT_FINITE_DIFF_H
+#define ACS_OPT_FINITE_DIFF_H
+
+#include <functional>
+
+#include "opt/problem.h"
+#include "opt/vec.h"
+
+namespace dvs::opt {
+
+/// Central-difference gradient of `f` at `x` with step `h` per coordinate.
+Vector FiniteDifferenceGradient(const std::function<double(const Vector&)>& f,
+                                const Vector& x, double h = 1e-6);
+
+/// Convenience overload for Objective.
+Vector FiniteDifferenceGradient(const Objective& objective, const Vector& x,
+                                double h = 1e-6);
+
+/// Max relative component-wise error between analytic and FD gradients.
+double GradientCheck(const Objective& objective, const Vector& x,
+                     double h = 1e-6);
+
+}  // namespace dvs::opt
+
+#endif  // ACS_OPT_FINITE_DIFF_H

@@ -1,0 +1,120 @@
+#include "opt/lbfgs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/error.h"
+
+namespace dvs::opt {
+
+LbfgsReport MinimizeLbfgs(const Objective& objective, Vector& x,
+                          const LbfgsOptions& options) {
+  ACS_REQUIRE(x.size() == objective.dim(), "start point dimension mismatch");
+  LbfgsReport report;
+
+  const std::size_t n = x.size();
+  Vector grad(n, 0.0);
+  double f = objective.ValueAndGradient(x, grad);
+  ++report.evaluations;
+
+  std::deque<Vector> s_history;
+  std::deque<Vector> y_history;
+  std::deque<double> rho_history;
+
+  Vector direction(n);
+  Vector trial(n);
+  Vector trial_grad(n);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+    report.gradient_norm = NormInf(grad);
+    if (report.gradient_norm <= options.tolerance) {
+      report.status = SolveStatus::kConverged;
+      report.final_value = f;
+      return report;
+    }
+
+    // Two-loop recursion.
+    direction = grad;
+    std::vector<double> alpha(s_history.size(), 0.0);
+    for (std::size_t i = s_history.size(); i-- > 0;) {
+      alpha[i] = rho_history[i] * Dot(s_history[i], direction);
+      Axpy(-alpha[i], y_history[i], direction);
+    }
+    if (!s_history.empty()) {
+      const Vector& s = s_history.back();
+      const Vector& y = y_history.back();
+      const double yy = Dot(y, y);
+      if (yy > 0.0) {
+        Scale(Dot(s, y) / yy, direction);
+      }
+    }
+    for (std::size_t i = 0; i < s_history.size(); ++i) {
+      const double beta = rho_history[i] * Dot(y_history[i], direction);
+      Axpy(alpha[i] - beta, s_history[i], direction);
+    }
+    Scale(-1.0, direction);
+
+    double slope = Dot(grad, direction);
+    if (slope >= 0.0) {
+      // Bad curvature — restart with steepest descent.
+      direction = grad;
+      Scale(-1.0, direction);
+      slope = Dot(grad, direction);
+      s_history.clear();
+      y_history.clear();
+      rho_history.clear();
+    }
+
+    double step = 1.0;
+    bool accepted = false;
+    double f_new = f;
+    for (std::size_t bt = 0; bt <= options.max_backtracks; ++bt) {
+      for (std::size_t i = 0; i < n; ++i) {
+        trial[i] = x[i] + step * direction[i];
+      }
+      f_new = objective.ValueAndGradient(trial, trial_grad);
+      ++report.evaluations;
+      if (f_new <= f + options.armijo_c * step * slope) {
+        accepted = true;
+        break;
+      }
+      step *= options.backtrack;
+    }
+    if (!accepted) {
+      report.status = SolveStatus::kLineSearchFailed;
+      report.final_value = f;
+      return report;
+    }
+
+    Vector s(n);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = trial[i] - x[i];
+      y[i] = trial_grad[i] - grad[i];
+    }
+    const double sy = Dot(s, y);
+    if (sy > 1e-12 * Norm2(s) * Norm2(y)) {
+      s_history.push_back(std::move(s));
+      y_history.push_back(std::move(y));
+      rho_history.push_back(1.0 / sy);
+      if (s_history.size() > options.memory) {
+        s_history.pop_front();
+        y_history.pop_front();
+        rho_history.pop_front();
+      }
+    }
+
+    x = trial;
+    grad = trial_grad;
+    f = f_new;
+  }
+
+  report.status = SolveStatus::kMaxIterations;
+  report.final_value = f;
+  report.gradient_norm = NormInf(grad);
+  return report;
+}
+
+}  // namespace dvs::opt

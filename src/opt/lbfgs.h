@@ -1,0 +1,40 @@
+// Limited-memory BFGS for smooth unconstrained minimisation.
+//
+// Not on the ACS critical path (the constrained stack uses SPG + ALM) but
+// part of the solver library: it settles smooth subproblems (e.g. the full
+// paper NLP's voltage variables in tests) and provides an independent
+// optimiser for cross-checking SPG results.
+#ifndef ACS_OPT_LBFGS_H
+#define ACS_OPT_LBFGS_H
+
+#include <cstddef>
+
+#include "opt/problem.h"
+#include "opt/spg.h"
+#include "opt/vec.h"
+
+namespace dvs::opt {
+
+struct LbfgsOptions {
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-8;   // sup-norm of the gradient
+  std::size_t memory = 8;    // stored (s, y) pairs
+  double armijo_c = 1e-4;
+  double backtrack = 0.5;
+  std::size_t max_backtracks = 60;
+};
+
+struct LbfgsReport {
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  double final_value = 0.0;
+  double gradient_norm = 0.0;
+};
+
+LbfgsReport MinimizeLbfgs(const Objective& objective, Vector& x,
+                          const LbfgsOptions& options = {});
+
+}  // namespace dvs::opt
+
+#endif  // ACS_OPT_LBFGS_H

@@ -1,0 +1,116 @@
+#include "opt/problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dvs::opt {
+
+BoxSimplexSet::BoxSimplexSet(std::size_t dim)
+    : lo_(dim, -kNoBound), hi_(dim, kNoBound), in_simplex_(dim, false) {}
+
+void BoxSimplexSet::SetBounds(std::size_t i, double lo, double hi) {
+  ACS_REQUIRE(i < lo_.size(), "variable index out of range");
+  ACS_REQUIRE(lo <= hi, "lower bound exceeds upper bound");
+  ACS_REQUIRE(!in_simplex_[i], "variable already owned by a simplex group");
+  lo_[i] = lo;
+  hi_[i] = hi;
+}
+
+void BoxSimplexSet::AddSimplex(std::vector<std::size_t> indices,
+                               double total) {
+  ACS_REQUIRE(!indices.empty(), "empty simplex group");
+  ACS_REQUIRE(total >= 0.0, "simplex total must be non-negative");
+  for (std::size_t idx : indices) {
+    ACS_REQUIRE(idx < lo_.size(), "simplex index out of range");
+    ACS_REQUIRE(!in_simplex_[idx], "variable reused across simplex groups");
+    ACS_REQUIRE(lo_[idx] == -kNoBound && hi_[idx] == kNoBound,
+                "simplex variable must not carry box bounds");
+    in_simplex_[idx] = true;
+  }
+  simplexes_.push_back(Simplex{std::move(indices), total});
+}
+
+void BoxSimplexSet::Project(Vector& x) const {
+  ACS_REQUIRE(x.size() == lo_.size(), "dimension mismatch in projection");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (in_simplex_[i]) {
+      continue;
+    }
+    x[i] = std::min(std::max(x[i], lo_[i]), hi_[i]);
+  }
+  std::vector<double> scratch;
+  for (const Simplex& group : simplexes_) {
+    scratch.resize(group.indices.size());
+    for (std::size_t j = 0; j < group.indices.size(); ++j) {
+      scratch[j] = x[group.indices[j]];
+    }
+    ProjectOntoSimplex(scratch, group.total);
+    for (std::size_t j = 0; j < group.indices.size(); ++j) {
+      x[group.indices[j]] = scratch[j];
+    }
+  }
+}
+
+void ProjectOntoSimplex(std::vector<double>& values, double total) {
+  ACS_REQUIRE(!values.empty(), "empty vector in simplex projection");
+  ACS_REQUIRE(total >= 0.0, "simplex total must be non-negative");
+  if (values.size() == 1) {
+    values[0] = total;
+    return;
+  }
+  // Held-Wolfe-Crowder: find tau with sum max(0, v_i - tau) = total.
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double running = 0.0;
+  double tau = 0.0;
+  std::size_t support = sorted.size();
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    running += sorted[k];
+    const double candidate =
+        (running - total) / static_cast<double>(k + 1);
+    if (k + 1 == sorted.size() || sorted[k + 1] <= candidate) {
+      tau = candidate;
+      support = k + 1;
+      break;
+    }
+  }
+  (void)support;
+  for (double& v : values) {
+    v = std::max(0.0, v - tau);
+  }
+}
+
+double LinearConstraint::Evaluate(const Vector& x) const {
+  double acc = constant;
+  for (const auto& [index, coeff] : terms) {
+    acc += coeff * x[index];
+  }
+  return acc;
+}
+
+double LinearConstraint::Violation(const Vector& x) const {
+  const double value = Evaluate(x);
+  switch (kind) {
+    case Kind::kGeZero:
+      return std::max(0.0, -value);
+    case Kind::kEqZero:
+      return std::fabs(value);
+  }
+  return 0.0;
+}
+
+double ConstraintFunction::Violation(const Vector& x) const {
+  const double value = Evaluate(x);
+  switch (kind()) {
+    case ConstraintKind::kGeZero:
+      return std::max(0.0, -value);
+    case ConstraintKind::kEqZero:
+      return std::fabs(value);
+  }
+  return 0.0;
+}
+
+}  // namespace dvs::opt

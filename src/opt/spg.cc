@@ -1,0 +1,131 @@
+#include "opt/spg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dvs::opt {
+
+const char* SolveStatusName(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kConverged:
+      return "converged";
+    case SolveStatus::kMaxIterations:
+      return "max-iterations";
+    case SolveStatus::kLineSearchFailed:
+      return "line-search-failed";
+  }
+  return "unknown";
+}
+
+SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
+                      Vector& x, const SpgOptions& options) {
+  ACS_REQUIRE(x.size() == objective.dim(), "start point dimension mismatch");
+  SpgReport report;
+
+  set.Project(x);
+  Vector grad(x.size(), 0.0);
+  double f = objective.ValueAndGradient(x, grad);
+  ++report.evaluations;
+
+  std::deque<double> recent{f};
+  double step = 1.0;
+  Vector trial(x.size());
+  Vector trial_grad(x.size());
+  Vector direction(x.size());
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+
+    // Projected-gradient direction with the current spectral step.
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      trial[i] = x[i] - step * grad[i];
+    }
+    set.Project(trial);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      direction[i] = trial[i] - x[i];
+    }
+
+    // Convergence: unit-step projected gradient displacement.
+    Vector unit_probe(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      unit_probe[i] = x[i] - grad[i];
+    }
+    set.Project(unit_probe);
+    double criterion = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      criterion = std::max(criterion, std::fabs(unit_probe[i] - x[i]));
+    }
+    report.criterion = criterion;
+    if (criterion <= options.tolerance) {
+      report.status = SolveStatus::kConverged;
+      report.final_value = f;
+      return report;
+    }
+
+    const double slope = Dot(grad, direction);
+    if (slope >= 0.0) {
+      // Projection produced a non-descent direction (can happen exactly at
+      // a kink); fall back to the raw projected-gradient step.
+      report.status = SolveStatus::kLineSearchFailed;
+      report.final_value = f;
+      return report;
+    }
+
+    const double f_ref = *std::max_element(recent.begin(), recent.end());
+    double lambda = 1.0;
+    bool accepted = false;
+    double f_new = f;
+    for (std::size_t bt = 0; bt <= options.max_backtracks; ++bt) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        trial[i] = x[i] + lambda * direction[i];
+      }
+      // Points on the chord between two feasible points stay feasible for
+      // convex sets, so no re-projection is needed.
+      f_new = objective.ValueAndGradient(trial, trial_grad);
+      ++report.evaluations;
+      if (f_new <= f_ref + options.armijo_c * lambda * slope) {
+        accepted = true;
+        break;
+      }
+      lambda *= options.backtrack;
+    }
+    if (!accepted) {
+      ACS_LOG_DEBUG << "SPG line search failed at iter " << iter
+                    << " (f=" << f << ")";
+      report.status = SolveStatus::kLineSearchFailed;
+      report.final_value = f;
+      return report;
+    }
+
+    // Barzilai-Borwein spectral step from the accepted move.
+    double sts = 0.0;
+    double sty = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double s = lambda * direction[i];
+      const double y = trial_grad[i] - grad[i];
+      sts += s * s;
+      sty += s * y;
+    }
+    step = (sty > 0.0)
+               ? std::clamp(sts / sty, options.step_min, options.step_max)
+               : options.step_max;
+
+    x = trial;
+    grad = trial_grad;
+    f = f_new;
+    recent.push_back(f);
+    if (recent.size() > options.history) {
+      recent.pop_front();
+    }
+  }
+
+  report.status = SolveStatus::kMaxIterations;
+  report.final_value = f;
+  return report;
+}
+
+}  // namespace dvs::opt

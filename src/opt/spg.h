@@ -1,0 +1,53 @@
+// Spectral projected gradient (SPG; Birgin, Martínez & Raydan 2000).
+//
+// The inner solver of the augmented-Lagrangian stack.  Chosen because the
+// feasible set of the ACS formulation (boxes on end-times x simplexes on
+// workload splits) has a cheap exact projection, and because SPG's
+// nonmonotone Armijo search tolerates the piecewise-smooth kinks (max/clamp)
+// in the average-energy objective far better than curvature-based methods.
+#ifndef ACS_OPT_SPG_H
+#define ACS_OPT_SPG_H
+
+#include <cstddef>
+#include <string>
+
+#include "opt/problem.h"
+#include "opt/vec.h"
+
+namespace dvs::opt {
+
+struct SpgOptions {
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-8;        // sup-norm of the projected gradient step
+  std::size_t history = 10;       // nonmonotone window (GLL)
+  double armijo_c = 1e-4;         // sufficient-decrease constant
+  double step_min = 1e-12;        // spectral step clamp
+  double step_max = 1e12;
+  double backtrack = 0.5;         // line-search contraction factor
+  std::size_t max_backtracks = 60;
+};
+
+enum class SolveStatus {
+  kConverged,        // projected-gradient criterion met
+  kMaxIterations,    // hit the iteration budget (result still usable)
+  kLineSearchFailed  // no descent step found (kink or numerical floor)
+};
+
+const char* SolveStatusName(SolveStatus status);
+
+struct SpgReport {
+  SolveStatus status = SolveStatus::kMaxIterations;
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+  double final_value = 0.0;
+  double criterion = 0.0;  // final sup-norm of projected step
+};
+
+/// Minimises `objective` over `set` starting from `x` (modified in place,
+/// projected first).
+SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
+                      Vector& x, const SpgOptions& options = {});
+
+}  // namespace dvs::opt
+
+#endif  // ACS_OPT_SPG_H

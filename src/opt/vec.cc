@@ -1,0 +1,64 @@
+#include "opt/vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace dvs::opt {
+
+double Dot(const Vector& a, const Vector& b) {
+  ACS_REQUIRE(a.size() == b.size(), "Dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double NormInf(const Vector& a) {
+  double best = 0.0;
+  for (double v : a) {
+    best = std::max(best, std::fabs(v));
+  }
+  return best;
+}
+
+void Axpy(double alpha, const Vector& x, Vector& y) {
+  ACS_REQUIRE(x.size() == y.size(), "Axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+void Scale(double alpha, Vector& x) {
+  for (double& v : x) {
+    v *= alpha;
+  }
+}
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  ACS_REQUIRE(a.size() == b.size(), "Subtract: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+Vector AddScaled(const Vector& a, double alpha, const Vector& b) {
+  ACS_REQUIRE(a.size() == b.size(), "AddScaled: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] + alpha * b[i];
+  }
+  return out;
+}
+
+void Fill(Vector& x, double value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+}  // namespace dvs::opt

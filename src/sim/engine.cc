@@ -1,0 +1,367 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dvs::sim {
+namespace {
+
+constexpr double kCycleEps = 1e-6;   // cycles considered "zero"
+constexpr double kTimeEps = 1e-9;    // simultaneous-event tolerance
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ActiveInstance {
+  model::TaskIndex task = 0;
+  std::size_t parent = 0;           // InstanceRecord index (within HP)
+  std::int64_t global_instance = 0; // across hyper-periods
+  double hp_base = 0.0;             // global time of this hyper-period start
+  double release_global = 0.0;
+  double deadline_global = 0.0;
+  double remaining = 0.0;           // actual cycles left
+  std::size_t sub_pos = 0;          // cursor into parent's sub list
+  double consumed_in_sub = 0.0;     // budget used within the current sub
+};
+
+/// Pre-resolved sub-instance data per parent instance.
+struct SubRef {
+  std::size_t order = 0;
+  double seg_begin = 0.0;
+  double seg_end = 0.0;
+  double end_time = 0.0;
+  double budget = 0.0;
+};
+
+}  // namespace
+
+SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
+                   const StaticSchedule& schedule,
+                   const model::DvsModel& dvs, const DvsPolicy& policy,
+                   const model::WorkloadSampler& sampler, stats::Rng& rng,
+                   const SimOptions& options) {
+  ACS_REQUIRE(options.hyper_periods > 0, "need at least one hyper-period");
+
+  const model::TaskSet& set = fps.task_set();
+  const double hyper = static_cast<double>(set.hyper_period());
+
+  // Pre-resolve sub-instance tables per parent instance.
+  std::vector<std::vector<SubRef>> sub_tables(fps.instance_count());
+  for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+    const fps::InstanceRecord& rec = fps.instance(p);
+    sub_tables[p].reserve(rec.subs.size());
+    for (std::size_t order : rec.subs) {
+      const fps::SubInstance& sub = fps.sub(order);
+      sub_tables[p].push_back(SubRef{order, sub.seg_begin, sub.seg_end,
+                                     schedule.end_time(order),
+                                     schedule.worst_budget(order)});
+    }
+  }
+
+  // Release stream: instances of one hyper-period sorted by release.
+  std::vector<std::size_t> release_order(fps.instance_count());
+  for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+    release_order[p] = p;
+  }
+  std::sort(release_order.begin(), release_order.end(),
+            [&fps](std::size_t a, std::size_t b) {
+              return fps.instance(a).info.release <
+                     fps.instance(b).info.release;
+            });
+
+  SimResult result;
+  result.per_task_energy.assign(set.size(), 0.0);
+
+  std::vector<ActiveInstance> active;
+  std::int64_t hp_index = 0;
+  std::size_t stream_pos = 0;  // within release_order for current HP
+
+  const auto next_release_global = [&]() -> double {
+    if (hp_index >= options.hyper_periods) {
+      return kInf;
+    }
+    return static_cast<double>(hp_index) * hyper +
+           fps.instance(release_order[stream_pos]).info.release;
+  };
+
+  double now = 0.0;
+  const auto activate_due = [&]() {
+    while (hp_index < options.hyper_periods) {
+      const double due = next_release_global();
+      if (due > now + kTimeEps) {
+        return;
+      }
+      const std::size_t p = release_order[stream_pos];
+      const fps::InstanceRecord& rec = fps.instance(p);
+      ActiveInstance inst;
+      inst.task = rec.info.task;
+      inst.parent = p;
+      inst.global_instance =
+          hp_index * set.InstanceCount(rec.info.task) + rec.info.instance;
+      inst.hp_base = static_cast<double>(hp_index) * hyper;
+      inst.release_global = inst.hp_base + rec.info.release;
+      inst.deadline_global = inst.hp_base + rec.info.deadline;
+      const double wcec = set.task(inst.task).wcec;
+      double cycles = sampler.SampleCycles(inst.task, rng);
+      ACS_CHECK(cycles >= -kCycleEps && cycles <= wcec * (1.0 + 1e-9),
+                "sampled workload outside [0, WCEC]");
+      inst.remaining = std::clamp(cycles, 0.0, wcec);
+      active.push_back(inst);
+      ++stream_pos;
+      if (stream_pos == release_order.size()) {
+        stream_pos = 0;
+        ++hp_index;
+      }
+    }
+  };
+
+  // Cursor advance: skip sub-instances whose budget is exhausted (or zero).
+  const auto advance_cursor = [&](ActiveInstance& inst) {
+    const auto& table = sub_tables[inst.parent];
+    while (inst.sub_pos + 1 < table.size() &&
+           inst.consumed_in_sub >= table[inst.sub_pos].budget - kCycleEps) {
+      ++inst.sub_pos;
+      inst.consumed_in_sub = 0.0;
+    }
+  };
+
+  const auto dispatch_rank_less = [&](const ActiveInstance& a,
+                                      const ActiveInstance& b) {
+    if (a.task != b.task) {
+      if (set.task(a.task).period != set.task(b.task).period) {
+        return set.task(a.task).period < set.task(b.task).period;
+      }
+      return a.task < b.task;
+    }
+    return a.global_instance < b.global_instance;
+  };
+
+  double last_voltage = -1.0;
+  std::size_t last_running = std::numeric_limits<std::size_t>::max();
+  std::int64_t last_running_instance = -1;
+  model::TaskIndex last_running_task = 0;
+  bool last_still_active = false;
+
+  const double sim_horizon_guard =
+      static_cast<double>(options.hyper_periods + 2) * hyper;
+
+  while (true) {
+    activate_due();
+    if (active.empty()) {
+      if (hp_index >= options.hyper_periods) {
+        break;  // all releases issued, nothing left to run
+      }
+      const double due = next_release_global();
+      result.idle_time += due - now;
+      now = due;
+      continue;
+    }
+    ACS_CHECK(now <= sim_horizon_guard,
+              "simulation ran away — schedule badly overloaded");
+
+    // Pick the highest-rank runnable instance, honouring policy deferrals.
+    std::sort(active.begin(), active.end(), dispatch_rank_less);
+    std::size_t chosen = active.size();
+    DispatchDecision decision;
+    double wake = kInf;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      ActiveInstance& inst = active[i];
+      advance_cursor(inst);
+      const auto& table = sub_tables[inst.parent];
+      const SubRef& sub = table[inst.sub_pos];
+      DispatchContext ctx;
+      ctx.task = inst.task;
+      ctx.sub_order = sub.order;
+      ctx.budget_remaining = std::max(0.0, sub.budget - inst.consumed_in_sub);
+      ctx.local_time = now - inst.hp_base;
+      ctx.sub_end_time = sub.end_time;
+      ctx.sub_release = sub.seg_begin;
+      ctx.instance_deadline = inst.deadline_global - inst.hp_base;
+      const DispatchDecision d = policy.Dispatch(ctx);
+      if (d.not_before.has_value() &&
+          *d.not_before > ctx.local_time + kTimeEps) {
+        wake = std::min(wake, inst.hp_base + *d.not_before);
+        continue;
+      }
+      chosen = i;
+      decision = d;
+      break;
+    }
+
+    if (chosen == active.size()) {
+      // Everybody deferred: jump to the earliest wake or release.
+      const double due = std::min(next_release_global(), wake);
+      ACS_CHECK(std::isfinite(due), "deadlock: all instances deferred");
+      result.idle_time += due - now;
+      now = due;
+      continue;
+    }
+
+    ActiveInstance& inst = active[chosen];
+    const auto& table = sub_tables[inst.parent];
+    const SubRef& sub = table[inst.sub_pos];
+    const double voltage = dvs.ClampVoltage(decision.voltage);
+    const double speed = dvs.SpeedAt(voltage);
+
+    // Voltage-transition accounting (optional overhead model).
+    if (last_voltage >= 0.0 && std::fabs(voltage - last_voltage) > 1e-12) {
+      ++result.voltage_switches;
+      if (!options.transition.IsZero()) {
+        const double dv = std::fabs(voltage - last_voltage);
+        const double stall = options.transition.time_per_volt * dv;
+        result.transition_energy += options.transition.energy_per_volt * dv;
+        result.total_energy += options.transition.energy_per_volt * dv;
+        result.stall_time += stall;
+        now += stall;
+        activate_due();
+      }
+    }
+    last_voltage = voltage;
+
+    // Preemption accounting: a different instance displaced the previous
+    // runner while it still had work.
+    if (last_still_active &&
+        (inst.task != last_running_task ||
+         inst.global_instance != last_running_instance)) {
+      bool previous_alive = false;
+      for (const ActiveInstance& other : active) {
+        if (other.task == last_running_task &&
+            other.global_instance == last_running_instance) {
+          previous_alive = true;
+          break;
+        }
+      }
+      if (previous_alive) {
+        ++result.preemptions;
+      }
+    }
+    (void)last_running;
+
+    // Slice horizon: completion, budget exhaustion, next release, wakes.
+    const double budget_rem = std::max(0.0, sub.budget - inst.consumed_in_sub);
+    const bool last_sub = inst.sub_pos + 1 >= table.size();
+    double dt = inst.remaining / speed;
+    if (!last_sub && budget_rem < inst.remaining) {
+      dt = std::min(dt, budget_rem / speed);
+    }
+    double slice_end = now + dt;
+    slice_end = std::min(slice_end, next_release_global());
+    slice_end = std::min(slice_end, wake);
+    const double slice_dt = std::max(0.0, slice_end - now);
+
+    if (slice_dt > 0.0) {
+      double cycles = speed * slice_dt;
+      cycles = std::min(cycles, inst.remaining);
+      const double energy = dvs.Energy(voltage, cycles);
+      result.total_energy += energy;
+      result.per_task_energy[inst.task] += energy;
+      result.busy_time += slice_dt;
+      ++result.dispatches;
+      if (options.record_trace) {
+        ExecutionSlice slice;
+        slice.task = inst.task;
+        slice.instance = inst.global_instance;
+        slice.sub_k = static_cast<int>(inst.sub_pos);
+        slice.begin = now;
+        slice.end = slice_end;
+        slice.voltage = voltage;
+        slice.cycles = cycles;
+        result.trace.Add(slice);
+      }
+      inst.remaining -= cycles;
+      inst.consumed_in_sub += cycles;
+      now = slice_end;
+    }
+
+    last_running_task = inst.task;
+    last_running_instance = inst.global_instance;
+    last_still_active = true;
+
+    if (inst.remaining <= kCycleEps) {
+      // Instance complete.
+      ++result.completed_instances;
+      result.makespan = std::max(result.makespan, now);
+      if (now > inst.deadline_global + 1e-6) {
+        ++result.deadline_misses;
+        if (result.first_miss.empty()) {
+          std::ostringstream msg;
+          msg << set.task(inst.task).name << "[" << inst.global_instance
+              << "] finished at " << now << " past deadline "
+              << inst.deadline_global;
+          result.first_miss = msg.str();
+        }
+      }
+      last_still_active = false;
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(chosen));
+      continue;
+    }
+    // Otherwise: budget exhausted (cursor advances on the next pass), a
+    // release arrived (activation at loop head may preempt), or a deferred
+    // instance woke up.  All handled by the next iteration.
+  }
+
+  return result;
+}
+
+StaticSchedule BuildVmaxAsapSchedule(const fps::FullyPreemptiveSchedule& fps,
+                                     const model::DvsModel& dvs) {
+  const model::TaskSet& set = fps.task_set();
+  const double ct_max = dvs.CycleTime(dvs.vmax());
+
+  // Remaining WCEC per parent instance.
+  std::vector<double> remaining(fps.instance_count(), 0.0);
+  for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+    remaining[p] = set.task(fps.instance(p).info.task).wcec;
+  }
+
+  std::vector<double> end_times(fps.sub_count(), 0.0);
+  std::vector<double> budgets(fps.sub_count(), 0.0);
+  const std::vector<double>& end_cap = fps.effective_end_bounds();
+
+  double finish = 0.0;  // worst-case RM chain at Vmax
+  for (std::size_t u = 0; u < fps.sub_count(); ++u) {
+    const fps::SubInstance& sub = fps.sub(u);
+    const double start = std::max(finish, sub.release());
+    // Capacity is bounded by the monotone end-time cap, not just the
+    // segment end, so the resulting end-times are non-decreasing through
+    // the total order (required by the offline chain constraints).
+    const double capacity_time = std::max(0.0, end_cap[u] - start);
+    const double capacity_cycles = capacity_time / ct_max;
+    const double w = std::min(remaining[sub.parent], capacity_cycles);
+    budgets[u] = w;
+    const double end = start + w * ct_max;
+    end_times[u] = std::clamp(end, sub.seg_begin, end_cap[u]);
+    remaining[sub.parent] -= w;
+    if (w > 0.0) {
+      finish = end_times[u];
+    }
+  }
+
+  for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+    if (remaining[p] > kCycleEps) {
+      const fps::InstanceRecord& rec = fps.instance(p);
+      std::ostringstream msg;
+      msg << "task set not RM-schedulable at Vmax: "
+          << set.task(rec.info.task).name << "[" << rec.info.instance
+          << "] cannot place " << remaining[p]
+          << " worst-case cycles before its deadline " << rec.info.deadline;
+      throw util::InfeasibleError(msg.str());
+    }
+  }
+  return StaticSchedule(fps, std::move(end_times), std::move(budgets));
+}
+
+bool IsRmSchedulable(const fps::FullyPreemptiveSchedule& fps,
+                     const model::DvsModel& dvs) {
+  try {
+    BuildVmaxAsapSchedule(fps, dvs);
+    return true;
+  } catch (const util::InfeasibleError&) {
+    return false;
+  }
+}
+
+}  // namespace dvs::sim

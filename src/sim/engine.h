@@ -1,0 +1,86 @@
+// Discrete-event preemptive execution engine.
+//
+// Simulates the frame-based RM system of paper §2.1 for a number of
+// hyper-periods: releases are the only preemption points, the
+// highest-dispatch-rank active instance runs, and the voltage of every
+// execution slice comes from the pluggable DvsPolicy.  Actual per-instance
+// workloads are drawn from a WorkloadSampler at release time, so the same
+// engine measures the average-case scenario, the adversarial all-WCEC
+// scenario and the paper's truncated-normal experiments.
+//
+// Sub-instance bookkeeping: every active instance walks the sub-instance
+// list of its parent (from the fully preemptive expansion); a sub-instance
+// is "used up" when its worst-case budget has been consumed, which triggers
+// a re-dispatch (the paper's per-sub-instance voltage computation).
+#ifndef ACS_SIM_ENGINE_H
+#define ACS_SIM_ENGINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fps/expansion.h"
+#include "model/power_model.h"
+#include "model/workload.h"
+#include "sim/policy.h"
+#include "sim/static_schedule.h"
+#include "sim/trace.h"
+#include "stats/rng.h"
+
+namespace dvs::sim {
+
+struct SimOptions {
+  std::int64_t hyper_periods = 1;
+  bool record_trace = false;
+  /// Optional voltage-transition overhead (energy and stall time); zero by
+  /// default, matching the paper's assumption.
+  model::TransitionOverhead transition;
+};
+
+struct SimResult {
+  double total_energy = 0.0;
+  std::vector<double> per_task_energy;
+  std::int64_t deadline_misses = 0;
+  std::int64_t completed_instances = 0;
+  double busy_time = 0.0;
+  double idle_time = 0.0;
+  double stall_time = 0.0;          // transition overhead stalls
+  double transition_energy = 0.0;   // included in total_energy
+  std::int64_t dispatches = 0;      // execution slices started
+  std::int64_t preemptions = 0;     // running instance displaced by another
+  std::int64_t voltage_switches = 0;
+  double makespan = 0.0;            // completion time of the last instance
+  std::string first_miss;           // description of the first deadline miss
+  Trace trace;                      // populated when record_trace is set
+
+  /// Energy per simulated hyper-period (the paper's reported quantity).
+  double EnergyPerHyperPeriod(std::int64_t hyper_periods) const {
+    return total_energy / static_cast<double>(hyper_periods);
+  }
+};
+
+/// Runs the simulation.  `schedule` supplies the per-sub-instance end-times
+/// and worst-case budgets consumed by the policy; `rng` drives workload
+/// sampling (pass a forked stream for reproducibility).
+SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
+                   const StaticSchedule& schedule,
+                   const model::DvsModel& dvs, const DvsPolicy& policy,
+                   const model::WorkloadSampler& sampler, stats::Rng& rng,
+                   const SimOptions& options = {});
+
+/// Builds the canonical "everything at Vmax, as soon as possible" schedule:
+/// budgets follow the worst-case RM execution at top speed through the
+/// fully preemptive total order; end-times are the resulting finish times.
+/// Doubles as (a) the exact RM-schedulability test — throws InfeasibleError
+/// when some instance cannot absorb its WCEC by its deadline — and (b) the
+/// warm start of the WCS/ACS optimisers.
+StaticSchedule BuildVmaxAsapSchedule(const fps::FullyPreemptiveSchedule& fps,
+                                     const model::DvsModel& dvs);
+
+/// True when the task set passes the exact RM test at Vmax.
+bool IsRmSchedulable(const fps::FullyPreemptiveSchedule& fps,
+                     const model::DvsModel& dvs);
+
+}  // namespace dvs::sim
+
+#endif  // ACS_SIM_ENGINE_H

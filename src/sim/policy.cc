@@ -1,0 +1,53 @@
+#include "sim/policy.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dvs::sim {
+
+DispatchDecision GreedyReclaimPolicy::Dispatch(
+    const DispatchContext& ctx) const {
+  DispatchDecision decision;
+  if (!allow_early_start_ && ctx.local_time < ctx.sub_release) {
+    decision.not_before = ctx.sub_release;
+    decision.voltage = dvs_->vmax();
+    return decision;
+  }
+  const double window = ctx.sub_end_time - ctx.local_time;
+  decision.voltage = dvs_->VoltageForWork(ctx.budget_remaining, window);
+  return decision;
+}
+
+DispatchDecision VmaxPolicy::Dispatch(const DispatchContext&) const {
+  DispatchDecision decision;
+  decision.voltage = dvs_->vmax();
+  return decision;
+}
+
+StaticOnlyPolicy::StaticOnlyPolicy(const fps::FullyPreemptiveSchedule& fps,
+                                   const StaticSchedule& schedule,
+                                   const model::DvsModel& dvs)
+    : dvs_(&dvs) {
+  const std::vector<double> starts = ComputeWorstStarts(fps, schedule, dvs);
+  voltages_.resize(fps.sub_count(), dvs.vmin());
+  for (std::size_t u = 0; u < fps.sub_count(); ++u) {
+    const double window = schedule.end_time(u) - starts[u];
+    voltages_[u] = dvs.VoltageForWork(schedule.worst_budget(u), window);
+  }
+}
+
+DispatchDecision StaticOnlyPolicy::Dispatch(const DispatchContext& ctx) const {
+  ACS_REQUIRE(ctx.sub_order < voltages_.size(),
+              "sub-instance index out of range in StaticOnlyPolicy");
+  DispatchDecision decision;
+  // No early start, no reclamation: execute inside the planned window only.
+  const double planned_release = ctx.sub_release;
+  if (ctx.local_time < planned_release) {
+    decision.not_before = planned_release;
+  }
+  decision.voltage = voltages_[ctx.sub_order];
+  return decision;
+}
+
+}  // namespace dvs::sim

@@ -1,0 +1,100 @@
+// Online DVS policies (the runtime half of the paper's scheme).
+//
+// The engine owns all execution state and asks the policy, at every dispatch
+// or resume, which voltage to run at — and optionally whether the instance
+// should be deferred.  The paper's runtime is GreedyReclaimPolicy: voltage
+// such that the current sub-instance's *remaining worst-case budget* finishes
+// exactly at its scheduled end-time; slack from early completion therefore
+// flows to whatever runs next ("greedy slack distribution").
+#ifndef ACS_SIM_POLICY_H
+#define ACS_SIM_POLICY_H
+
+#include <optional>
+
+#include "fps/expansion.h"
+#include "model/power_model.h"
+#include "sim/static_schedule.h"
+
+namespace dvs::sim {
+
+/// Everything a policy may look at when dispatching.  Times are in local
+/// hyper-period coordinates (the schedule repeats every hyper-period).
+struct DispatchContext {
+  model::TaskIndex task = 0;
+  std::size_t sub_order = 0;        // current sub-instance (total order index)
+  double budget_remaining = 0.0;    // worst-case cycles left in this sub
+  double local_time = 0.0;          // now, modulo hyper-period
+  double sub_end_time = 0.0;        // scheduled e_u (local)
+  double sub_release = 0.0;         // segment start (local)
+  double instance_deadline = 0.0;   // absolute deadline (local)
+};
+
+struct DispatchDecision {
+  double voltage = 0.0;
+  /// When set and > now, the engine keeps the instance parked until this
+  /// local time (used by the conservative no-early-start variant).
+  std::optional<double> not_before;
+};
+
+class DvsPolicy {
+ public:
+  virtual ~DvsPolicy() = default;
+  virtual DispatchDecision Dispatch(const DispatchContext& ctx) const = 0;
+};
+
+/// The paper's online phase: stretch the remaining worst-case budget of the
+/// current sub-instance to its scheduled end-time; clamp into the voltage
+/// range.  Every sub-instance is gated at its segment start (its release):
+/// before that boundary the static plan assigns the processor to *other*
+/// tasks' sub-instances, so slack from early completion flows to the next
+/// sub-instance in the total order — the paper's greedy slack distribution
+/// and the premise of its constraint (11).
+///
+/// `allow_early_start = true` removes the gate: an instance rolls straight
+/// into its next segment's budget at a stretched (low) voltage.  That hogs
+/// the processor through windows the offline plan reserved for lower-
+/// priority tasks and CAN MISS DEADLINES; it exists purely as the
+/// bench_ablation_policy counterfactual quantifying why the gate matters.
+class GreedyReclaimPolicy final : public DvsPolicy {
+ public:
+  explicit GreedyReclaimPolicy(const model::DvsModel& dvs,
+                               bool allow_early_start = false)
+      : dvs_(&dvs), allow_early_start_(allow_early_start) {}
+
+  DispatchDecision Dispatch(const DispatchContext& ctx) const override;
+
+ private:
+  const model::DvsModel* dvs_;
+  bool allow_early_start_;
+};
+
+/// No DVS at all: always run at Vmax (the energy ceiling reference).
+class VmaxPolicy final : public DvsPolicy {
+ public:
+  explicit VmaxPolicy(const model::DvsModel& dvs) : dvs_(&dvs) {}
+
+  DispatchDecision Dispatch(const DispatchContext& ctx) const override;
+
+ private:
+  const model::DvsModel* dvs_;
+};
+
+/// Static voltages only, no online reclamation: each sub-instance runs at
+/// the voltage the offline schedule planned for the *worst-case* start, even
+/// when it actually starts early.  Quantifies how much of the win comes from
+/// the static end-times versus the online slack pass-through.
+class StaticOnlyPolicy final : public DvsPolicy {
+ public:
+  StaticOnlyPolicy(const fps::FullyPreemptiveSchedule& fps,
+                   const StaticSchedule& schedule, const model::DvsModel& dvs);
+
+  DispatchDecision Dispatch(const DispatchContext& ctx) const override;
+
+ private:
+  const model::DvsModel* dvs_;
+  std::vector<double> voltages_;  // per sub-instance, fixed offline
+};
+
+}  // namespace dvs::sim
+
+#endif  // ACS_SIM_POLICY_H

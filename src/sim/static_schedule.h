@@ -1,0 +1,67 @@
+// Static (offline) voltage schedule representation and its worst-case
+// feasibility checker.
+//
+// A StaticSchedule assigns every sub-instance of the fully preemptive
+// schedule a scheduled end-time e_u and a worst-case workload budget w_u.
+// These two arrays are exactly what the offline phase hands to the online
+// DVS dispatcher (paper §3: "only the end-time and the worst-case workload
+// variables will be passed to the online DVS phase").
+#ifndef ACS_SIM_STATIC_SCHEDULE_H
+#define ACS_SIM_STATIC_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "fps/expansion.h"
+#include "model/power_model.h"
+
+namespace dvs::sim {
+
+class StaticSchedule {
+ public:
+  /// `end_times` and `worst_budgets` are indexed by total-order position and
+  /// must match `fps.sub_count()`.
+  StaticSchedule(const fps::FullyPreemptiveSchedule& fps,
+                 std::vector<double> end_times,
+                 std::vector<double> worst_budgets);
+
+  std::size_t size() const { return end_times_.size(); }
+  double end_time(std::size_t order) const;
+  double worst_budget(std::size_t order) const;
+  const std::vector<double>& end_times() const { return end_times_; }
+  const std::vector<double>& worst_budgets() const { return worst_budgets_; }
+
+ private:
+  std::vector<double> end_times_;
+  std::vector<double> worst_budgets_;
+};
+
+/// Result of the independent worst-case feasibility audit.
+struct FeasibilityReport {
+  bool feasible = true;
+  std::string detail;          // first violation, if any
+  double worst_slack = 0.0;    // min over u of (e_u - worst-case finish_u)
+};
+
+/// Simulates the all-WCEC chain at Vmax through the total order and checks
+/// the three invariants that make a static schedule safe at runtime:
+///   1. chain:   max(finish_{u-1}, r_u) + w_u * t_cyc(Vmax) <= e_u
+///   2. window:  seg_begin_u <= e_u <= seg_end_u
+///   3. budget:  sum_k w_{I,k} == WCEC_I for every instance I
+/// This is deliberately independent of the NLP solver — it is the oracle the
+/// property tests trust.
+FeasibilityReport VerifyWorstCase(const fps::FullyPreemptiveSchedule& fps,
+                                  const StaticSchedule& schedule,
+                                  const model::DvsModel& dvs,
+                                  double tol = 1e-6);
+
+/// Worst-case start time of each sub-instance (the chain's
+/// max(finish_{u-1}, r_u) values) — used by the no-reclamation static
+/// policy, which must fix voltages offline.
+std::vector<double> ComputeWorstStarts(const fps::FullyPreemptiveSchedule& fps,
+                                       const StaticSchedule& schedule,
+                                       const model::DvsModel& dvs);
+
+}  // namespace dvs::sim
+
+#endif  // ACS_SIM_STATIC_SCHEDULE_H

@@ -1,0 +1,79 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/gantt.h"
+#include "util/strings.h"
+
+namespace dvs::sim {
+
+std::string AuditTrace(const Trace& trace, const model::TaskSet& set,
+                       const model::DvsModel& dvs, double tol) {
+  const auto& slices = trace.slices();
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const ExecutionSlice& s = slices[i];
+    std::ostringstream msg;
+    if (s.end < s.begin - tol) {
+      msg << "slice " << i << " has negative duration";
+      return msg.str();
+    }
+    if (i > 0 && s.begin < slices[i - 1].end - tol) {
+      msg << "slice " << i << " overlaps its predecessor (" << s.begin
+          << " < " << slices[i - 1].end << ")";
+      return msg.str();
+    }
+    if (s.task >= set.size()) {
+      msg << "slice " << i << " references unknown task " << s.task;
+      return msg.str();
+    }
+    const double period = static_cast<double>(set.task(s.task).period);
+    const double release = period * static_cast<double>(s.instance);
+    const double deadline = release + period;
+    if (s.begin < release - tol || s.end > deadline + tol) {
+      msg << "slice " << i << " of " << set.task(s.task).name << "["
+          << s.instance << "] runs outside its window [" << release << ", "
+          << deadline << "]: [" << s.begin << ", " << s.end << "]";
+      return msg.str();
+    }
+    if (s.voltage < dvs.vmin() - tol || s.voltage > dvs.vmax() + tol) {
+      msg << "slice " << i << " voltage " << s.voltage << " outside ["
+          << dvs.vmin() << ", " << dvs.vmax() << "]";
+      return msg.str();
+    }
+    const double expected_cycles = dvs.SpeedAt(s.voltage) * s.Duration();
+    if (std::fabs(expected_cycles - s.cycles) >
+        tol * std::max(1.0, expected_cycles)) {
+      msg << "slice " << i << " cycle count " << s.cycles
+          << " inconsistent with speed * duration " << expected_cycles;
+      return msg.str();
+    }
+  }
+  return {};
+}
+
+std::string RenderTraceGantt(const Trace& trace, const model::TaskSet& set,
+                             double horizon, int width) {
+  // Group bars per task first: GanttChart::AddRow references invalidate on
+  // the next AddRow, so each row must be complete when it is added.
+  std::vector<std::vector<util::GanttBar>> bars(set.size());
+  for (const ExecutionSlice& s : trace.slices()) {
+    if (s.begin >= horizon) {
+      break;
+    }
+    util::GanttBar bar;
+    bar.begin = s.begin;
+    bar.end = std::min(s.end, horizon);
+    bar.fill = '#';
+    bar.annotation = util::FormatDouble(s.voltage, 1) + "V";
+    bars[s.task].push_back(bar);
+  }
+  util::GanttChart chart(0.0, horizon, width);
+  for (model::TaskIndex i = 0; i < set.size(); ++i) {
+    chart.AddRow(set.task(i).name).bars = std::move(bars[i]);
+  }
+  return chart.Render();
+}
+
+}  // namespace dvs::sim

@@ -1,0 +1,57 @@
+// Execution traces: what actually ran, when, at which voltage.
+//
+// Traces are optional (they cost memory proportional to slice count) and are
+// consumed by tests (invariant audits), by the examples (ASCII Gantt of the
+// paper's Figures 1-2) and by debugging.
+#ifndef ACS_SIM_TRACE_H
+#define ACS_SIM_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/task.h"
+
+namespace dvs::sim {
+
+/// One maximal interval of uninterrupted execution.
+struct ExecutionSlice {
+  model::TaskIndex task = 0;
+  std::int64_t instance = 0;  // global instance number (across hyper-periods)
+  int sub_k = 0;              // sub-instance within the parent
+  double begin = 0.0;         // global time
+  double end = 0.0;
+  double voltage = 0.0;
+  double cycles = 0.0;
+
+  double Duration() const { return end - begin; }
+};
+
+class Trace {
+ public:
+  void Add(ExecutionSlice slice) { slices_.push_back(slice); }
+  const std::vector<ExecutionSlice>& slices() const { return slices_; }
+  std::size_t size() const { return slices_.size(); }
+  void Clear() { slices_.clear(); }
+
+ private:
+  std::vector<ExecutionSlice> slices_;
+};
+
+/// Structural audit of a trace against its task set:
+///  - slices are time-ordered and non-overlapping (single processor),
+///  - every slice lies inside its instance's [release, deadline] window,
+///  - voltages lie within the model's range.
+/// Returns an empty string when clean, else a description of the first
+/// violation.
+std::string AuditTrace(const Trace& trace, const model::TaskSet& set,
+                       const model::DvsModel& dvs, double tol = 1e-6);
+
+/// Renders the first `horizon` time units as an ASCII Gantt chart, one row
+/// per task (used by the motivation example to reproduce Figs. 1-2).
+std::string RenderTraceGantt(const Trace& trace, const model::TaskSet& set,
+                             double horizon, int width = 72);
+
+}  // namespace dvs::sim
+
+#endif  // ACS_SIM_TRACE_H

@@ -1,0 +1,63 @@
+// Workload distributions used by the paper's experiments.
+//
+// The paper draws each task instance's actual execution cycles from a normal
+// distribution with mean ACEC, truncated to [BCEC, WCEC].  TruncatedNormal
+// implements exact rejection sampling from the parent normal (efficient here
+// because the paper's parameters keep multiple sigmas inside the window), and
+// exposes the analytic mean of the truncated law for test cross-checks.
+#ifndef ACS_STATS_DISTRIBUTIONS_H
+#define ACS_STATS_DISTRIBUTIONS_H
+
+#include "stats/rng.h"
+
+namespace dvs::stats {
+
+/// Standard normal PDF / CDF (CDF via std::erfc for full-double accuracy).
+double NormalPdf(double x);
+double NormalCdf(double x);
+
+/// Normal law truncated to [lo, hi].
+class TruncatedNormal {
+ public:
+  /// Requires lo < hi and sigma > 0; mean may lie anywhere (the truncation
+  /// window does not need to contain it, although in the paper it does).
+  TruncatedNormal(double mean, double sigma, double lo, double hi);
+
+  double Sample(Rng& rng) const;
+
+  /// Analytic mean of the truncated distribution.
+  double Mean() const;
+
+  /// Analytic variance of the truncated distribution.
+  double Variance() const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double parent_mean() const { return mean_; }
+  double parent_sigma() const { return sigma_; }
+
+ private:
+  double mean_;
+  double sigma_;
+  double lo_;
+  double hi_;
+  double alpha_;  // standardised lower bound
+  double beta_;   // standardised upper bound
+  double z_;      // CDF(beta) - CDF(alpha), probability mass in the window
+};
+
+/// Degenerate distribution (always `value`); models fixed workloads
+/// (BCEC = WCEC, the paper's ratio = 1 limit).
+class PointMass {
+ public:
+  explicit PointMass(double value) : value_(value) {}
+  double Sample(Rng&) const { return value_; }
+  double Mean() const { return value_; }
+
+ private:
+  double value_;
+};
+
+}  // namespace dvs::stats
+
+#endif  // ACS_STATS_DISTRIBUTIONS_H

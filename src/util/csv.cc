@@ -1,0 +1,108 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dvs::util {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ACS_REQUIRE(!header_.empty(), "CSV table needs at least one column");
+}
+
+CsvTable& CsvTable::NewRow() {
+  if (!rows_.empty()) {
+    CheckRowWidth();
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(header_.size());
+  return *this;
+}
+
+CsvTable& CsvTable::Add(std::string value) {
+  ACS_REQUIRE(!rows_.empty(), "call NewRow() before Add()");
+  ACS_REQUIRE(rows_.back().size() < header_.size(),
+              "row has more cells than the header has columns");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+CsvTable& CsvTable::Add(const char* value) { return Add(std::string(value)); }
+
+CsvTable& CsvTable::Add(double value, int decimals) {
+  return Add(FormatDouble(value, decimals));
+}
+
+CsvTable& CsvTable::Add(std::int64_t value) {
+  return Add(std::to_string(value));
+}
+
+CsvTable& CsvTable::Add(int value) { return Add(std::to_string(value)); }
+
+CsvTable& CsvTable::Add(std::size_t value) { return Add(std::to_string(value)); }
+
+void CsvTable::CheckRowWidth() const {
+  ACS_CHECK(rows_.back().size() == header_.size(),
+            "CSV row width does not match header width");
+}
+
+std::string CsvTable::ToString() const {
+  std::ostringstream out;
+  Write(out);
+  return out.str();
+}
+
+std::ostream& CsvTable::Write(std::ostream& out) const {
+  if (!rows_.empty()) {
+    CheckRowWidth();
+  }
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << CsvEscape(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << CsvEscape(row[i]);
+    }
+    out << '\n';
+  }
+  return out;
+}
+
+void CsvTable::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw Error("cannot open CSV output file: " + path);
+  }
+  Write(file);
+  if (!file) {
+    throw Error("failed writing CSV output file: " + path);
+  }
+}
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace dvs::util

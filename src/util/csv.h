@@ -1,0 +1,56 @@
+// CSV emission for experiment results.
+//
+// CsvTable accumulates typed rows in memory and renders RFC-4180-style CSV
+// (quoting only when needed).  Benches write one table per figure/table of
+// the paper so results can be re-plotted externally.
+#ifndef ACS_UTIL_CSV_H
+#define ACS_UTIL_CSV_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+
+/// A single CSV cell; stored as text with type-aware formatting helpers.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  CsvTable& NewRow();
+  CsvTable& Add(std::string value);
+  CsvTable& Add(const char* value);
+  CsvTable& Add(double value, int decimals = 6);
+  CsvTable& Add(std::int64_t value);
+  CsvTable& Add(int value);
+  CsvTable& Add(std::size_t value);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Renders the full table (header + rows) as CSV text.
+  std::string ToString() const;
+
+  /// Writes CSV to a stream; returns the stream for chaining.
+  std::ostream& Write(std::ostream& out) const;
+
+  /// Writes CSV to a file; throws util::Error on I/O failure.
+  void WriteFile(const std::string& path) const;
+
+ private:
+  void CheckRowWidth() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV field per RFC 4180 (quotes when it contains , " or \n).
+std::string CsvEscape(const std::string& field);
+
+}  // namespace dvs::util
+
+#endif  // ACS_UTIL_CSV_H

@@ -1,0 +1,25 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace dvs::util {
+namespace {
+
+std::string Decorate(const char* file, int line, const std::string& message) {
+  std::ostringstream out;
+  out << file << ':' << line << ": " << message;
+  return out.str();
+}
+
+}  // namespace
+
+void ThrowInvalidArgument(const char* file, int line,
+                          const std::string& message) {
+  throw InvalidArgumentError(Decorate(file, line, message));
+}
+
+void ThrowInternal(const char* file, int line, const std::string& message) {
+  throw InternalError(Decorate(file, line, message));
+}
+
+}  // namespace dvs::util

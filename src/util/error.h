@@ -1,0 +1,76 @@
+// Error hierarchy and invariant-checking macros for the ACS library.
+//
+// All library-detected failures throw a subclass of util::Error so callers
+// can distinguish "the caller handed us garbage" (InvalidArgumentError),
+// "the model admits no feasible schedule" (InfeasibleError), "the numeric
+// solver gave up" (SolverError), and "an internal invariant broke"
+// (InternalError).  Examples and benches catch util::Error at their top
+// level and report; tests assert on the concrete type.
+#ifndef ACS_UTIL_ERROR_H
+#define ACS_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace dvs::util {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The caller supplied an argument that violates a documented precondition.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// The scheduling problem has no feasible solution (e.g. the task set is not
+/// RM-schedulable at Vmax, or a static schedule cannot absorb the WCEC).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// A numeric solver failed to converge or was driven outside its domain.
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated — always a library bug.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] void ThrowInvalidArgument(const char* file, int line,
+                                       const std::string& message);
+[[noreturn]] void ThrowInternal(const char* file, int line,
+                                const std::string& message);
+
+}  // namespace dvs::util
+
+/// Precondition check: throws InvalidArgumentError when `cond` is false.
+#define ACS_REQUIRE(cond, message)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dvs::util::ThrowInvalidArgument(__FILE__, __LINE__,               \
+                                        std::string("requirement `" #cond \
+                                                    "` failed: ") +       \
+                                            (message));                   \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check: throws InternalError when `cond` is false.
+#define ACS_CHECK(cond, message)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::dvs::util::ThrowInternal(                                           \
+          __FILE__, __LINE__,                                               \
+          std::string("invariant `" #cond "` failed: ") + (message));       \
+    }                                                                       \
+  } while (false)
+
+#endif  // ACS_UTIL_ERROR_H

@@ -1,0 +1,87 @@
+#include "util/gantt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dvs::util {
+
+GanttChart::GanttChart(double t_begin, double t_end, int width)
+    : t_begin_(t_begin), t_end_(t_end), width_(width) {
+  ACS_REQUIRE(t_end > t_begin, "Gantt chart needs a positive time span");
+  ACS_REQUIRE(width >= 10, "Gantt chart needs at least 10 columns");
+}
+
+GanttRow& GanttChart::AddRow(std::string label) {
+  rows_.push_back(GanttRow{std::move(label), {}});
+  return rows_.back();
+}
+
+int GanttChart::CellOf(double t) const {
+  const double frac = (t - t_begin_) / (t_end_ - t_begin_);
+  const int cell = static_cast<int>(std::lround(frac * width_));
+  return std::clamp(cell, 0, width_);
+}
+
+std::string GanttChart::Render(int ticks) const {
+  std::size_t label_width = 0;
+  for (const auto& row : rows_) {
+    label_width = std::max(label_width, row.label.size());
+  }
+
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    std::string lane(static_cast<std::size_t>(width_), '.');
+    for (const auto& bar : row.bars) {
+      const int begin = CellOf(bar.begin);
+      const int end = std::max(CellOf(bar.end), begin);
+      for (int c = begin; c < end; ++c) {
+        lane[static_cast<std::size_t>(c)] = bar.fill;
+      }
+      if (begin == end && begin < width_) {
+        // Zero-width bar: mark the instant so it stays visible.
+        lane[static_cast<std::size_t>(begin)] = '|';
+      }
+      if (!bar.annotation.empty()) {
+        const int room = end - begin;
+        if (room >= static_cast<int>(bar.annotation.size()) + 2) {
+          const int at = begin + 1;
+          for (std::size_t i = 0; i < bar.annotation.size(); ++i) {
+            lane[static_cast<std::size_t>(at) + i] = bar.annotation[i];
+          }
+        }
+      }
+    }
+    out << PadRight(row.label, label_width) << " |" << lane << "|\n";
+  }
+
+  // Time axis.
+  out << std::string(label_width, ' ') << " +" << std::string(width_, '-')
+      << "+\n";
+  std::string axis(static_cast<std::size_t>(width_) + label_width + 3, ' ');
+  out << std::string(label_width, ' ') << "  ";
+  std::string tick_line(static_cast<std::size_t>(width_) + 1, ' ');
+  std::ostringstream labels;
+  ticks = std::max(ticks, 2);
+  for (int k = 0; k < ticks; ++k) {
+    const double t =
+        t_begin_ + (t_end_ - t_begin_) * k / static_cast<double>(ticks - 1);
+    const int cell = CellOf(t);
+    const std::string text = FormatDouble(t, 1);
+    int at = std::clamp(cell - static_cast<int>(text.size()) / 2, 0,
+                        width_ - static_cast<int>(text.size()) + 1);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const std::size_t pos = static_cast<std::size_t>(at) + i;
+      if (pos < tick_line.size()) {
+        tick_line[pos] = text[i];
+      }
+    }
+  }
+  out << tick_line << '\n';
+  return out.str();
+}
+
+}  // namespace dvs::util

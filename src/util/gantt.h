@@ -1,0 +1,50 @@
+// ASCII Gantt-chart renderer.
+//
+// Renders labelled horizontal bars over a shared time axis — used to print
+// static schedules (paper Figs. 1-4) and simulator execution traces in the
+// examples.  Purely presentational: quantises to a character grid.
+#ifndef ACS_UTIL_GANTT_H
+#define ACS_UTIL_GANTT_H
+
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+
+struct GanttBar {
+  double begin = 0.0;
+  double end = 0.0;
+  char fill = '#';           // glyph used inside the bar
+  std::string annotation;    // optional short text drawn inside the bar
+};
+
+struct GanttRow {
+  std::string label;
+  std::vector<GanttBar> bars;
+};
+
+class GanttChart {
+ public:
+  /// `width` is the number of character cells for the [t_begin, t_end] span.
+  GanttChart(double t_begin, double t_end, int width = 72);
+
+  /// Adds a row and returns a reference to it.  The reference is
+  /// invalidated by the next AddRow call — fill each row completely before
+  /// adding the next one.
+  GanttRow& AddRow(std::string label);
+
+  /// Renders all rows plus a time axis with `ticks` evenly spaced labels.
+  std::string Render(int ticks = 5) const;
+
+ private:
+  int CellOf(double t) const;
+
+  double t_begin_;
+  double t_end_;
+  int width_;
+  std::vector<GanttRow> rows_;
+};
+
+}  // namespace dvs::util
+
+#endif  // ACS_UTIL_GANTT_H

@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+#include "util/error.h"
+
+namespace dvs::util {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+LogLevel ParseLogLevel(const std::string& name) {
+  for (LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (name == LogLevelName(level)) {
+      return level;
+    }
+  }
+  throw InvalidArgumentError("unknown log level: " + name);
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : stream_(&std::clog) {}
+
+void Logger::set_stream(std::ostream* stream) {
+  stream_ = stream != nullptr ? stream : &std::clog;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (!Enabled(level)) {
+    return;
+  }
+  (*stream_) << '[' << LogLevelName(level) << "] " << message << '\n';
+}
+
+LogLine::~LogLine() { Logger::Instance().Write(level_, buffer_.str()); }
+
+}  // namespace dvs::util

@@ -1,0 +1,83 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (kWarn); benches and examples raise the
+// level via --verbose or Logger::set_level.  Logging goes through a single
+// global logger so tests can capture or silence output deterministically.
+#ifndef ACS_UTIL_LOGGING_H
+#define ACS_UTIL_LOGGING_H
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace dvs::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the canonical lower-case name ("trace", "debug", ...).
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name; throws InvalidArgumentError on unknown names.
+LogLevel ParseLogLevel(const std::string& name);
+
+/// Process-wide logger.  Thread-compatible (not thread-safe): the library is
+/// single-threaded by design; benches run experiments sequentially.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Redirects output (default: std::clog).  Pass nullptr to restore.
+  void set_stream(std::ostream* stream);
+
+  bool Enabled(LogLevel level) const { return level >= level_; }
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* stream_;
+};
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    buffer_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream buffer_;
+};
+
+}  // namespace dvs::util
+
+#define ACS_LOG(level)                                              \
+  if (!::dvs::util::Logger::Instance().Enabled(level)) {            \
+  } else                                                            \
+    ::dvs::util::LogLine(level)
+
+#define ACS_LOG_TRACE ACS_LOG(::dvs::util::LogLevel::kTrace)
+#define ACS_LOG_DEBUG ACS_LOG(::dvs::util::LogLevel::kDebug)
+#define ACS_LOG_INFO ACS_LOG(::dvs::util::LogLevel::kInfo)
+#define ACS_LOG_WARN ACS_LOG(::dvs::util::LogLevel::kWarn)
+#define ACS_LOG_ERROR ACS_LOG(::dvs::util::LogLevel::kError)
+
+#endif  // ACS_UTIL_LOGGING_H

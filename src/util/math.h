@@ -1,0 +1,39 @@
+// Numeric helpers: exact integer gcd/lcm for hyper-period computation and
+// tolerance-based floating-point comparisons used throughout the scheduler.
+#ifndef ACS_UTIL_MATH_H
+#define ACS_UTIL_MATH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dvs::util {
+
+/// Greatest common divisor of two positive integers.
+std::int64_t Gcd(std::int64_t a, std::int64_t b);
+
+/// Least common multiple; throws InvalidArgumentError on overflow or
+/// non-positive inputs.
+std::int64_t Lcm(std::int64_t a, std::int64_t b);
+
+/// LCM of a list (the hyper-period of a task set); throws on empty input.
+std::int64_t LcmAll(const std::vector<std::int64_t>& values);
+
+/// |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9,
+                 double rel_tol = 1e-9);
+
+/// a <= b + tolerance (one-sided comparison for constraint checking).
+bool LessOrAlmostEqual(double a, double b, double tol = 1e-9);
+
+/// Clamps `value` into [lo, hi]; requires lo <= hi.
+double Clamp(double value, double lo, double hi);
+
+/// `count` evenly spaced samples covering [lo, hi] inclusive; count >= 2.
+std::vector<double> Linspace(double lo, double hi, int count);
+
+/// Relative difference |a-b| / max(|a|,|b|,eps) — used in gradient checks.
+double RelativeDifference(double a, double b, double eps = 1e-12);
+
+}  // namespace dvs::util
+
+#endif  // ACS_UTIL_MATH_H

@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dvs::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ACS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::AddRow(std::vector<std::string> cells) {
+  ACS_REQUIRE(cells.size() == header_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << PadRight(cells[c], widths[c]);
+      out << (c + 1 < cells.size() ? " | " : " |");
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+}  // namespace dvs::util

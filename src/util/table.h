@@ -1,0 +1,27 @@
+// ASCII table renderer used by benches to print the paper's tables/series in
+// a human-readable layout (the CSV twin of each table is machine-readable).
+#ifndef ACS_UTIL_TABLE_H
+#define ACS_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& AddRow(std::vector<std::string> cells);
+
+  /// Renders with column-aligned cells, a header rule and outer padding.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dvs::util
+
+#endif  // ACS_UTIL_TABLE_H

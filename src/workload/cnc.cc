@@ -1,0 +1,36 @@
+#include "workload/cnc.h"
+
+#include "workload/presets.h"
+
+namespace dvs::workload {
+
+model::TaskSet CncTaskSet(const CncOptions& options,
+                          const model::DvsModel& dvs) {
+  struct Spec {
+    const char* name;
+    std::int64_t period;  // microseconds
+    double wcet;          // relative worst-case demand (pre-scaling)
+  };
+  // Servo control loops at 600 us, interpolators at 1200 us, command and
+  // status handling at 2400 us, housekeeping/display at 4800 us.
+  static constexpr Spec kSpecs[] = {
+      {"x_servo", 600, 35.0},   {"y_servo", 600, 40.0},
+      {"x_interp", 1200, 80.0}, {"y_interp", 1200, 100.0},
+      {"command", 2400, 120.0}, {"status", 2400, 120.0},
+      {"panel", 4800, 400.0},   {"display", 4800, 400.0},
+  };
+
+  std::vector<model::Task> tasks;
+  tasks.reserve(std::size(kSpecs));
+  for (const Spec& spec : kSpecs) {
+    model::Task task;
+    task.name = spec.name;
+    task.period = spec.period;
+    task.wcec = spec.wcet;  // rescaled below; units cancel
+    ApplyBcecRatio(task, options.bcec_wcec_ratio);
+    tasks.push_back(std::move(task));
+  }
+  return ScaleToUtilization(std::move(tasks), dvs, options.utilization);
+}
+
+}  // namespace dvs::workload

@@ -1,0 +1,39 @@
+#include "workload/gap.h"
+
+#include "workload/presets.h"
+
+namespace dvs::workload {
+
+model::TaskSet GapTaskSet(const GapOptions& options,
+                          const model::DvsModel& dvs) {
+  struct Spec {
+    const char* name;
+    std::int64_t period;  // milliseconds
+    double wcet;          // relative worst-case demand (pre-scaling)
+  };
+  static constexpr Spec kSpecs[] = {
+      {"aircraft_flight_data", 25, 2.0},
+      {"steering", 25, 3.0},
+      {"radar_tracking", 50, 5.0},
+      {"target_tracking", 50, 5.0},       // 59 ms server rounded to 50 ms
+      {"hud_display", 100, 8.0},
+      {"tracking_filter", 200, 10.0},
+      {"nav_update", 200, 15.0},
+      {"nav_status", 1000, 50.0},
+      {"bit_status", 1000, 100.0},
+  };
+
+  std::vector<model::Task> tasks;
+  tasks.reserve(std::size(kSpecs));
+  for (const Spec& spec : kSpecs) {
+    model::Task task;
+    task.name = spec.name;
+    task.period = spec.period;
+    task.wcec = spec.wcet;
+    ApplyBcecRatio(task, options.bcec_wcec_ratio);
+    tasks.push_back(std::move(task));
+  }
+  return ScaleToUtilization(std::move(tasks), dvs, options.utilization);
+}
+
+}  // namespace dvs::workload

@@ -1,0 +1,30 @@
+#include "workload/motivation.h"
+
+namespace dvs::workload {
+
+model::TaskSet MotivationTaskSet() {
+  std::vector<model::Task> tasks;
+  for (int i = 1; i <= 3; ++i) {
+    model::Task task;
+    task.name = "task" + std::to_string(i);
+    task.period = 20;     // ms — the shared frame
+    task.wcec = 20.0e6;   // cycles: 20 V*ms at 1e6 cycles/ms/V
+    task.acec = 10.0e6;
+    task.bcec = 5.0e6;
+    tasks.push_back(std::move(task));
+  }
+  return model::TaskSet(std::move(tasks));
+}
+
+model::LinearDvsModel MotivationModel() {
+  return model::LinearDvsModel(/*vmin=*/0.5, /*vmax=*/4.0, /*ceff=*/1.0,
+                               /*cycles_per_ms_per_volt=*/1.0e6);
+}
+
+std::vector<double> MotivationWcsEndTimes() {
+  return {20.0 / 3.0, 40.0 / 3.0, 20.0};
+}
+
+std::vector<double> MotivationAcsEndTimes() { return {10.0, 15.0, 20.0}; }
+
+}  // namespace dvs::workload

@@ -1,0 +1,39 @@
+#include "workload/presets.h"
+
+#include "util/error.h"
+
+namespace dvs::workload {
+
+model::LinearDvsModel DefaultModel() {
+  return model::LinearDvsModel(/*vmin=*/0.5, /*vmax=*/4.0, /*ceff=*/1.0,
+                               /*cycles_per_ms_per_volt=*/1.0);
+}
+
+void ApplyBcecRatio(model::Task& task, double bcec_wcec_ratio) {
+  ACS_REQUIRE(bcec_wcec_ratio >= 0.0 && bcec_wcec_ratio <= 1.0,
+              "BCEC/WCEC ratio must lie in [0, 1]");
+  task.bcec = bcec_wcec_ratio * task.wcec;
+  task.acec = 0.5 * (task.bcec + task.wcec);
+}
+
+model::TaskSet ScaleToUtilization(std::vector<model::Task> tasks,
+                                  const model::DvsModel& dvs, double target) {
+  ACS_REQUIRE(target > 0.0 && target < 1.0,
+              "utilisation target must lie in (0, 1)");
+  ACS_REQUIRE(!tasks.empty(), "no tasks to scale");
+  const double max_speed = dvs.MaxSpeed();
+  double raw = 0.0;
+  for (const model::Task& t : tasks) {
+    raw += t.wcec / (static_cast<double>(t.period) * max_speed);
+  }
+  ACS_REQUIRE(raw > 0.0, "tasks carry no workload");
+  const double scale = target / raw;
+  for (model::Task& t : tasks) {
+    t.wcec *= scale;
+    t.acec *= scale;
+    t.bcec *= scale;
+  }
+  return model::TaskSet(std::move(tasks));
+}
+
+}  // namespace dvs::workload

@@ -1,0 +1,29 @@
+// Shared experiment presets: the default DVS processor used by the paper
+// reproduction benches, and the BCEC/ACEC convention.
+#ifndef ACS_WORKLOAD_PRESETS_H
+#define ACS_WORKLOAD_PRESETS_H
+
+#include "model/power_model.h"
+#include "model/task.h"
+
+namespace dvs::workload {
+
+/// Default experiment processor: the paper's linear model (f proportional
+/// to V) with the motivational example's 0.5 V - 4 V range, ceff = 1 and
+/// unit speed constant (1 cycle per time-unit per volt).  Energy is then in
+/// "V^2 * cycles" units; the paper reports only ratios, which are invariant
+/// to these scales.
+model::LinearDvsModel DefaultModel();
+
+/// Applies the paper's workload convention to a WCEC: BCEC = ratio * WCEC,
+/// ACEC = (BCEC + WCEC)/2 (the mean of the truncated-normal window).
+void ApplyBcecRatio(model::Task& task, double bcec_wcec_ratio);
+
+/// Rescales a task list so worst-case utilisation at Vmax equals `target`.
+/// Returns the validated TaskSet.
+model::TaskSet ScaleToUtilization(std::vector<model::Task> tasks,
+                                  const model::DvsModel& dvs, double target);
+
+}  // namespace dvs::workload
+
+#endif  // ACS_WORKLOAD_PRESETS_H

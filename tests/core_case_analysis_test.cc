@@ -1,0 +1,78 @@
+// Tests for the Fig. 5 average-workload case analysis.
+#include "core/case_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace dvs::core {
+namespace {
+
+TEST(CaseAnalysis, PaperFigure5Example) {
+  // ACEC 15, three sub-instances with worst-case budgets 10 each:
+  // averages must be 10 / 5 / 0 (paper's worked example).
+  const AvgSplit split = SplitAverageWorkload(15.0, {10.0, 10.0, 10.0});
+  ASSERT_EQ(split.avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(split.avg[0], 10.0);
+  EXPECT_DOUBLE_EQ(split.avg[1], 5.0);
+  EXPECT_DOUBLE_EQ(split.avg[2], 0.0);
+  EXPECT_EQ(split.cases[0], AvgCase::kFull);
+  EXPECT_EQ(split.cases[1], AvgCase::kPartial);
+  EXPECT_EQ(split.cases[2], AvgCase::kEmpty);
+}
+
+TEST(CaseAnalysis, AveragesSumToAcec) {
+  const AvgSplit split =
+      SplitAverageWorkload(17.5, {4.0, 0.0, 6.0, 8.0, 12.0});
+  double sum = 0.0;
+  for (double a : split.avg) {
+    sum += a;
+  }
+  EXPECT_DOUBLE_EQ(sum, 17.5);
+}
+
+TEST(CaseAnalysis, AcecEqualsWcecFillsEverything) {
+  const AvgSplit split = SplitAverageWorkload(30.0, {10.0, 10.0, 10.0});
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(split.avg[k], 10.0);
+    EXPECT_EQ(split.cases[k], AvgCase::kFull);
+  }
+}
+
+TEST(CaseAnalysis, ZeroAcecFillsNothing) {
+  const AvgSplit split = SplitAverageWorkload(0.0, {10.0, 10.0});
+  EXPECT_DOUBLE_EQ(split.avg[0], 0.0);
+  EXPECT_DOUBLE_EQ(split.avg[1], 0.0);
+  EXPECT_EQ(split.cases[0], AvgCase::kEmpty);
+}
+
+TEST(CaseAnalysis, ZeroBudgetSubInstancesAreSkipped) {
+  const AvgSplit split = SplitAverageWorkload(5.0, {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(split.avg[0], 0.0);
+  EXPECT_DOUBLE_EQ(split.avg[1], 5.0);
+  EXPECT_EQ(split.cases[1], AvgCase::kPartial);
+}
+
+TEST(CaseAnalysis, ExactBoundaryCountsAsFull) {
+  // ACEC exactly equals the first budget: avg_0 == w_0 is case 1.
+  const AvgSplit split = SplitAverageWorkload(10.0, {10.0, 5.0});
+  EXPECT_EQ(split.cases[0], AvgCase::kFull);
+  EXPECT_EQ(split.cases[1], AvgCase::kEmpty);
+}
+
+TEST(CaseAnalysis, SingleSubInstance) {
+  const AvgSplit split = SplitAverageWorkload(7.0, {10.0});
+  EXPECT_DOUBLE_EQ(split.avg[0], 7.0);
+  EXPECT_EQ(split.cases[0], AvgCase::kPartial);
+}
+
+TEST(CaseAnalysis, RejectsBadInputs) {
+  EXPECT_THROW(SplitAverageWorkload(5.0, {}), util::InvalidArgumentError);
+  EXPECT_THROW(SplitAverageWorkload(-1.0, {10.0}),
+               util::InvalidArgumentError);
+  EXPECT_THROW(SplitAverageWorkload(5.0, {-2.0}),
+               util::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvs::core

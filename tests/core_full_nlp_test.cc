@@ -1,0 +1,96 @@
+// Tests for the paper-faithful full NLP (constraints (6)-(14)).
+#include "core/full_nlp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/formulation.h"
+#include "core/scheduler.h"
+#include "fps/expansion.h"
+#include "sim/engine.h"
+#include "workload/motivation.h"
+#include "workload/presets.h"
+
+namespace dvs::core {
+namespace {
+
+TEST(FullNlp, MotivationExampleMatchesReducedFormulation) {
+  const model::TaskSet set = workload::MotivationTaskSet();
+  const model::LinearDvsModel cpu = workload::MotivationModel();
+  const fps::FullyPreemptiveSchedule fps(set);
+
+  const ScheduleResult reduced = SolveAcs(fps, cpu);
+  ASSERT_FALSE(reduced.used_fallback);
+
+  const FullNlp full(fps, cpu);
+  const FullNlpResult result =
+      full.Solve(sim::BuildVmaxAsapSchedule(fps, cpu));
+
+  // The full model must find (about) the same optimum: end-times near
+  // {10, 15, 20} and average energy near 1.2e8.
+  EXPECT_NEAR(result.schedule.end_time(0), 10.0, 0.3);
+  EXPECT_NEAR(result.schedule.end_time(1), 15.0, 0.3);
+  EXPECT_NEAR(result.schedule.end_time(2), 20.0, 0.3);
+  EXPECT_NEAR(result.objective, reduced.predicted_energy,
+              0.05 * reduced.predicted_energy);
+}
+
+TEST(FullNlp, SolutionIsWorstCaseFeasible) {
+  const model::TaskSet set = workload::MotivationTaskSet();
+  const model::LinearDvsModel cpu = workload::MotivationModel();
+  const fps::FullyPreemptiveSchedule fps(set);
+  const FullNlp full(fps, cpu);
+  const FullNlpResult result =
+      full.Solve(sim::BuildVmaxAsapSchedule(fps, cpu));
+  const sim::FeasibilityReport report =
+      sim::VerifyWorstCase(fps, result.schedule, cpu);
+  EXPECT_TRUE(report.feasible) << report.detail;
+}
+
+TEST(FullNlp, SmallPreemptiveSystemAgreesWithReduced) {
+  // Two tasks, the low-priority one split once: exercises the split-budget
+  // constraints (12)-(14) of the paper formulation.
+  model::Task hi;
+  hi.name = "hi";
+  hi.period = 5;
+  hi.wcec = 4.0;
+  hi.acec = 2.0;
+  hi.bcec = 1.0;
+  model::Task lo;
+  lo.name = "lo";
+  lo.period = 10;
+  lo.wcec = 8.0;
+  lo.acec = 4.0;
+  lo.bcec = 2.0;
+  const model::TaskSet set({hi, lo});
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const fps::FullyPreemptiveSchedule fps(set);
+
+  const ScheduleResult reduced = SolveAcs(fps, cpu);
+  const FullNlp full(fps, cpu);
+  const FullNlpResult result = full.Solve(reduced.schedule);
+
+  EXPECT_TRUE(sim::VerifyWorstCase(fps, result.schedule, cpu).feasible);
+  // Non-convex model started at the reduced optimum: it must not move to
+  // something meaningfully worse.
+  const EnergyObjective avg(fps, cpu, Scenario::kAverage);
+  const double full_energy =
+      avg.Value(avg.PackSchedule(result.schedule));
+  EXPECT_LE(full_energy, reduced.predicted_energy * 1.10);
+}
+
+TEST(FullNlp, VariableLayoutIndices) {
+  const model::TaskSet set = workload::MotivationTaskSet();
+  const model::LinearDvsModel cpu = workload::MotivationModel();
+  const fps::FullyPreemptiveSchedule fps(set);
+  const FullNlp full(fps, cpu);
+  EXPECT_EQ(full.dim(), 18u);  // 6 blocks x 3 sub-instances
+  EXPECT_EQ(full.savg_index(1), 1u);
+  EXPECT_EQ(full.e_index(1), 4u);
+  EXPECT_EQ(full.wavg_index(1), 7u);
+  EXPECT_EQ(full.wworst_index(1), 10u);
+  EXPECT_EQ(full.vavg_index(1), 13u);
+  EXPECT_EQ(full.vworst_index(1), 16u);
+}
+
+}  // namespace
+}  // namespace dvs::core

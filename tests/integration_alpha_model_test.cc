@@ -1,0 +1,108 @@
+// End-to-end coverage of the alpha-power-law processor model: the whole
+// pipeline (expansion -> WCS/ACS solve -> greedy runtime) must work and
+// keep its guarantees on the realistic delay model, not just the linear
+// one the paper's example uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pipeline.h"
+#include "core/scheduler.h"
+#include "fps/expansion.h"
+#include "model/workload.h"
+#include "opt/finite_diff.h"
+#include "sim/engine.h"
+#include "sim/policy.h"
+#include "workload/random_taskset.h"
+
+namespace dvs {
+namespace {
+
+model::AlphaDvsModel AlphaCpu() {
+  // 0.8-3.3 V, Vth 0.5, alpha 1.6 — a 1990s-style DVS core.
+  return model::AlphaDvsModel(0.8, 3.3, 1.0, 0.25, 0.5, 1.6);
+}
+
+model::TaskSet AlphaSet(std::uint64_t seed, double ratio) {
+  const model::AlphaDvsModel cpu = AlphaCpu();
+  stats::Rng rng(seed);
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 4;
+  gen.bcec_wcec_ratio = ratio;
+  return workload::GenerateRandomTaskSet(gen, cpu, rng);
+}
+
+TEST(AlphaModelPipeline, SchedulesAreFeasible) {
+  const model::AlphaDvsModel cpu = AlphaCpu();
+  const model::TaskSet set = AlphaSet(5, 0.3);
+  const fps::FullyPreemptiveSchedule fps(set);
+  const core::ScheduleResult wcs = core::SolveWcs(fps, cpu);
+  const core::ScheduleResult acs = core::SolveSchedule(
+      fps, cpu, core::Scenario::kAverage, {}, wcs.schedule);
+  EXPECT_TRUE(sim::VerifyWorstCase(fps, wcs.schedule, cpu).feasible);
+  EXPECT_TRUE(sim::VerifyWorstCase(fps, acs.schedule, cpu).feasible);
+}
+
+TEST(AlphaModelPipeline, NoMissesUnderWorstCase) {
+  const model::AlphaDvsModel cpu = AlphaCpu();
+  const model::TaskSet set = AlphaSet(7, 0.2);
+  const fps::FullyPreemptiveSchedule fps(set);
+  const core::ScheduleResult acs = core::SolveAcs(fps, cpu);
+  const model::FixedWorkload adversary(set, model::FixedScenario::kWorst);
+  const sim::GreedyReclaimPolicy policy(cpu);
+  stats::Rng rng(1);
+  sim::SimOptions options;
+  options.hyper_periods = 3;
+  const sim::SimResult result = sim::Simulate(
+      fps, acs.schedule, cpu, policy, adversary, rng, options);
+  EXPECT_EQ(result.deadline_misses, 0) << result.first_miss;
+}
+
+TEST(AlphaModelPipeline, AcsImprovesOnWcs) {
+  const model::AlphaDvsModel cpu = AlphaCpu();
+  const model::TaskSet set = AlphaSet(11, 0.1);
+  core::ExperimentOptions options;
+  options.hyper_periods = 40;
+  options.seed = 3;
+  const core::ComparisonResult result =
+      core::CompareAcsWcs(set, cpu, options);
+  EXPECT_EQ(result.acs.deadline_misses, 0);
+  EXPECT_EQ(result.wcs.deadline_misses, 0);
+  EXPECT_GT(result.Improvement(), 0.0);
+}
+
+TEST(AlphaModelPipeline, GradientStillMatchesFiniteDifference) {
+  const model::AlphaDvsModel cpu = AlphaCpu();
+  const model::TaskSet set = AlphaSet(13, 0.4);
+  const fps::FullyPreemptiveSchedule fps(set);
+  const core::EnergyObjective objective(fps, cpu, core::Scenario::kAverage);
+  opt::Vector x =
+      objective.PackSchedule(sim::BuildVmaxAsapSchedule(fps, cpu));
+  // Interior placement as in the formulation tests.
+  stats::Rng jitter(99);
+  const std::vector<double>& cap = fps.effective_end_bounds();
+  for (std::size_t u = 0; u < fps.sub_count(); ++u) {
+    const fps::SubInstance& sub = fps.sub(u);
+    x[u] = sub.seg_begin +
+           jitter.Uniform(0.5, 0.85) * (cap[u] - sub.seg_begin);
+  }
+  objective.BuildFeasibleSet()->Project(x);
+  opt::Vector analytic(x.size(), 0.0);
+  objective.Gradient(x, analytic);
+  const opt::Vector numeric =
+      opt::FiniteDifferenceGradient(objective, x, 1e-6);
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double rel =
+        std::fabs(analytic[i] - numeric[i]) /
+        std::max({std::fabs(analytic[i]), std::fabs(numeric[i]), 1.0});
+    if (rel > 1e-3) {
+      ++bad;
+    }
+  }
+  EXPECT_LE(bad, 2u);  // tolerate isolated kink-straddling coordinates
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,112 @@
+#include "model/task.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace dvs::model {
+namespace {
+
+Task MakeTask(std::string name, std::int64_t period, double wcec) {
+  Task t;
+  t.name = std::move(name);
+  t.period = period;
+  t.wcec = wcec;
+  t.acec = 0.75 * wcec;
+  t.bcec = 0.5 * wcec;
+  return t;
+}
+
+TEST(TaskSet, HyperPeriodIsLcm) {
+  const TaskSet set({MakeTask("a", 10, 1.0), MakeTask("b", 25, 1.0),
+                     MakeTask("c", 40, 1.0)});
+  EXPECT_EQ(set.hyper_period(), 200);
+  EXPECT_EQ(set.InstanceCount(0), 20);
+  EXPECT_EQ(set.InstanceCount(1), 8);
+  EXPECT_EQ(set.InstanceCount(2), 5);
+  EXPECT_EQ(set.TotalInstances(), 33);
+}
+
+TEST(TaskSet, ValidatesTaskInvariants) {
+  Task bad = MakeTask("x", 10, 5.0);
+  bad.acec = 6.0;  // ACEC > WCEC
+  EXPECT_THROW(TaskSet({bad}), util::InvalidArgumentError);
+  bad = MakeTask("x", 0, 5.0);
+  EXPECT_THROW(TaskSet({bad}), util::InvalidArgumentError);
+  bad = MakeTask("x", 10, 0.0);
+  EXPECT_THROW(TaskSet({bad}), util::InvalidArgumentError);
+  bad = MakeTask("x", 10, 5.0);
+  bad.bcec = -1.0;
+  EXPECT_THROW(TaskSet({bad}), util::InvalidArgumentError);
+  EXPECT_THROW(TaskSet({}), util::InvalidArgumentError);
+}
+
+TEST(TaskSet, RateMonotonicDispatchRank) {
+  const TaskSet set({MakeTask("slow", 100, 1.0), MakeTask("fast", 10, 1.0),
+                     MakeTask("fast2", 10, 1.0)});
+  EXPECT_TRUE(set.OutranksForDispatch(1, 0));   // shorter period
+  EXPECT_FALSE(set.OutranksForDispatch(0, 1));
+  EXPECT_TRUE(set.OutranksForDispatch(1, 2));   // tie -> lower index
+  EXPECT_FALSE(set.OutranksForDispatch(2, 1));
+}
+
+TEST(TaskSet, EqualPeriodsShareAPriority) {
+  const TaskSet set({MakeTask("a", 10, 1.0), MakeTask("b", 10, 1.0),
+                     MakeTask("c", 20, 1.0)});
+  EXPECT_FALSE(set.CanPreempt(0, 1));  // same period: no preemption
+  EXPECT_FALSE(set.CanPreempt(1, 0));
+  EXPECT_TRUE(set.CanPreempt(0, 2));   // strictly shorter period preempts
+  EXPECT_FALSE(set.CanPreempt(2, 0));
+}
+
+TEST(TaskSet, UtilizationAtVmax) {
+  const LinearDvsModel cpu(0.5, 4.0, 1.0, 1.0);  // max speed 4 cycles/unit
+  // WCEC 20 over period 10 at speed 4 -> U = 0.5.
+  const TaskSet set({MakeTask("a", 10, 20.0)});
+  EXPECT_NEAR(set.Utilization(cpu), 0.5, 1e-12);
+  EXPECT_NEAR(set.AverageUtilization(cpu), 0.375, 1e-12);  // acec = 15
+}
+
+TEST(TaskSet, ScaledByPreservesRatios) {
+  const TaskSet set({MakeTask("a", 10, 20.0)});
+  const TaskSet scaled = set.ScaledBy(0.5);
+  EXPECT_DOUBLE_EQ(scaled.task(0).wcec, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.task(0).acec, 7.5);
+  EXPECT_DOUBLE_EQ(scaled.task(0).bcec, 5.0);
+  EXPECT_DOUBLE_EQ(scaled.task(0).BcecWcecRatio(),
+                   set.task(0).BcecWcecRatio());
+  EXPECT_THROW(set.ScaledBy(0.0), util::InvalidArgumentError);
+}
+
+TEST(TaskSet, IndexOutOfRangeThrows) {
+  const TaskSet set({MakeTask("a", 10, 1.0)});
+  EXPECT_THROW(set.task(1), util::InvalidArgumentError);
+}
+
+TEST(EnumerateInstances, OrderedByReleaseThenRank) {
+  const TaskSet set({MakeTask("lo", 20, 1.0), MakeTask("hi", 10, 1.0)});
+  const auto instances = EnumerateInstances(set);
+  ASSERT_EQ(instances.size(), 3u);
+  // t=0: hi first (shorter period), then lo; t=10: hi again.
+  EXPECT_EQ(instances[0].task, 1u);
+  EXPECT_EQ(instances[1].task, 0u);
+  EXPECT_EQ(instances[2].task, 1u);
+  EXPECT_DOUBLE_EQ(instances[2].release, 10.0);
+  EXPECT_DOUBLE_EQ(instances[2].deadline, 20.0);
+}
+
+TEST(EnumerateInstances, WindowsTileTheHyperPeriod) {
+  const TaskSet set({MakeTask("a", 5, 1.0), MakeTask("b", 15, 1.0)});
+  const auto instances = EnumerateInstances(set);
+  double total_window = 0.0;
+  for (const TaskInstance& inst : instances) {
+    EXPECT_DOUBLE_EQ(inst.deadline - inst.release,
+                     static_cast<double>(set.task(inst.task).period));
+    total_window += inst.deadline - inst.release;
+  }
+  // 3 instances of a (5 each) + 1 of b (15) = 30 over hyper-period 15.
+  EXPECT_DOUBLE_EQ(total_window, 30.0);
+}
+
+}  // namespace
+}  // namespace dvs::model

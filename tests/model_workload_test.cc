@@ -1,0 +1,117 @@
+#include "model/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace dvs::model {
+namespace {
+
+TaskSet MakeSet() {
+  Task a;
+  a.name = "a";
+  a.period = 10;
+  a.wcec = 100.0;
+  a.acec = 60.0;
+  a.bcec = 20.0;
+  Task fixed;
+  fixed.name = "fixed";
+  fixed.period = 20;
+  fixed.wcec = 50.0;
+  fixed.acec = 50.0;
+  fixed.bcec = 50.0;  // degenerate window
+  return TaskSet({a, fixed});
+}
+
+TEST(TruncatedNormalWorkload, SamplesWithinBounds) {
+  const TaskSet set = MakeSet();
+  const TruncatedNormalWorkload sampler(set, 6.0);
+  stats::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = sampler.SampleCycles(0, rng);
+    EXPECT_GE(x, 20.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(TruncatedNormalWorkload, DegenerateWindowIsPointMass) {
+  const TaskSet set = MakeSet();
+  const TruncatedNormalWorkload sampler(set, 6.0);
+  stats::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.SampleCycles(1, rng), 50.0);
+  }
+  EXPECT_DOUBLE_EQ(sampler.AnalyticMean(1), 50.0);
+}
+
+TEST(TruncatedNormalWorkload, MeanTracksAcec) {
+  const TaskSet set = MakeSet();
+  const TruncatedNormalWorkload sampler(set, 6.0);
+  stats::Rng rng(7);
+  stats::OnlineStats acc;
+  for (int i = 0; i < 100000; ++i) {
+    acc.Add(sampler.SampleCycles(0, rng));
+  }
+  EXPECT_NEAR(acc.mean(), sampler.AnalyticMean(0), 0.2);
+  EXPECT_NEAR(acc.mean(), 60.0, 0.5);  // ACEC-centred window
+}
+
+TEST(TruncatedNormalWorkload, SigmaDivisorControlsSpread) {
+  const TaskSet set = MakeSet();
+  const TruncatedNormalWorkload narrow(set, 12.0);
+  const TruncatedNormalWorkload wide(set, 3.0);
+  stats::Rng rng_a(3);
+  stats::Rng rng_b(3);
+  stats::OnlineStats sn;
+  stats::OnlineStats sw;
+  for (int i = 0; i < 20000; ++i) {
+    sn.Add(narrow.SampleCycles(0, rng_a));
+    sw.Add(wide.SampleCycles(0, rng_b));
+  }
+  EXPECT_LT(sn.stddev(), sw.stddev());
+}
+
+TEST(TruncatedNormalWorkload, RejectsBadDivisor) {
+  EXPECT_THROW(TruncatedNormalWorkload(MakeSet(), 0.0),
+               util::InvalidArgumentError);
+}
+
+TEST(FixedWorkload, Scenarios) {
+  const TaskSet set = MakeSet();
+  stats::Rng rng(1);
+  const FixedWorkload best(set, FixedScenario::kBest);
+  const FixedWorkload avg(set, FixedScenario::kAverage);
+  const FixedWorkload worst(set, FixedScenario::kWorst);
+  EXPECT_DOUBLE_EQ(best.SampleCycles(0, rng), 20.0);
+  EXPECT_DOUBLE_EQ(avg.SampleCycles(0, rng), 60.0);
+  EXPECT_DOUBLE_EQ(worst.SampleCycles(0, rng), 100.0);
+}
+
+TEST(UniformWorkload, CoversWindow) {
+  const TaskSet set = MakeSet();
+  const UniformWorkload sampler(set);
+  stats::Rng rng(9);
+  double lo = 1e18;
+  double hi = -1e18;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = sampler.SampleCycles(0, rng);
+    EXPECT_GE(x, 20.0);
+    EXPECT_LE(x, 100.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_LT(lo, 25.0);  // reaches near both edges
+  EXPECT_GT(hi, 95.0);
+  EXPECT_DOUBLE_EQ(sampler.SampleCycles(1, rng), 50.0);  // degenerate
+}
+
+TEST(WorkloadSamplers, IndexOutOfRangeThrows) {
+  const TaskSet set = MakeSet();
+  const TruncatedNormalWorkload sampler(set, 6.0);
+  stats::Rng rng(1);
+  EXPECT_THROW(sampler.SampleCycles(2, rng), util::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvs::model

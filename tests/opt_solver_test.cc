@@ -1,0 +1,260 @@
+// Tests for the optimisation stack: SPG, L-BFGS, augmented Lagrangian and
+// the finite-difference reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/augmented_lagrangian.h"
+#include "opt/finite_diff.h"
+#include "opt/lbfgs.h"
+#include "opt/problem.h"
+#include "opt/spg.h"
+
+namespace dvs::opt {
+namespace {
+
+/// f(x) = sum (x_i - c_i)^2 — convex quadratic with known minimiser.
+class Quadratic final : public Objective {
+ public:
+  explicit Quadratic(Vector center) : center_(std::move(center)) {}
+  std::size_t dim() const override { return center_.size(); }
+  double Value(const Vector& x) const override {
+    double f = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      f += (x[i] - center_[i]) * (x[i] - center_[i]);
+    }
+    return f;
+  }
+  void Gradient(const Vector& x, Vector& grad) const override {
+    grad.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      grad[i] = 2.0 * (x[i] - center_[i]);
+    }
+  }
+
+ private:
+  Vector center_;
+};
+
+/// The 2-D Rosenbrock valley — the classic curvature stress test.
+class Rosenbrock final : public Objective {
+ public:
+  std::size_t dim() const override { return 2; }
+  double Value(const Vector& x) const override {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  }
+  void Gradient(const Vector& x, Vector& grad) const override {
+    grad.resize(2);
+    const double b = x[1] - x[0] * x[0];
+    grad[0] = -2.0 * (1.0 - x[0]) - 400.0 * x[0] * b;
+    grad[1] = 200.0 * b;
+  }
+};
+
+TEST(FiniteDiff, MatchesAnalyticGradient) {
+  const Rosenbrock f;
+  const Vector x{-1.2, 1.0};
+  EXPECT_LT(GradientCheck(f, x), 1e-6);
+}
+
+TEST(FiniteDiff, FunctionOverload) {
+  const auto f = [](const Vector& x) { return x[0] * x[0] * x[1]; };
+  const Vector g = FiniteDifferenceGradient(f, {2.0, 3.0});
+  EXPECT_NEAR(g[0], 12.0, 1e-5);
+  EXPECT_NEAR(g[1], 4.0, 1e-5);
+}
+
+TEST(Spg, UnconstrainedQuadratic) {
+  const Quadratic f({1.0, -2.0, 3.0});
+  const FreeSet space;
+  Vector x{0.0, 0.0, 0.0};
+  const SpgReport report = MinimizeSpg(f, space, x);
+  EXPECT_EQ(report.status, SolveStatus::kConverged);
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], -2.0, 1e-6);
+  EXPECT_NEAR(x[2], 3.0, 1e-6);
+}
+
+TEST(Spg, BoxConstrainedQuadratic) {
+  // Minimiser (5, 5) clipped by the box [0,1]^2 -> (1, 1).
+  const Quadratic f({5.0, 5.0});
+  BoxSimplexSet box(2);
+  box.SetBounds(0, 0.0, 1.0);
+  box.SetBounds(1, 0.0, 1.0);
+  Vector x{0.5, 0.5};
+  const SpgReport report = MinimizeSpg(f, box, x);
+  EXPECT_EQ(report.status, SolveStatus::kConverged);
+  EXPECT_NEAR(x[0], 1.0, 1e-8);
+  EXPECT_NEAR(x[1], 1.0, 1e-8);
+}
+
+TEST(Spg, SimplexConstrainedQuadratic) {
+  // min ||x - (1, 0, 0)||^2 over the probability simplex -> (1, 0, 0).
+  const Quadratic f({1.0, 0.0, 0.0});
+  BoxSimplexSet set(3);
+  set.AddSimplex({0, 1, 2}, 1.0);
+  Vector x{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  MinimizeSpg(f, set, x);
+  EXPECT_NEAR(x[0], 1.0, 1e-6);
+  EXPECT_NEAR(x[1], 0.0, 1e-6);
+  EXPECT_NEAR(x[2], 0.0, 1e-6);
+}
+
+TEST(Spg, RosenbrockConverges) {
+  const Rosenbrock f;
+  const FreeSet space;
+  Vector x{-1.2, 1.0};
+  SpgOptions options;
+  options.max_iterations = 5000;
+  options.tolerance = 1e-8;
+  const SpgReport report = MinimizeSpg(f, space, x, options);
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 1.0, 1e-3);
+  EXPECT_LT(report.final_value, 1e-6);
+}
+
+TEST(Lbfgs, RosenbrockConverges) {
+  const Rosenbrock f;
+  Vector x{-1.2, 1.0};
+  LbfgsOptions options;
+  options.max_iterations = 5000;  // Armijo-only line search is cautious in
+                                  // the banana valley
+  options.tolerance = 1e-6;
+  const LbfgsReport report = MinimizeLbfgs(f, x, options);
+  EXPECT_EQ(report.status, SolveStatus::kConverged);
+  EXPECT_NEAR(x[0], 1.0, 1e-4);
+  EXPECT_NEAR(x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, QuadraticInFewIterations) {
+  const Quadratic f({2.0, -1.0, 0.5, 4.0});
+  Vector x(4, 0.0);
+  const LbfgsReport report = MinimizeLbfgs(f, x);
+  EXPECT_EQ(report.status, SolveStatus::kConverged);
+  EXPECT_LT(report.iterations, 20u);
+  EXPECT_NEAR(x[3], 4.0, 1e-6);
+}
+
+TEST(Alm, EqualityConstrainedQuadratic) {
+  // min ||x||^2 s.t. x0 + x1 = 1 -> (0.5, 0.5).
+  const Quadratic f({0.0, 0.0});
+  const FreeSet space;
+  LinearConstraint c;
+  c.kind = ConstraintKind::kEqZero;
+  c.terms = {{0, 1.0}, {1, 1.0}};
+  c.constant = -1.0;
+  Vector x{3.0, -1.0};
+  const AlmReport report = MinimizeAlm(f, space, {c}, x);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_NEAR(x[0], 0.5, 1e-5);
+  EXPECT_NEAR(x[1], 0.5, 1e-5);
+}
+
+TEST(Alm, InequalityInactiveAtOptimum) {
+  // min ||x - (0.2, 0.2)||^2 s.t. x0 + x1 <= 1: unconstrained optimum is
+  // feasible, so ALM must return it untouched.
+  const Quadratic f({0.2, 0.2});
+  const FreeSet space;
+  LinearConstraint c;
+  c.kind = ConstraintKind::kGeZero;  // 1 - x0 - x1 >= 0
+  c.terms = {{0, -1.0}, {1, -1.0}};
+  c.constant = 1.0;
+  Vector x{0.0, 0.0};
+  const AlmReport report = MinimizeAlm(f, space, {c}, x);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_NEAR(x[0], 0.2, 1e-5);
+  EXPECT_NEAR(x[1], 0.2, 1e-5);
+}
+
+TEST(Alm, InequalityActiveAtOptimum) {
+  // min ||x - (1, 1)||^2 s.t. x0 + x1 <= 1 -> (0.5, 0.5).
+  const Quadratic f({1.0, 1.0});
+  const FreeSet space;
+  LinearConstraint c;
+  c.kind = ConstraintKind::kGeZero;
+  c.terms = {{0, -1.0}, {1, -1.0}};
+  c.constant = 1.0;
+  Vector x{0.0, 0.0};
+  const AlmReport report = MinimizeAlm(f, space, {c}, x);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_NEAR(x[0], 0.5, 1e-4);
+  EXPECT_NEAR(x[1], 0.5, 1e-4);
+}
+
+TEST(Alm, CombinesBoxAndLinearConstraints) {
+  // min ||x - (2, 2)||^2 s.t. x in [0,1]^2, x0 - x1 >= 0.5.
+  // Optimum: x0 = 1 (box), then x1 <= 0.5, objective pulls x1 up -> 0.5.
+  const Quadratic f({2.0, 2.0});
+  BoxSimplexSet box(2);
+  box.SetBounds(0, 0.0, 1.0);
+  box.SetBounds(1, 0.0, 1.0);
+  LinearConstraint c;
+  c.kind = ConstraintKind::kGeZero;
+  c.terms = {{0, 1.0}, {1, -1.0}};
+  c.constant = -0.5;
+  Vector x{0.0, 0.0};
+  const AlmReport report = MinimizeAlm(f, box, {c}, x);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_NEAR(x[0], 1.0, 1e-4);
+  EXPECT_NEAR(x[1], 0.5, 1e-4);
+}
+
+TEST(Alm, NoConstraintsDelegatesToSpg) {
+  const Quadratic f({1.0, 2.0});
+  const FreeSet space;
+  Vector x{0.0, 0.0};
+  const AlmReport report =
+      MinimizeAlm(f, space, std::vector<LinearConstraint>{}, x);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_EQ(report.outer_iterations, 1u);
+  EXPECT_NEAR(x[1], 2.0, 1e-6);
+}
+
+TEST(Alm, NonlinearConstraintFunction) {
+  // min x0 + x1 s.t. x0 * x1 >= 1, x >= 0.1 -> x = (1, 1).
+  class LinearSum final : public Objective {
+   public:
+    std::size_t dim() const override { return 2; }
+    double Value(const Vector& x) const override { return x[0] + x[1]; }
+    void Gradient(const Vector&, Vector& grad) const override {
+      grad = {1.0, 1.0};
+    }
+  };
+  class ProductConstraint final : public ConstraintFunction {
+   public:
+    ConstraintKind kind() const override { return ConstraintKind::kGeZero; }
+    double Evaluate(const Vector& x) const override {
+      return x[0] * x[1] - 1.0;
+    }
+    void AccumulateGradient(const Vector& x, double w,
+                            Vector& grad) const override {
+      grad[0] += w * x[1];
+      grad[1] += w * x[0];
+    }
+  };
+  const LinearSum f;
+  BoxSimplexSet box(2);
+  box.SetBounds(0, 0.1, kNoBound);
+  box.SetBounds(1, 0.1, kNoBound);
+  const ProductConstraint con;
+  Vector x{3.0, 0.2};
+  AlmOptions options;
+  options.inner.max_iterations = 2000;
+  const AlmReport report = MinimizeAlm(f, box, {&con}, x, options);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_NEAR(x[0] * x[1], 1.0, 1e-3);
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-2);
+}
+
+TEST(SolveStatusName, AllNamed) {
+  EXPECT_STREQ(SolveStatusName(SolveStatus::kConverged), "converged");
+  EXPECT_STREQ(SolveStatusName(SolveStatus::kMaxIterations),
+               "max-iterations");
+  EXPECT_STREQ(SolveStatusName(SolveStatus::kLineSearchFailed),
+               "line-search-failed");
+}
+
+}  // namespace
+}  // namespace dvs::opt

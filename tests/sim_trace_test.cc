@@ -1,0 +1,123 @@
+// Tests for execution-trace auditing and rendering.
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/presets.h"
+
+namespace dvs::sim {
+namespace {
+
+model::TaskSet OneTask() {
+  model::Task t;
+  t.name = "solo";
+  t.period = 10;
+  t.wcec = 8.0;
+  t.acec = 4.0;
+  t.bcec = 2.0;
+  return model::TaskSet({t});
+}
+
+ExecutionSlice Slice(model::TaskIndex task, std::int64_t instance,
+                     double begin, double end, double voltage,
+                     double cycles) {
+  ExecutionSlice s;
+  s.task = task;
+  s.instance = instance;
+  s.begin = begin;
+  s.end = end;
+  s.voltage = voltage;
+  s.cycles = cycles;
+  return s;
+}
+
+TEST(AuditTrace, CleanTracePasses) {
+  const model::TaskSet set = OneTask();
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  Trace trace;
+  // 2 time units at 1 V on a k=1 model -> 2 cycles.
+  trace.Add(Slice(0, 0, 0.0, 2.0, 1.0, 2.0));
+  trace.Add(Slice(0, 1, 10.0, 12.0, 1.0, 2.0));
+  EXPECT_EQ(AuditTrace(trace, set, cpu), "");
+}
+
+TEST(AuditTrace, DetectsOverlap) {
+  const model::TaskSet set = OneTask();
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  Trace trace;
+  trace.Add(Slice(0, 0, 0.0, 3.0, 1.0, 3.0));
+  trace.Add(Slice(0, 0, 2.0, 4.0, 1.0, 2.0));  // starts before previous end
+  EXPECT_NE(AuditTrace(trace, set, cpu).find("overlap"), std::string::npos);
+}
+
+TEST(AuditTrace, DetectsWindowEscape) {
+  const model::TaskSet set = OneTask();
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  Trace trace;
+  // Instance 0's window is [0, 10); running at 11 is illegal.
+  trace.Add(Slice(0, 0, 9.0, 11.0, 1.0, 2.0));
+  EXPECT_NE(AuditTrace(trace, set, cpu).find("window"), std::string::npos);
+}
+
+TEST(AuditTrace, DetectsVoltageOutOfRange) {
+  const model::TaskSet set = OneTask();
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  Trace trace;
+  trace.Add(Slice(0, 0, 0.0, 1.0, 5.0, 5.0));  // 5 V > vmax 4 V
+  EXPECT_NE(AuditTrace(trace, set, cpu).find("voltage"), std::string::npos);
+}
+
+TEST(AuditTrace, DetectsCycleInconsistency) {
+  const model::TaskSet set = OneTask();
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  Trace trace;
+  // 2 time units at 1 V should be 2 cycles, not 7.
+  trace.Add(Slice(0, 0, 0.0, 2.0, 1.0, 7.0));
+  EXPECT_NE(AuditTrace(trace, set, cpu).find("cycle"), std::string::npos);
+}
+
+TEST(AuditTrace, DetectsUnknownTask) {
+  const model::TaskSet set = OneTask();
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  Trace trace;
+  trace.Add(Slice(3, 0, 0.0, 1.0, 1.0, 1.0));
+  EXPECT_NE(AuditTrace(trace, set, cpu).find("unknown"), std::string::npos);
+}
+
+TEST(RenderTraceGantt, AllRowsCarryTheirBars) {
+  model::Task a = OneTask().task(0);
+  a.name = "first";
+  model::Task b = a;
+  b.name = "second";
+  const model::TaskSet set({a, b});
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  Trace trace;
+  trace.Add(Slice(0, 0, 0.0, 4.0, 1.0, 4.0));
+  trace.Add(Slice(1, 0, 4.0, 8.0, 1.0, 4.0));
+  const std::string out = RenderTraceGantt(trace, set, 10.0, 40);
+  // Both rows render bars (regression test: AddRow reference invalidation
+  // used to drop every row but the last).
+  std::size_t hash_rows = 0;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = out.find('\n', begin);
+    if (end == std::string::npos) break;
+    const std::string line = out.substr(begin, end - begin);
+    if (line.find('#') != std::string::npos) {
+      ++hash_rows;
+    }
+    begin = end + 1;
+  }
+  EXPECT_EQ(hash_rows, 2u);
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace;
+  trace.Add(Slice(0, 0, 0.0, 1.0, 1.0, 1.0));
+  EXPECT_EQ(trace.size(), 1u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dvs::sim

@@ -1,0 +1,95 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+#include "util/error.h"
+
+namespace dvs::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+}
+
+TEST(TruncatedNormal, SamplesStayInWindow) {
+  TruncatedNormal dist(10.0, 3.0, 4.0, 16.0);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_GE(x, 4.0);
+    EXPECT_LE(x, 16.0);
+  }
+}
+
+TEST(TruncatedNormal, SymmetricWindowKeepsMean) {
+  // Symmetric truncation around the mean leaves the mean unchanged.
+  TruncatedNormal dist(10.0, 3.0, 4.0, 16.0);
+  EXPECT_NEAR(dist.Mean(), 10.0, 1e-12);
+}
+
+TEST(TruncatedNormal, AsymmetricWindowShiftsMean) {
+  TruncatedNormal dist(10.0, 3.0, 9.0, 20.0);
+  EXPECT_GT(dist.Mean(), 10.0);  // mass cut below -> mean moves up
+}
+
+TEST(TruncatedNormal, EmpiricalMeanMatchesAnalytic) {
+  TruncatedNormal dist(5.0, 2.0, 1.0, 7.0);  // asymmetric window
+  Rng rng(17);
+  OnlineStats acc;
+  for (int i = 0; i < 200000; ++i) {
+    acc.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(acc.mean(), dist.Mean(), 0.02);
+  EXPECT_NEAR(acc.stddev() * acc.stddev(), dist.Variance(), 0.05);
+}
+
+TEST(TruncatedNormal, PaperParameterisation) {
+  // ratio 0.1: BCEC = 0.1 WCEC, ACEC = 0.55 WCEC, sigma = span/6.
+  const double wcec = 1000.0;
+  const double bcec = 100.0;
+  const double acec = 550.0;
+  TruncatedNormal dist(acec, (wcec - bcec) / 6.0, bcec, wcec);
+  EXPECT_NEAR(dist.Mean(), acec, 1e-9);  // 3-sigma window is symmetric
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_GE(x, bcec);
+    EXPECT_LE(x, wcec);
+  }
+}
+
+TEST(TruncatedNormal, VarianceShrinksUnderTruncation) {
+  TruncatedNormal dist(0.0, 1.0, -1.0, 1.0);
+  EXPECT_LT(dist.Variance(), 1.0);
+  EXPECT_GT(dist.Variance(), 0.0);
+}
+
+TEST(TruncatedNormal, RejectsBadWindows) {
+  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 1.0, 1.0),
+               util::InvalidArgumentError);
+  EXPECT_THROW(TruncatedNormal(0.0, 0.0, 0.0, 1.0),
+               util::InvalidArgumentError);
+  // Window 40 sigma away from the mean carries no mass.
+  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 40.0, 41.0),
+               util::InvalidArgumentError);
+}
+
+TEST(PointMass, AlwaysSameValue) {
+  PointMass dist(7.5);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(dist.Sample(rng), 7.5);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 7.5);
+}
+
+}  // namespace
+}  // namespace dvs::stats

@@ -1,0 +1,143 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace dvs::util {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args);
+  return argv;
+}
+
+TEST(ArgParser, ParsesAllTypes) {
+  bool flag = false;
+  std::int64_t count = 1;
+  double ratio = 0.0;
+  std::string name = "default";
+  ArgParser parser("prog", "test");
+  parser.AddFlag("flag", &flag, "a flag");
+  parser.AddInt("count", &count, "a count");
+  parser.AddDouble("ratio", &ratio, "a ratio");
+  parser.AddString("name", &name, "a name");
+
+  const auto argv =
+      Argv({"--flag", "--count", "7", "--ratio=0.25", "--name", "x"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(count, 7);
+  EXPECT_DOUBLE_EQ(ratio, 0.25);
+  EXPECT_EQ(name, "x");
+}
+
+TEST(ArgParser, DefaultsSurviveWhenAbsent) {
+  std::int64_t count = 99;
+  ArgParser parser("prog", "test");
+  parser.AddInt("count", &count, "a count");
+  const auto argv = Argv({});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(count, 99);
+}
+
+TEST(ArgParser, EqualsFormForEveryType) {
+  bool flag = true;
+  std::int64_t count = 0;
+  ArgParser parser("prog", "test");
+  parser.AddFlag("flag", &flag, "f");
+  parser.AddInt("count", &count, "c");
+  const auto argv = Argv({"--flag=false", "--count=-3"});
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(flag);
+  EXPECT_EQ(count, -3);
+}
+
+TEST(ArgParser, RejectsUnknownOption) {
+  ArgParser parser("prog", "test");
+  const auto argv = Argv({"--nope"});
+  EXPECT_THROW(parser.Parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(ArgParser, RejectsMalformedNumbers) {
+  std::int64_t count = 0;
+  double ratio = 0.0;
+  ArgParser parser("prog", "test");
+  parser.AddInt("count", &count, "c");
+  parser.AddDouble("ratio", &ratio, "r");
+  auto argv = Argv({"--count", "seven"});
+  EXPECT_THROW(parser.Parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+  argv = Argv({"--ratio", "0.5x"});
+  EXPECT_THROW(parser.Parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(ArgParser, RejectsMissingValue) {
+  std::int64_t count = 0;
+  ArgParser parser("prog", "test");
+  parser.AddInt("count", &count, "c");
+  const auto argv = Argv({"--count"});
+  EXPECT_THROW(parser.Parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(ArgParser, RejectsPositionalArguments) {
+  ArgParser parser("prog", "test");
+  const auto argv = Argv({"stray"});
+  EXPECT_THROW(parser.Parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(ArgParser, RejectsDuplicateRegistration) {
+  std::int64_t a = 0;
+  ArgParser parser("prog", "test");
+  parser.AddInt("x", &a, "first");
+  EXPECT_THROW(parser.AddInt("x", &a, "second"), InvalidArgumentError);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser("prog", "test");
+  const auto argv = Argv({"--help"});
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(ArgParser, UsageMentionsOptionsAndDefaults) {
+  std::int64_t count = 42;
+  ArgParser parser("prog", "does things");
+  parser.AddInt("count", &count, "how many");
+  const std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("42"), std::string::npos);
+}
+
+TEST(ArgParser, BooleanSpellings) {
+  // Boolean flags never consume the next token (that would make bare
+  // `--flag` ambiguous); explicit values use the `=` form.
+  bool flag = false;
+  ArgParser parser("prog", "test");
+  parser.AddFlag("flag", &flag, "f");
+  for (const std::string value : {"true", "1", "yes"}) {
+    flag = false;
+    const std::string arg = "--flag=" + value;
+    const auto argv = Argv({arg.c_str()});
+    ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(flag) << value;
+  }
+  for (const std::string value : {"false", "0", "no"}) {
+    flag = true;
+    const std::string arg = "--flag=" + value;
+    const auto argv = Argv({arg.c_str()});
+    ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_FALSE(flag) << value;
+  }
+  const auto bad = Argv({"--flag=maybe"});
+  EXPECT_THROW(parser.Parse(static_cast<int>(bad.size()), bad.data()),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvs::util

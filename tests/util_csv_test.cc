@@ -1,0 +1,65 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace dvs::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("12.5"), "12.5");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTable, HeaderOnly) {
+  const CsvTable table({"a", "b"});
+  EXPECT_EQ(table.ToString(), "a,b\n");
+  EXPECT_EQ(table.row_count(), 0u);
+  EXPECT_EQ(table.column_count(), 2u);
+}
+
+TEST(CsvTable, TypedCells) {
+  CsvTable table({"name", "count", "ratio"});
+  table.NewRow().Add("x").Add(std::int64_t{42}).Add(0.5, 2);
+  EXPECT_EQ(table.ToString(), "name,count,ratio\nx,42,0.50\n");
+}
+
+TEST(CsvTable, MultipleRows) {
+  CsvTable table({"k", "v"});
+  table.NewRow().Add("a").Add(1);
+  table.NewRow().Add("b").Add(2);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.ToString(), "k,v\na,1\nb,2\n");
+}
+
+TEST(CsvTable, RejectsTooManyCells) {
+  CsvTable table({"only"});
+  table.NewRow().Add("one");
+  EXPECT_THROW(table.Add("two"), InvalidArgumentError);
+}
+
+TEST(CsvTable, RejectsAddWithoutRow) {
+  CsvTable table({"only"});
+  EXPECT_THROW(table.Add("x"), InvalidArgumentError);
+}
+
+TEST(CsvTable, DetectsShortRowOnRender) {
+  CsvTable table({"a", "b"});
+  table.NewRow().Add("just-one");
+  EXPECT_THROW(table.ToString(), InternalError);
+}
+
+TEST(CsvTable, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvTable({}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvs::util

@@ -1,0 +1,76 @@
+// Tests for the ASCII table and Gantt renderers.
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/gantt.h"
+#include "util/table.h"
+
+namespace dvs::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "v"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-name", "2"});
+  const std::string out = table.Render();
+  // Both rows render at the same width.
+  const std::size_t bar = out.find('\n');
+  ASSERT_NE(bar, std::string::npos);
+  const std::string first_line = out.substr(0, bar);
+  EXPECT_NE(first_line.find("name"), std::string::npos);
+  // All lines share the same length.
+  std::size_t begin = 0;
+  std::size_t expected = std::string::npos;
+  while (begin < out.size()) {
+    std::size_t end = out.find('\n', begin);
+    if (end == std::string::npos) break;
+    if (expected == std::string::npos) {
+      expected = end - begin;
+    } else {
+      EXPECT_EQ(end - begin, expected);
+    }
+    begin = end + 1;
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), InvalidArgumentError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvalidArgumentError);
+}
+
+TEST(GanttChart, RendersBars) {
+  GanttChart chart(0.0, 10.0, 20);
+  GanttRow& row = chart.AddRow("task");
+  row.bars.push_back(GanttBar{0.0, 5.0, '#', ""});
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find("task"), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // half of 20 cells
+  EXPECT_NE(out.find("0.0"), std::string::npos);
+  EXPECT_NE(out.find("10.0"), std::string::npos);
+}
+
+TEST(GanttChart, ZeroWidthBarStaysVisible) {
+  GanttChart chart(0.0, 10.0, 20);
+  GanttRow& row = chart.AddRow("t");
+  row.bars.push_back(GanttBar{5.0, 5.0, '#', ""});
+  EXPECT_NE(chart.Render().find('|'), std::string::npos);
+}
+
+TEST(GanttChart, AnnotationAppearsWhenRoomAllows) {
+  GanttChart chart(0.0, 10.0, 40);
+  GanttRow& row = chart.AddRow("t");
+  row.bars.push_back(GanttBar{0.0, 10.0, '#', "3.0V"});
+  EXPECT_NE(chart.Render().find("3.0V"), std::string::npos);
+}
+
+TEST(GanttChart, RejectsDegenerateSpan) {
+  EXPECT_THROW(GanttChart(5.0, 5.0, 20), InvalidArgumentError);
+  EXPECT_THROW(GanttChart(0.0, 10.0, 4), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvs::util
