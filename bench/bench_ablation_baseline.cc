@@ -4,20 +4,18 @@
 // the WCEC-optimal static schedule *plus* full greedy online reclamation —
 // is a strong baseline that already sits near the energy floor, capping the
 // measurable gap (see EXPERIMENTS.md).  This bench brackets the claim by
-// measuring ACS against three baselines of decreasing strength:
-//   1. WCS + greedy reclamation (our default comparison, strongest)
-//   2. WCS static-only (offline voltages, no online slack pass-through)
-//   3. no DVS at all (always Vmax)
-// and against the uniform average-utilisation energy floor.
+// measuring ACS against registry baselines of decreasing strength:
+//   1. wcs            WCS + greedy reclamation (our default, strongest)
+//   2. wcs-static     WCS offline voltages, no online slack pass-through
+//   3. static-vmax    no DVS at all (always Vmax)
+// and against the uniform average-utilisation energy floor.  One
+// runner::RunGrid evaluates all four methods per cell on identical
+// workload realisations.
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/formulation.h"
-#include "core/pipeline.h"
-#include "core/scheduler.h"
 #include "fps/expansion.h"
 #include "model/workload.h"
-#include "sim/policy.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "workload/presets.h"
@@ -40,54 +38,45 @@ int main(int argc, char** argv) {
     const double ratio = 0.1;  // the paper's high-flexibility point
     const int num_tasks = 8;
 
+    workload::RandomTaskSetOptions gen;
+    gen.num_tasks = num_tasks;
+    gen.bcec_wcec_ratio = ratio;
+    runner::ExperimentGrid grid = config.MakeGrid(
+        cpu, {runner::RandomSource("random-8", gen, config.tasksets)});
+    // The comparison set IS the subject of this ablation: the four arms are
+    // fixed and the indices below depend on this order.
+    const std::vector<std::string> fixed_methods = {"acs", "wcs", "wcs-static",
+                                                    "static-vmax"};
+    if (config.methods != bench::SweepConfig{}.methods ||
+        config.baseline != bench::SweepConfig{}.baseline) {
+      std::cerr << "note: this ablation always evaluates "
+                << util::Join(fixed_methods, ",")
+                << " with baseline wcs; --methods/--baseline are ignored\n";
+    }
+    grid.methods = fixed_methods;
+    grid.baseline = "wcs";
+
+    const runner::GridResult result =
+        runner::RunGrid(grid, config.RunOpts());
+
+    constexpr std::size_t kAcs = 0;
     stats::OnlineStats vs_wcs_greedy;
     stats::OnlineStats vs_wcs_static;
     stats::OnlineStats vs_vmax;
     stats::OnlineStats headroom;  // ACS energy over the uniform floor
 
-    stats::Rng stream(config.seed);
-    for (std::int64_t i = 0; i < config.tasksets; ++i) {
-      workload::RandomTaskSetOptions gen;
-      gen.num_tasks = num_tasks;
-      gen.bcec_wcec_ratio = ratio;
-      stats::Rng set_rng = stream.Fork();
-      const model::TaskSet set =
-          workload::GenerateRandomTaskSet(gen, cpu, set_rng);
-      const fps::FullyPreemptiveSchedule fps(set);
-
-      const core::ScheduleResult wcs = core::SolveWcs(fps, cpu);
-      const core::ScheduleResult acs = core::SolveSchedule(
-          fps, cpu, core::Scenario::kAverage, {}, wcs.schedule);
-
-      const std::uint64_t seed = stream.NextU64();
-      const model::TruncatedNormalWorkload sampler(set, 6.0);
-      const sim::GreedyReclaimPolicy greedy(cpu);
-      const sim::StaticOnlyPolicy static_only(fps, wcs.schedule, cpu);
-      const sim::VmaxPolicy vmax(cpu);
-
-      const double e_acs =
-          core::SimulateWith(fps, acs.schedule, cpu, greedy, sampler, seed,
-                             config.hyper_periods)
-              .total_energy;
-      const double e_wcs_greedy =
-          core::SimulateWith(fps, wcs.schedule, cpu, greedy, sampler, seed,
-                             config.hyper_periods)
-              .total_energy;
-      const double e_wcs_static =
-          core::SimulateWith(fps, wcs.schedule, cpu, static_only, sampler,
-                             seed, config.hyper_periods)
-              .total_energy;
-      const double e_vmax =
-          core::SimulateWith(fps, wcs.schedule, cpu, vmax, sampler, seed,
-                             config.hyper_periods)
-              .total_energy;
-
-      vs_wcs_greedy.Add((e_wcs_greedy - e_acs) / e_wcs_greedy);
-      vs_wcs_static.Add((e_wcs_static - e_acs) / e_wcs_static);
-      vs_vmax.Add((e_vmax - e_acs) / e_vmax);
+    for (const runner::CellResult& cell : result.cells) {
+      if (!cell.ok()) {
+        continue;
+      }
+      vs_wcs_greedy.Add(cell.ImprovementOver(kAcs, 1));
+      vs_wcs_static.Add(cell.ImprovementOver(kAcs, 2));
+      vs_vmax.Add(cell.ImprovementOver(kAcs, 3));
 
       // Uniform average-utilisation floor: all average cycles at the
-      // voltage that sustains the average load.
+      // voltage that sustains the average load.  The grid materialises the
+      // cell's task set deterministically for the post-hoc computation.
+      const model::TaskSet set = grid.MaterializeTaskSet(cell.coord);
       const double avg_util = set.AverageUtilization(cpu);
       const double v_floor =
           cpu.ClampVoltage(cpu.VoltageForSpeed(avg_util * cpu.MaxSpeed()));
@@ -96,10 +85,16 @@ int main(int argc, char** argv) {
         avg_cycles_per_hp += t.acec * static_cast<double>(
                                           set.hyper_period() / t.period);
       }
-      const double floor_energy = cpu.Energy(v_floor, avg_cycles_per_hp) *
-                                  static_cast<double>(config.hyper_periods);
-      headroom.Add(e_acs / floor_energy);
+      const double floor_energy = cpu.Energy(v_floor, avg_cycles_per_hp);
+      headroom.Add(cell.outcomes[kAcs].measured_energy / floor_energy);
     }
+
+    if (result.failed_cells > 0) {
+      std::cerr << "WARNING: " << result.failed_cells << " of "
+                << grid.CellCount() << " cells failed and were skipped\n";
+    }
+    ACS_REQUIRE(vs_wcs_greedy.count() > 0,
+                "every grid cell failed; nothing to report");
 
     util::TextTable table({"ACS improvement vs", "mean", "min", "max"});
     const auto add = [&table](const char* name, const stats::OnlineStats& s) {
@@ -109,7 +104,7 @@ int main(int argc, char** argv) {
     };
     std::cout << "Ablation: baseline strength (" << num_tasks
               << " tasks, ratio " << ratio << ", " << config.tasksets
-              << " sets)\n\n";
+              << " sets, " << config.ResolvedThreads() << " threads)\n\n";
     add("WCS + greedy reclamation", vs_wcs_greedy);
     add("WCS static-only (no reclamation)", vs_wcs_static);
     add("no DVS (always Vmax)", vs_vmax);

@@ -3,7 +3,8 @@
 // The paper's sigma is lost to OCR; we default to (WCEC-BCEC)/6.  This bench
 // sweeps the divisor to show how the reported improvement depends on that
 // choice: tighter distributions concentrate at ACEC (where ACS plans),
-// wider ones push more mass toward WCEC.
+// wider ones push more mass toward WCEC.  The sweep runs as one
+// runner::RunGrid with the sigma divisor as a grid axis.
 #include <iostream>
 
 #include "bench_common.h"
@@ -27,7 +28,13 @@ int main(int argc, char** argv) {
     config.Finalize();
 
     const model::LinearDvsModel cpu = workload::DefaultModel();
-    const double divisors[] = {2.0, 4.0, 6.0, 10.0, 20.0};
+
+    workload::RandomTaskSetOptions gen;
+    gen.num_tasks = 6;
+    gen.bcec_wcec_ratio = 0.1;
+    runner::ExperimentGrid grid = config.MakeGrid(
+        cpu, {runner::RandomSource("random-6", gen, config.tasksets)});
+    grid.sigma_divisors = {2.0, 4.0, 6.0, 10.0, 20.0};
 
     util::TextTable table({"sigma divisor", "sigma/(WCEC-BCEC)",
                            "mean improvement", "misses"});
@@ -35,36 +42,37 @@ int main(int argc, char** argv) {
                         "improvement_stddev", "deadline_misses"});
 
     std::cout << "Ablation: workload sigma (6 tasks, ratio 0.1, "
-              << config.tasksets << " sets/point)\n\n";
+              << config.tasksets << " sets/point, " << config.ResolvedThreads()
+              << " threads)\n\n";
 
-    for (double divisor : divisors) {
+    const runner::GridResult result =
+        runner::RunGrid(grid, config.RunOpts());
+    const std::size_t baseline = grid.BaselineIndex();
+    // Improvement column tracks the first non-baseline method.
+    const std::size_t method = bench::FirstNonBaseline(grid);
+
+    for (std::size_t s = 0; s < grid.sigma_divisors.size(); ++s) {
       stats::OnlineStats improvement;
       std::int64_t misses = 0;
-      stats::Rng stream(config.seed + static_cast<std::uint64_t>(divisor));
-      for (std::int64_t i = 0; i < config.tasksets; ++i) {
-        workload::RandomTaskSetOptions gen;
-        gen.num_tasks = 6;
-        gen.bcec_wcec_ratio = 0.1;
-        stats::Rng set_rng = stream.Fork();
-        const model::TaskSet set =
-            workload::GenerateRandomTaskSet(gen, cpu, set_rng);
-        core::ExperimentOptions options;
-        options.hyper_periods = config.hyper_periods;
-        options.seed = stream.NextU64();
-        options.sigma_divisor = divisor;
-        const core::ComparisonResult result =
-            core::CompareAcsWcs(set, cpu, options);
-        improvement.Add(result.Improvement());
-        misses += result.acs.deadline_misses + result.wcs.deadline_misses;
+      for (const runner::CellResult& cell : result.cells) {
+        if (!cell.ok() || cell.coord.sigma_index != s) {
+          continue;
+        }
+        improvement.Add(cell.ImprovementOver(method, baseline));
+        for (const core::MethodOutcome& outcome : cell.outcomes) {
+          misses += outcome.deadline_misses;
+        }
       }
+      const double divisor = grid.sigma_divisors[s];
+      const bool has_data = improvement.count() > 0;
       table.AddRow({util::FormatDouble(divisor, 0),
                     util::FormatDouble(1.0 / divisor, 3),
-                    util::FormatPercent(improvement.mean()),
+                    has_data ? util::FormatPercent(improvement.mean()) : "n/a",
                     std::to_string(misses)});
       csv.NewRow()
           .Add(divisor, 1)
-          .Add(improvement.mean(), 6)
-          .Add(improvement.stddev(), 6)
+          .Add(has_data ? improvement.mean() : 0.0, 6)
+          .Add(has_data ? improvement.stddev() : 0.0, 6)
           .Add(misses);
     }
     bench::Emit(table, csv, config.csv);

@@ -3,7 +3,8 @@
 // The paper fixes U = 70% at Vmax.  This bench sweeps the utilisation to
 // show where ACS's advantage lives: low utilisation leaves slack everywhere
 // (both methods reach low voltages), high utilisation leaves no room to
-// shift end-times.
+// shift end-times.  The sweep runs as one runner::RunGrid with the
+// utilisation as a grid axis.
 #include <iostream>
 
 #include "bench_common.h"
@@ -27,7 +28,13 @@ int main(int argc, char** argv) {
     config.Finalize();
 
     const model::LinearDvsModel cpu = workload::DefaultModel();
-    const double utilizations[] = {0.3, 0.5, 0.7, 0.8, 0.9};
+
+    workload::RandomTaskSetOptions gen;
+    gen.num_tasks = 6;
+    gen.bcec_wcec_ratio = 0.1;
+    runner::ExperimentGrid grid = config.MakeGrid(
+        cpu, {runner::RandomSource("random-6", gen, config.tasksets)});
+    grid.utilizations = {0.3, 0.5, 0.7, 0.8, 0.9};
 
     util::TextTable table({"utilization", "mean improvement", "stddev",
                            "misses"});
@@ -35,37 +42,37 @@ int main(int argc, char** argv) {
                         "improvement_stddev", "deadline_misses"});
 
     std::cout << "Ablation: worst-case utilisation (6 tasks, ratio 0.1, "
-              << config.tasksets << " sets/point; paper fixes 0.7)\n\n";
+              << config.tasksets << " sets/point, " << config.ResolvedThreads()
+              << " threads; paper fixes 0.7)\n\n";
 
-    for (double utilization : utilizations) {
+    const runner::GridResult result =
+        runner::RunGrid(grid, config.RunOpts());
+    const std::size_t baseline = grid.BaselineIndex();
+    // Improvement column tracks the first non-baseline method.
+    const std::size_t method = bench::FirstNonBaseline(grid);
+
+    for (std::size_t u = 0; u < grid.utilizations.size(); ++u) {
       stats::OnlineStats improvement;
       std::int64_t misses = 0;
-      stats::Rng stream(config.seed +
-                        static_cast<std::uint64_t>(utilization * 100));
-      for (std::int64_t i = 0; i < config.tasksets; ++i) {
-        workload::RandomTaskSetOptions gen;
-        gen.num_tasks = 6;
-        gen.bcec_wcec_ratio = 0.1;
-        gen.utilization = utilization;
-        stats::Rng set_rng = stream.Fork();
-        const model::TaskSet set =
-            workload::GenerateRandomTaskSet(gen, cpu, set_rng);
-        core::ExperimentOptions options;
-        options.hyper_periods = config.hyper_periods;
-        options.seed = stream.NextU64();
-        const core::ComparisonResult result =
-            core::CompareAcsWcs(set, cpu, options);
-        improvement.Add(result.Improvement());
-        misses += result.acs.deadline_misses + result.wcs.deadline_misses;
+      for (const runner::CellResult& cell : result.cells) {
+        if (!cell.ok() || cell.coord.util_index != u) {
+          continue;
+        }
+        improvement.Add(cell.ImprovementOver(method, baseline));
+        for (const core::MethodOutcome& outcome : cell.outcomes) {
+          misses += outcome.deadline_misses;
+        }
       }
-      table.AddRow({util::FormatDouble(utilization, 1),
-                    util::FormatPercent(improvement.mean()),
-                    util::FormatPercent(improvement.stddev()),
+      const bool has_data = improvement.count() > 0;
+      table.AddRow({util::FormatDouble(grid.utilizations[u], 1),
+                    has_data ? util::FormatPercent(improvement.mean()) : "n/a",
+                    has_data ? util::FormatPercent(improvement.stddev())
+                             : "n/a",
                     std::to_string(misses)});
       csv.NewRow()
-          .Add(utilization, 2)
-          .Add(improvement.mean(), 6)
-          .Add(improvement.stddev(), 6)
+          .Add(grid.utilizations[u], 2)
+          .Add(has_data ? improvement.mean() : 0.0, 6)
+          .Add(has_data ? improvement.stddev() : 0.0, 6)
           .Add(misses);
     }
     bench::Emit(table, csv, config.csv);

@@ -1,8 +1,12 @@
 #include "bench_common.h"
 
 #include <iostream>
+#include <utility>
 
+#include "runner/thread_pool.h"
+#include "util/error.h"
 #include "util/logging.h"
+#include "util/strings.h"
 #include "workload/random_taskset.h"
 
 namespace dvs::bench {
@@ -15,6 +19,12 @@ void SweepConfig::Register(util::ArgParser& parser) {
   parser.AddInt("seeds", &seeds, "workload streams for fixed task sets");
   parser.AddInt("seed", reinterpret_cast<std::int64_t*>(&seed),
                 "master random seed");
+  parser.AddInt("threads", &threads,
+                "worker threads for grid sweeps (0 = all hardware threads)");
+  parser.AddString("methods", &methods,
+                   "comma-separated registry methods to evaluate");
+  parser.AddString("baseline", &baseline,
+                   "registry method the improvement is measured against");
   parser.AddFlag("paper", &paper,
                  "paper scale: 100 task sets, 1000 hyper-periods");
   parser.AddString("csv", &csv, "write results to this CSV file");
@@ -28,57 +38,103 @@ void SweepConfig::Finalize() {
   }
 }
 
+std::vector<std::string> SweepConfig::MethodList() const {
+  std::vector<std::string> list;
+  std::vector<std::string> parts = util::Split(methods, ',');
+  for (std::string& name : parts) {
+    if (!name.empty()) {
+      list.push_back(std::move(name));
+    }
+  }
+  ACS_REQUIRE(!list.empty(), "--methods must name at least one method");
+  return list;
+}
+
+runner::ExperimentGrid SweepConfig::MakeGrid(
+    const model::DvsModel& dvs, std::vector<runner::TaskSetSource> sources,
+    std::uint64_t grid_label) const {
+  runner::ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = std::move(sources);
+  grid.methods = MethodList();
+  grid.baseline = baseline;
+  grid.hyper_periods = hyper_periods;
+  // Decorrelate grid points sharing one config seed (e.g. fig6a's task-count
+  // x ratio sweep runs one grid per point).
+  grid.master_seed = stats::Rng(seed).ForkWith(grid_label).NextU64();
+  return grid;
+}
+
+std::int64_t SweepConfig::ResolvedThreads() const {
+  return threads > 0 ? threads : runner::ThreadPool::HardwareThreads();
+}
+
+runner::RunOptions SweepConfig::RunOpts() const {
+  runner::RunOptions options;
+  options.threads = static_cast<int>(threads);
+  return options;
+}
+
+std::size_t FirstNonBaseline(const runner::ExperimentGrid& grid) {
+  const std::size_t baseline = grid.BaselineIndex();
+  for (std::size_t m = 0; m < grid.methods.size(); ++m) {
+    if (m != baseline) {
+      return m;
+    }
+  }
+  throw util::InvalidArgumentError(
+      "the grid needs at least one non-baseline method to report an "
+      "improvement");
+}
+
+SweepPoint Collapse(const runner::ExperimentGrid& grid,
+                    const runner::GridResult& result) {
+  SweepPoint point;
+  point.failed_cells = result.failed_cells;
+  point.methods = grid.methods;
+
+  const std::size_t reported = FirstNonBaseline(grid);
+  for (std::size_t m = 0; m < grid.methods.size(); ++m) {
+    const runner::MethodAggregate aggregate = result.Aggregate(grid, m);
+    point.method_energy.push_back(aggregate.measured_energy);
+    point.method_improvement.push_back(aggregate.improvement);
+    point.total_misses += aggregate.deadline_misses;
+    point.fallbacks += aggregate.fallbacks;
+    if (m == reported) {
+      point.improvement = aggregate.improvement;
+    }
+  }
+  return point;
+}
+
 SweepPoint RunRandomSweep(int num_tasks, double ratio,
                           const SweepConfig& config,
                           const model::DvsModel& dvs) {
-  SweepPoint point;
-  stats::Rng master(config.seed);
-  // Decorrelate grid points: fold the grid coordinates into the stream.
-  stats::Rng stream = master.ForkWith(
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = num_tasks;
+  gen.bcec_wcec_ratio = ratio;
+
+  const std::uint64_t label =
       static_cast<std::uint64_t>(num_tasks) * 1000003ULL +
-      static_cast<std::uint64_t>(ratio * 1e6));
-
-  for (std::int64_t i = 0; i < config.tasksets; ++i) {
-    workload::RandomTaskSetOptions gen;
-    gen.num_tasks = num_tasks;
-    gen.bcec_wcec_ratio = ratio;
-    stats::Rng set_rng = stream.Fork();
-    const model::TaskSet set =
-        workload::GenerateRandomTaskSet(gen, dvs, set_rng);
-
-    core::ExperimentOptions options;
-    options.hyper_periods = config.hyper_periods;
-    options.seed = stream.NextU64();
-    const core::ComparisonResult result =
-        core::CompareAcsWcs(set, dvs, options);
-
-    point.improvement.Add(result.Improvement());
-    point.total_misses +=
-        result.acs.deadline_misses + result.wcs.deadline_misses;
-    point.fallbacks += (result.acs.used_fallback ? 1 : 0) +
-                       (result.wcs.used_fallback ? 1 : 0);
-  }
-  return point;
+      static_cast<std::uint64_t>(ratio * 1e6);
+  runner::ExperimentGrid grid = config.MakeGrid(
+      dvs,
+      {runner::RandomSource("random-" + std::to_string(num_tasks), gen,
+                            config.tasksets)},
+      label);
+  return Collapse(grid, runner::RunGrid(grid, config.RunOpts()));
 }
 
 SweepPoint RunFixedSetSweep(const model::TaskSet& set,
                             const SweepConfig& config,
                             const model::DvsModel& dvs) {
-  SweepPoint point;
-  stats::Rng stream(config.seed);
+  runner::ExperimentGrid grid =
+      config.MakeGrid(dvs, {runner::FixedSource("fixed", set)});
+  grid.workload_seeds.clear();
   for (std::int64_t i = 0; i < config.seeds; ++i) {
-    core::ExperimentOptions options;
-    options.hyper_periods = config.hyper_periods;
-    options.seed = stream.NextU64();
-    const core::ComparisonResult result =
-        core::CompareAcsWcs(set, dvs, options);
-    point.improvement.Add(result.Improvement());
-    point.total_misses +=
-        result.acs.deadline_misses + result.wcs.deadline_misses;
-    point.fallbacks += (result.acs.used_fallback ? 1 : 0) +
-                       (result.wcs.used_fallback ? 1 : 0);
+    grid.workload_seeds.push_back(static_cast<std::uint64_t>(i));
   }
-  return point;
+  return Collapse(grid, runner::RunGrid(grid, config.RunOpts()));
 }
 
 void Emit(const util::TextTable& table, const util::CsvTable& csv,

@@ -4,16 +4,23 @@
 // give a minutes-scale run; --paper restores the paper's 100 task sets x
 // 1000 hyper-periods), sweep the paper's parameter grid, print the figure's
 // series as an aligned table, and drop a CSV twin next to the binary.
+//
+// Grid sweeps route through runner::RunGrid: --threads fans cells across a
+// thread pool (bit-identical to the serial run), and --methods selects any
+// comma-separated subset of the core::MethodRegistry by name.
 #ifndef ACS_BENCH_BENCH_COMMON_H
 #define ACS_BENCH_BENCH_COMMON_H
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "model/power_model.h"
 #include "model/task.h"
+#include "runner/experiment_grid.h"
+#include "runner/run_grid.h"
 #include "stats/summary.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -26,6 +33,9 @@ struct SweepConfig {
   std::int64_t hyper_periods = 150; // simulated hyper-periods (paper: 1000)
   std::int64_t seeds = 5;           // workload repetitions for fixed sets
   std::uint64_t seed = 20050307;    // master seed (DATE'05 week, for fun)
+  std::int64_t threads = 1;         // worker threads for grid sweeps
+  std::string methods = "acs,wcs";  // registry methods, comma-separated
+  std::string baseline = "wcs";     // improvement reference method
   bool paper = false;               // restore the paper's full scale
   std::string csv;                  // optional CSV output path
 
@@ -34,22 +44,50 @@ struct SweepConfig {
 
   /// Applies --paper: tasksets=100, hyper_periods=1000, seeds=20.
   void Finalize();
+
+  /// `methods` split on commas (empty fields dropped).
+  std::vector<std::string> MethodList() const;
+
+  /// Worker count after resolving 0 to the hardware thread count.
+  std::int64_t ResolvedThreads() const;
+
+  /// Grid seeded and scaled from this config, with the given sources.
+  runner::ExperimentGrid MakeGrid(const model::DvsModel& dvs,
+                                  std::vector<runner::TaskSetSource> sources,
+                                  std::uint64_t grid_label = 0) const;
+
+  runner::RunOptions RunOpts() const;
 };
 
 struct SweepPoint {
-  stats::OnlineStats improvement;   // ACS-vs-WCS improvement per repetition
-  std::int64_t total_misses = 0;    // across both methods (must stay 0)
+  stats::OnlineStats improvement;   // first non-baseline method vs baseline
+  std::int64_t total_misses = 0;    // across all methods (must stay 0)
   std::int64_t fallbacks = 0;       // scheduler warm-start fallbacks
+  std::size_t failed_cells = 0;     // infeasible draws skipped
+
+  /// Per-method aggregates in grid-method order.
+  std::vector<std::string> methods;
+  std::vector<stats::OnlineStats> method_energy;
+  std::vector<stats::OnlineStats> method_improvement;  // vs baseline
 };
 
-/// Fig. 6 (left): aggregates CompareAcsWcs over `config.tasksets` random
-/// task sets with `num_tasks` tasks at the given BCEC/WCEC ratio.
+/// Index of the first grid method that is not the baseline — the method the
+/// benches' "improvement" column reports.  Throws InvalidArgumentError when
+/// every grid method is the baseline.
+std::size_t FirstNonBaseline(const runner::ExperimentGrid& grid);
+
+/// Collapses a grid run into the legacy sweep-point shape.
+SweepPoint Collapse(const runner::ExperimentGrid& grid,
+                    const runner::GridResult& result);
+
+/// Fig. 6 (left): aggregates `config.tasksets` random task sets with
+/// `num_tasks` tasks at the given BCEC/WCEC ratio through runner::RunGrid.
 SweepPoint RunRandomSweep(int num_tasks, double ratio,
                           const SweepConfig& config,
                           const model::DvsModel& dvs);
 
-/// Fig. 6 (right): aggregates CompareAcsWcs over `config.seeds` workload
-/// streams on one fixed task set.
+/// Fig. 6 (right): aggregates `config.seeds` workload streams on one fixed
+/// task set through runner::RunGrid.
 SweepPoint RunFixedSetSweep(const model::TaskSet& set,
                             const SweepConfig& config,
                             const model::DvsModel& dvs);

@@ -33,24 +33,35 @@ int main(int argc, char** argv) {
 
     std::cout << "Fig. 6 (left) — ACS improvement over WCS, random task sets\n"
               << "(" << config.tasksets << " sets/point, "
-              << config.hyper_periods << " hyper-periods each"
+              << config.hyper_periods << " hyper-periods each, "
+              << config.ResolvedThreads() << " threads"
               << (config.paper ? ", paper scale" : "") << ")\n\n";
 
+    ACS_REQUIRE(config.MethodList().size() >= 2,
+                "this bench reports improvement over the baseline; --methods "
+                "needs at least one non-baseline entry");
     for (int n : task_counts) {
       std::vector<std::string> row{std::to_string(n)};
       for (double ratio : ratios) {
         const bench::SweepPoint point =
             bench::RunRandomSweep(n, ratio, config, cpu);
-        row.push_back(util::FormatPercent(point.improvement.mean()));
+        const bool has_data = point.improvement.count() > 0;
+        row.push_back(has_data ? util::FormatPercent(point.improvement.mean())
+                               : "n/a");
         csv.NewRow()
             .Add(n)
             .Add(ratio, 2)
-            .Add(point.improvement.mean(), 6)
-            .Add(point.improvement.stddev(), 6)
-            .Add(point.improvement.min(), 6)
-            .Add(point.improvement.max(), 6)
+            .Add(has_data ? point.improvement.mean() : 0.0, 6)
+            .Add(has_data ? point.improvement.stddev() : 0.0, 6)
+            .Add(has_data ? point.improvement.min() : 0.0, 6)
+            .Add(has_data ? point.improvement.max() : 0.0, 6)
             .Add(static_cast<std::int64_t>(point.improvement.count()))
             .Add(point.total_misses);
+        if (point.failed_cells != 0) {
+          std::cerr << "WARNING: " << point.failed_cells
+                    << " cells failed and were skipped at n=" << n
+                    << " ratio=" << ratio << "\n";
+        }
         if (point.total_misses != 0) {
           std::cerr << "WARNING: deadline misses at n=" << n
                     << " ratio=" << ratio << "\n";

@@ -35,9 +35,31 @@ int main(int argc, char** argv) {
     std::cout << "Fig. 6 (right) — ACS improvement over WCS, real-life "
                  "applications\n("
               << config.seeds << " workload streams/point, "
-              << config.hyper_periods << " hyper-periods each"
+              << config.hyper_periods << " hyper-periods each, "
+              << config.ResolvedThreads() << " threads"
               << (config.paper ? ", paper scale" : "") << ")\n\n";
 
+    ACS_REQUIRE(config.MethodList().size() >= 2,
+                "this bench reports improvement over the baseline; --methods "
+                "needs at least one non-baseline entry");
+    const auto emit = [&csv](const char* app, double ratio,
+                             const bench::SweepPoint& point) {
+      const bool has_data = point.improvement.count() > 0;
+      csv.NewRow()
+          .Add(app)
+          .Add(ratio, 2)
+          .Add(has_data ? point.improvement.mean() : 0.0, 6)
+          .Add(has_data ? point.improvement.stddev() : 0.0, 6)
+          .Add(static_cast<std::int64_t>(point.improvement.count()))
+          .Add(point.total_misses);
+      if (point.failed_cells != 0) {
+        std::cerr << "WARNING: " << point.failed_cells << " " << app
+                  << " cells failed and were skipped at ratio " << ratio
+                  << "\n";
+      }
+      return has_data ? util::FormatPercent(point.improvement.mean())
+                      : std::string("n/a");
+    };
     for (double ratio : ratios) {
       workload::CncOptions cnc_options;
       cnc_options.bcec_wcec_ratio = ratio;
@@ -49,23 +71,8 @@ int main(int argc, char** argv) {
       const model::TaskSet gap = workload::GapTaskSet(gap_options, cpu);
       const bench::SweepPoint pg = bench::RunFixedSetSweep(gap, config, cpu);
 
-      table.AddRow({util::FormatDouble(ratio, 1),
-                    util::FormatPercent(pc.improvement.mean()),
-                    util::FormatPercent(pg.improvement.mean())});
-      csv.NewRow()
-          .Add("cnc")
-          .Add(ratio, 2)
-          .Add(pc.improvement.mean(), 6)
-          .Add(pc.improvement.stddev(), 6)
-          .Add(static_cast<std::int64_t>(pc.improvement.count()))
-          .Add(pc.total_misses);
-      csv.NewRow()
-          .Add("gap")
-          .Add(ratio, 2)
-          .Add(pg.improvement.mean(), 6)
-          .Add(pg.improvement.stddev(), 6)
-          .Add(static_cast<std::int64_t>(pg.improvement.count()))
-          .Add(pg.total_misses);
+      table.AddRow({util::FormatDouble(ratio, 1), emit("cnc", ratio, pc),
+                    emit("gap", ratio, pg)});
       if (pc.total_misses + pg.total_misses != 0) {
         std::cerr << "WARNING: deadline misses at ratio " << ratio << "\n";
       }

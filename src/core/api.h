@@ -8,14 +8,16 @@
 //   core::ComparisonResult r = core::CompareAcsWcs(set, cpu, {});
 //
 // Layering (see DESIGN.md): util <- stats <- model <- {fps, opt} <- sim <-
-// core <- workload.  Downstream users normally need only this header plus
-// the workload builders they care about.
+// core <- workload <- runner.  Downstream users normally need only this
+// header plus the workload builders they care about; parallel experiment
+// grids additionally include runner/run_grid.h.
 #ifndef ACS_CORE_API_H
 #define ACS_CORE_API_H
 
 #include "core/case_analysis.h"
 #include "core/formulation.h"
 #include "core/full_nlp.h"
+#include "core/method_registry.h"
 #include "core/pipeline.h"
 #include "core/scheduler.h"
 #include "fps/expansion.h"

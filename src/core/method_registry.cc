@@ -1,0 +1,196 @@
+#include "core/method_registry.h"
+
+#include <utility>
+
+#include "core/formulation.h"
+#include "sim/engine.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dvs::core {
+namespace {
+
+/// Average-scenario energy of running every instance at Vmax (the no-DVS
+/// ceiling): voltage is fixed, so the estimate is exact, not a replay.
+double VmaxAverageEnergy(const fps::FullyPreemptiveSchedule& fps,
+                         const model::DvsModel& dvs) {
+  const model::TaskSet& set = fps.task_set();
+  double energy = 0.0;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    energy += static_cast<double>(set.InstanceCount(i)) *
+              dvs.Energy(dvs.vmax(), set.task(i).acec);
+  }
+  return energy;
+}
+
+/// Average-scenario greedy-runtime energy of an arbitrary feasible schedule
+/// (the same forward replay the NLP objective optimises).
+double GreedyAverageEnergy(const fps::FullyPreemptiveSchedule& fps,
+                           const model::DvsModel& dvs,
+                           const sim::StaticSchedule& schedule) {
+  const EnergyObjective objective(fps, dvs, Scenario::kAverage);
+  return objective.Replay(objective.PackSchedule(schedule)).total_energy;
+}
+
+class AcsMethod final : public ScheduleMethod {
+ public:
+  MethodPlan Plan(MethodContext& context) const override {
+    ScheduleResult acs =
+        context.scheduler().warm_start_acs_with_wcs
+            ? SolveSchedule(context.fps(), context.dvs(), Scenario::kAverage,
+                            context.scheduler(), context.Wcs().schedule)
+            : SolveAcs(context.fps(), context.dvs(), context.scheduler());
+    MethodPlan plan{std::move(acs.schedule),
+                    std::make_unique<sim::GreedyReclaimPolicy>(context.dvs()),
+                    acs.predicted_energy, acs.used_fallback};
+    return plan;
+  }
+};
+
+class WcsMethod final : public ScheduleMethod {
+ public:
+  MethodPlan Plan(MethodContext& context) const override {
+    const ScheduleResult& wcs = context.Wcs();
+    MethodPlan plan{wcs.schedule,
+                    std::make_unique<sim::GreedyReclaimPolicy>(context.dvs()),
+                    wcs.predicted_energy, wcs.used_fallback};
+    return plan;
+  }
+};
+
+class WcsStaticMethod final : public ScheduleMethod {
+ public:
+  MethodPlan Plan(MethodContext& context) const override {
+    const ScheduleResult& wcs = context.Wcs();
+    MethodPlan plan{wcs.schedule,
+                    std::make_unique<sim::StaticOnlyPolicy>(
+                        context.fps(), wcs.schedule, context.dvs()),
+                    wcs.predicted_energy, wcs.used_fallback};
+    return plan;
+  }
+};
+
+class GreedyReclaimMethod final : public ScheduleMethod {
+ public:
+  MethodPlan Plan(MethodContext& context) const override {
+    const sim::StaticSchedule& asap = context.VmaxAsap();
+    MethodPlan plan{asap,
+                    std::make_unique<sim::GreedyReclaimPolicy>(context.dvs()),
+                    GreedyAverageEnergy(context.fps(), context.dvs(), asap),
+                    false};
+    return plan;
+  }
+};
+
+class StaticVmaxMethod final : public ScheduleMethod {
+ public:
+  MethodPlan Plan(MethodContext& context) const override {
+    MethodPlan plan{context.VmaxAsap(),
+                    std::make_unique<sim::VmaxPolicy>(context.dvs()),
+                    VmaxAverageEnergy(context.fps(), context.dvs()), false};
+    return plan;
+  }
+};
+
+}  // namespace
+
+const ScheduleResult& MethodContext::Wcs() {
+  if (!wcs_.has_value()) {
+    wcs_ = SolveWcs(*fps_, *dvs_, *scheduler_);
+  }
+  return *wcs_;
+}
+
+const sim::StaticSchedule& MethodContext::VmaxAsap() {
+  if (!vmax_asap_.has_value()) {
+    vmax_asap_ = sim::BuildVmaxAsapSchedule(*fps_, *dvs_);
+  }
+  return *vmax_asap_;
+}
+
+const MethodRegistry& MethodRegistry::Builtin() {
+  static const MethodRegistry registry = [] {
+    MethodRegistry built;
+    built.Register("acs", "ACS full-NLP schedule + greedy online reclamation",
+                   std::make_unique<AcsMethod>());
+    built.Register("wcs", "WCS schedule + greedy online reclamation",
+                   std::make_unique<WcsMethod>());
+    built.Register("wcs-static",
+                   "WCS schedule, offline voltages only (no reclamation)",
+                   std::make_unique<WcsStaticMethod>());
+    built.Register("greedy-reclaim",
+                   "Vmax-ASAP schedule + greedy reclamation (online only)",
+                   std::make_unique<GreedyReclaimMethod>());
+    built.Register("static-vmax", "Vmax throughout (the no-DVS ceiling)",
+                   std::make_unique<StaticVmaxMethod>());
+    return built;
+  }();
+  return registry;
+}
+
+void MethodRegistry::Register(std::string name, std::string description,
+                              std::unique_ptr<const ScheduleMethod> method) {
+  ACS_REQUIRE(!name.empty(), "method name must be non-empty");
+  ACS_REQUIRE(method != nullptr, "method must be non-null");
+  ACS_REQUIRE(!Contains(name), "duplicate method name: " + name);
+  entries_.push_back(
+      Entry{std::move(name), std::move(description), std::move(method)});
+}
+
+bool MethodRegistry::Contains(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const MethodRegistry::Entry& MethodRegistry::Find(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return entry;
+    }
+  }
+  throw util::InvalidArgumentError("unknown schedule method \"" + name +
+                                   "\"; registered methods: " +
+                                   util::Join(Names(), ", "));
+}
+
+const ScheduleMethod& MethodRegistry::Get(const std::string& name) const {
+  return *Find(name).method;
+}
+
+const std::string& MethodRegistry::Description(const std::string& name) const {
+  return Find(name).description;
+}
+
+std::vector<std::string> MethodRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+MethodOutcome EvaluateMethod(const ScheduleMethod& method,
+                             MethodContext& context,
+                             const ExperimentOptions& options) {
+  const MethodPlan plan = method.Plan(context);
+  const model::TruncatedNormalWorkload sampler(context.fps().task_set(),
+                                               options.sigma_divisor);
+  const sim::SimResult sim =
+      SimulateWith(context.fps(), plan.schedule, context.dvs(), *plan.policy,
+                   sampler, options.seed, options.hyper_periods);
+
+  MethodOutcome outcome;
+  outcome.predicted_energy = plan.predicted_energy;
+  outcome.measured_energy = sim.EnergyPerHyperPeriod(options.hyper_periods);
+  outcome.deadline_misses = sim.deadline_misses;
+  outcome.used_fallback = plan.used_fallback;
+  return outcome;
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,135 @@
+// Named scheduling methods and the registry that makes them selectable.
+//
+// A ScheduleMethod bundles the two halves of one experiment arm:
+//
+//   offline — construct a feasible StaticSchedule for the task set (solve
+//             the ACS NLP, solve the WCS baseline, or build a closed-form
+//             schedule such as Vmax-ASAP);
+//   online  — the sim::DvsPolicy the engine dispatches through.
+//
+// The registry decouples experiment drivers (core::CompareAcsWcs, the
+// runner subsystem, the benches) from the concrete strategy list: a new
+// baseline is one Register() call, and experiment grids select methods by
+// name.  Built-ins (see MethodRegistry::Builtin):
+//
+//   acs            ACS full-NLP schedule + greedy online reclamation
+//                  (the paper's scheme)
+//   wcs            WCS schedule + greedy online reclamation (the paper's
+//                  comparison baseline)
+//   wcs-static     WCS schedule, offline voltages only — isolates the
+//                  static end-times from the online slack pass-through
+//   greedy-reclaim Vmax-ASAP schedule + greedy reclamation — pure online
+//                  slack reclamation with no offline optimisation
+//   static-vmax    Vmax-ASAP schedule at Vmax throughout — the no-DVS
+//                  energy ceiling
+#ifndef ACS_CORE_METHOD_REGISTRY_H
+#define ACS_CORE_METHOD_REGISTRY_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/scheduler.h"
+#include "fps/expansion.h"
+#include "model/power_model.h"
+#include "sim/policy.h"
+#include "sim/static_schedule.h"
+
+namespace dvs::core {
+
+/// Per-task-set solve state shared by every method evaluated on one cell.
+/// The WCS solution doubles as the ACS warm start and as its own arm, and
+/// the Vmax-ASAP schedule seeds two baselines, so both are solved lazily
+/// once and cached here.  Not thread-safe: parallel experiment drivers use
+/// one MethodContext per cell (see runner::RunGrid).
+class MethodContext {
+ public:
+  MethodContext(const fps::FullyPreemptiveSchedule& fps,
+                const model::DvsModel& dvs, const SchedulerOptions& scheduler)
+      : fps_(&fps), dvs_(&dvs), scheduler_(&scheduler) {}
+
+  const fps::FullyPreemptiveSchedule& fps() const { return *fps_; }
+  const model::DvsModel& dvs() const { return *dvs_; }
+  const SchedulerOptions& scheduler() const { return *scheduler_; }
+
+  /// Solves (once) and returns the WCS schedule.
+  const ScheduleResult& Wcs();
+
+  /// Builds (once) and returns the Vmax-ASAP schedule.  Throws
+  /// InfeasibleError when the set is not RM-schedulable at Vmax.
+  const sim::StaticSchedule& VmaxAsap();
+
+ private:
+  const fps::FullyPreemptiveSchedule* fps_;
+  const model::DvsModel* dvs_;
+  const SchedulerOptions* scheduler_;
+  std::optional<ScheduleResult> wcs_;
+  std::optional<sim::StaticSchedule> vmax_asap_;
+};
+
+/// The offline product of one method: a feasible static schedule plus the
+/// policy that dispatches it online.
+struct MethodPlan {
+  sim::StaticSchedule schedule;
+  std::unique_ptr<sim::DvsPolicy> policy;
+  double predicted_energy = 0.0;  // the method's own offline estimate
+  bool used_fallback = false;     // an NLP repair fell back to its warm start
+};
+
+/// One named strategy.  Implementations are stateless and const, so a single
+/// instance may be shared across threads; all per-cell state lives in the
+/// MethodContext.
+class ScheduleMethod {
+ public:
+  virtual ~ScheduleMethod() = default;
+  virtual MethodPlan Plan(MethodContext& context) const = 0;
+};
+
+/// Name -> strategy map.  Lookups on a fully-built registry are const and
+/// safe to share across threads; Register() is not (populate before use).
+class MethodRegistry {
+ public:
+  /// The immutable registry of built-in methods listed above.
+  static const MethodRegistry& Builtin();
+
+  MethodRegistry() = default;
+
+  /// Registers a method; throws InvalidArgumentError on duplicate names.
+  void Register(std::string name, std::string description,
+                std::unique_ptr<const ScheduleMethod> method);
+
+  bool Contains(const std::string& name) const;
+
+  /// Throws InvalidArgumentError naming the unknown method and listing the
+  /// registered ones.
+  const ScheduleMethod& Get(const std::string& name) const;
+  const std::string& Description(const std::string& name) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string description;
+    std::unique_ptr<const ScheduleMethod> method;
+  };
+  const Entry& Find(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// Plans `method` and simulates it under the experiment's truncated-normal
+/// workload.  Methods evaluated with the same `options.seed` face identical
+/// workload realisations — the paper's methodology for fair comparisons.
+/// Planning reads `context.scheduler()` exclusively; `options.scheduler` is
+/// not consulted here, so construct the context from the same options.
+MethodOutcome EvaluateMethod(const ScheduleMethod& method,
+                             MethodContext& context,
+                             const ExperimentOptions& options);
+
+}  // namespace dvs::core
+
+#endif  // ACS_CORE_METHOD_REGISTRY_H

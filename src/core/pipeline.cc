@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "core/method_registry.h"
 #include "sim/policy.h"
 #include "util/error.h"
 
@@ -32,36 +33,18 @@ sim::SimResult SimulateSchedule(const fps::FullyPreemptiveSchedule& fps,
 ComparisonResult CompareAcsWcs(const model::TaskSet& set,
                                const model::DvsModel& dvs,
                                const ExperimentOptions& options) {
+  // Compatibility shim over the method registry: the "acs" arm solves WCS
+  // first for its warm start (cached in the context, so the "wcs" arm reuses
+  // it), and both arms simulate with identical workload streams — the exact
+  // computation sequence of the original hard-coded pair.
   const fps::FullyPreemptiveSchedule fps(set);
+  const MethodRegistry& registry = MethodRegistry::Builtin();
+  MethodContext context(fps, dvs, options.scheduler);
 
   ComparisonResult result;
   result.sub_instances = fps.sub_count();
-
-  const ScheduleResult wcs = SolveWcs(fps, dvs, options.scheduler);
-  ScheduleResult acs =
-      options.scheduler.warm_start_acs_with_wcs
-          ? SolveSchedule(fps, dvs, Scenario::kAverage, options.scheduler,
-                          wcs.schedule)
-          : SolveAcs(fps, dvs, options.scheduler);
-
-  // Identical workload streams: both methods face the same realisations.
-  const sim::SimResult acs_sim =
-      SimulateSchedule(fps, acs.schedule, dvs, options);
-  const sim::SimResult wcs_sim =
-      SimulateSchedule(fps, wcs.schedule, dvs, options);
-
-  result.acs.predicted_energy = acs.predicted_energy;
-  result.acs.measured_energy =
-      acs_sim.EnergyPerHyperPeriod(options.hyper_periods);
-  result.acs.deadline_misses = acs_sim.deadline_misses;
-  result.acs.used_fallback = acs.used_fallback;
-
-  result.wcs.predicted_energy = wcs.predicted_energy;
-  result.wcs.measured_energy =
-      wcs_sim.EnergyPerHyperPeriod(options.hyper_periods);
-  result.wcs.deadline_misses = wcs_sim.deadline_misses;
-  result.wcs.used_fallback = wcs.used_fallback;
-
+  result.acs = EvaluateMethod(registry.Get("acs"), context, options);
+  result.wcs = EvaluateMethod(registry.Get("wcs"), context, options);
   return result;
 }
 

@@ -1,7 +1,8 @@
 // End-to-end experiment pipeline: task set -> offline schedules (ACS + WCS)
 // -> online simulation on identical workload realisations -> energy
-// comparison.  This is the public API the benches, the examples and most
-// integration tests drive.
+// comparison.  CompareAcsWcs is now a thin shim over the method registry
+// (core/method_registry.h); grids of experiments across many methods go
+// through runner::RunGrid instead.
 #ifndef ACS_CORE_PIPELINE_H
 #define ACS_CORE_PIPELINE_H
 

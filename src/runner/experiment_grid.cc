@@ -1,0 +1,147 @@
+#include "runner/experiment_grid.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace dvs::runner {
+namespace {
+
+// Fixed sources ignore the utilization override, so the axis would only
+// duplicate identical cells for them — it applies to random sources alone.
+std::size_t UtilCells(const ExperimentGrid& grid, const TaskSetSource& source) {
+  return (source.fixed.has_value() || grid.utilizations.empty())
+             ? 1
+             : grid.utilizations.size();
+}
+
+std::size_t InnerCells(const ExperimentGrid& grid,
+                       const TaskSetSource& source) {
+  return UtilCells(grid, source) * grid.sigma_divisors.size() *
+         grid.workload_seeds.size();
+}
+
+}  // namespace
+
+TaskSetSource FixedSource(std::string label, model::TaskSet set) {
+  TaskSetSource source;
+  source.label = std::move(label);
+  source.fixed = std::move(set);
+  return source;
+}
+
+TaskSetSource RandomSource(std::string label,
+                           const workload::RandomTaskSetOptions& options,
+                           std::int64_t replicates) {
+  TaskSetSource source;
+  source.label = std::move(label);
+  source.random = options;
+  source.replicates = replicates;
+  return source;
+}
+
+std::size_t ExperimentGrid::CellCount() const {
+  std::size_t cells = 0;
+  for (const TaskSetSource& source : sources) {
+    cells += static_cast<std::size_t>(source.Replicates()) *
+             InnerCells(*this, source);
+  }
+  return cells;
+}
+
+CellCoord ExperimentGrid::Coord(std::size_t cell_index) const {
+  ACS_REQUIRE(cell_index < CellCount(), "cell index out of range");
+  CellCoord coord;
+  coord.cell_index = cell_index;
+
+  std::size_t remaining = cell_index;
+  std::size_t inner = 0;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    inner = InnerCells(*this, sources[s]);
+    const std::size_t block =
+        static_cast<std::size_t>(sources[s].Replicates()) * inner;
+    if (remaining < block) {
+      coord.source = s;
+      break;
+    }
+    remaining -= block;
+  }
+
+  coord.replicate = static_cast<std::int64_t>(remaining / inner);
+  remaining %= inner;
+
+  const std::size_t utils = UtilCells(*this, sources[coord.source]);
+  const std::size_t sigma_seed = sigma_divisors.size() * workload_seeds.size();
+  coord.util_index = remaining / sigma_seed;
+  remaining %= sigma_seed;
+  coord.sigma_index = remaining / workload_seeds.size();
+  coord.seed_index = remaining % workload_seeds.size();
+  ACS_CHECK(coord.util_index < utils, "grid coordinate decode overflow");
+  return coord;
+}
+
+std::size_t ExperimentGrid::BaselineIndex() const {
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    if (methods[i] == baseline) {
+      return i;
+    }
+  }
+  throw util::InvalidArgumentError("grid baseline \"" + baseline +
+                                   "\" is not among the grid methods");
+}
+
+void ExperimentGrid::Validate(const core::MethodRegistry& registry) const {
+  ACS_REQUIRE(dvs != nullptr, "grid needs a DVS model");
+  ACS_REQUIRE(!sources.empty(), "grid needs at least one task-set source");
+  ACS_REQUIRE(!sigma_divisors.empty(), "grid needs a sigma divisor");
+  ACS_REQUIRE(!workload_seeds.empty(), "grid needs a workload seed");
+  ACS_REQUIRE(!methods.empty(), "grid needs at least one method");
+  ACS_REQUIRE(hyper_periods > 0, "grid hyper_periods must be positive");
+  for (const TaskSetSource& source : sources) {
+    ACS_REQUIRE(source.fixed.has_value() || source.replicates > 0,
+                "random source \"" + source.label +
+                    "\" needs a positive replicate count");
+  }
+  for (double divisor : sigma_divisors) {
+    ACS_REQUIRE(divisor > 0.0, "sigma divisors must be positive");
+  }
+  for (double utilization : utilizations) {
+    ACS_REQUIRE(utilization > 0.0 && utilization < 1.0,
+                "utilizations must lie in (0, 1)");
+  }
+  for (const std::string& name : methods) {
+    registry.Get(name);  // throws with the full method list on failure
+  }
+  BaselineIndex();  // throws when the baseline is missing
+}
+
+stats::Rng ExperimentGrid::CellRng(std::size_t cell_index) const {
+  stats::Rng master(master_seed);
+  return master.ForkWith(static_cast<std::uint64_t>(cell_index));
+}
+
+ExperimentGrid::CellStreams ExperimentGrid::Streams(
+    const CellCoord& coord) const {
+  stats::Rng cell_rng = CellRng(coord.cell_index);
+  stats::Rng set_rng = cell_rng.Fork();
+  const std::uint64_t workload_seed =
+      cell_rng.ForkWith(workload_seeds[coord.seed_index]).NextU64();
+  return CellStreams{set_rng, workload_seed};
+}
+
+model::TaskSet ExperimentGrid::MaterializeTaskSet(
+    const CellCoord& coord) const {
+  const TaskSetSource& source = sources.at(coord.source);
+  if (source.fixed.has_value()) {
+    return *source.fixed;
+  }
+  ACS_REQUIRE(dvs != nullptr, "grid needs a DVS model");
+  workload::RandomTaskSetOptions options = source.random;
+  if (!utilizations.empty()) {
+    options.utilization = utilizations[coord.util_index];
+  }
+  CellStreams streams = Streams(coord);
+  return workload::GenerateRandomTaskSet(options, *dvs, streams.set_rng);
+}
+
+}  // namespace dvs::runner

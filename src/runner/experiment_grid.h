@@ -1,0 +1,109 @@
+// Declarative experiment-grid descriptor.
+//
+// An ExperimentGrid is the cartesian product of
+//
+//   task-set sources x replicates x utilizations x sigma divisors x seeds
+//
+// where every product point is one *cell*.  Within a cell the grid's
+// registry methods are all evaluated on the same task set and identical
+// workload realisations (the paper's fair-comparison methodology), so the
+// method list is an inner dimension of the cell, not a cell axis — shared
+// solves (WCS warm start, Vmax-ASAP) then amortise across methods through
+// the core::MethodContext.
+//
+// Seeding: every cell derives an independent stats::Rng stream from
+// (master_seed, cell_index) alone, so a cell's result is a pure function of
+// the grid — execution order and thread count cannot change any bit of the
+// output (see runner/run_grid.h and the runner determinism test).
+#ifndef ACS_RUNNER_EXPERIMENT_GRID_H
+#define ACS_RUNNER_EXPERIMENT_GRID_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/method_registry.h"
+#include "core/scheduler.h"
+#include "model/power_model.h"
+#include "model/task.h"
+#include "stats/rng.h"
+#include "workload/random_taskset.h"
+
+namespace dvs::runner {
+
+/// One task-set axis entry: either a fixed (real-life) set replayed under
+/// different workload streams, or a random-generator spec drawn `replicates`
+/// times with independent per-cell streams.
+struct TaskSetSource {
+  std::string label;
+  std::optional<model::TaskSet> fixed;
+  workload::RandomTaskSetOptions random;  // used when !fixed
+  std::int64_t replicates = 1;            // forced to 1 for fixed sets
+
+  std::int64_t Replicates() const { return fixed.has_value() ? 1 : replicates; }
+};
+
+TaskSetSource FixedSource(std::string label, model::TaskSet set);
+TaskSetSource RandomSource(std::string label,
+                           const workload::RandomTaskSetOptions& options,
+                           std::int64_t replicates);
+
+/// Position of one cell in the grid (plus its flattened index).
+struct CellCoord {
+  std::size_t cell_index = 0;
+  std::size_t source = 0;     // index into ExperimentGrid::sources
+  std::int64_t replicate = 0; // 0 .. Replicates()-1
+  std::size_t util_index = 0; // index into utilizations (0 when empty)
+  std::size_t sigma_index = 0;
+  std::size_t seed_index = 0; // index into workload_seeds
+};
+
+struct ExperimentGrid {
+  const model::DvsModel* dvs = nullptr;  // non-owning; required
+  std::vector<TaskSetSource> sources;
+  /// Worst-case utilization overrides for random sources; empty keeps each
+  /// source's own value.  Fixed sources ignore this axis.
+  std::vector<double> utilizations;
+  std::vector<double> sigma_divisors = {6.0};
+  /// Workload-stream labels: each entry yields an independent realisation
+  /// stream per cell (replaying fixed sets under `k` streams = `k` entries).
+  std::vector<std::uint64_t> workload_seeds = {0};
+  /// Registry method names evaluated per cell, e.g. {"acs", "wcs"}.
+  std::vector<std::string> methods = {"acs", "wcs"};
+  /// Improvement reference; must be listed in `methods`.
+  std::string baseline = "wcs";
+  std::int64_t hyper_periods = 200;
+  std::uint64_t master_seed = 20050307;
+  core::SchedulerOptions scheduler;
+
+  std::size_t CellCount() const;
+  CellCoord Coord(std::size_t cell_index) const;
+
+  /// Index of `baseline` within `methods`.
+  std::size_t BaselineIndex() const;
+
+  /// Validates axes and resolves every method name against `registry`;
+  /// throws InvalidArgumentError with the offending field on failure.
+  void Validate(const core::MethodRegistry& registry) const;
+
+  /// The independent per-cell stream: a pure function of (master_seed,
+  /// cell_index).
+  stats::Rng CellRng(std::size_t cell_index) const;
+
+  /// The two streams one cell consumes, in derivation order.
+  struct CellStreams {
+    stats::Rng set_rng;            // task-set generation
+    std::uint64_t workload_seed;   // workload realisations
+  };
+  CellStreams Streams(const CellCoord& coord) const;
+
+  /// Draws (random source) or copies (fixed source) the cell's task set —
+  /// bit-identical to what RunGrid evaluates, so benches can recover any
+  /// cell's input after the fact.
+  model::TaskSet MaterializeTaskSet(const CellCoord& coord) const;
+};
+
+}  // namespace dvs::runner
+
+#endif  // ACS_RUNNER_EXPERIMENT_GRID_H

@@ -1,0 +1,143 @@
+#include "runner/run_grid.h"
+
+#include "fps/expansion.h"
+#include "runner/thread_pool.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace dvs::runner {
+namespace {
+
+CellResult RunCell(const ExperimentGrid& grid,
+                   const std::vector<const core::ScheduleMethod*>& methods,
+                   std::size_t cell_index) {
+  CellResult cell;
+  cell.coord = grid.Coord(cell_index);
+  try {
+    const ExperimentGrid::CellStreams streams = grid.Streams(cell.coord);
+    const model::TaskSet set = grid.MaterializeTaskSet(cell.coord);
+    const fps::FullyPreemptiveSchedule fps(set);
+    cell.sub_instances = fps.sub_count();
+
+    core::ExperimentOptions options;
+    options.hyper_periods = grid.hyper_periods;
+    options.sigma_divisor = grid.sigma_divisors[cell.coord.sigma_index];
+    options.seed = streams.workload_seed;
+    options.scheduler = grid.scheduler;
+
+    // One context per cell: the WCS / Vmax-ASAP solves amortise across the
+    // methods while every method sees the identical workload stream.
+    core::MethodContext context(fps, *grid.dvs, options.scheduler);
+    cell.outcomes.reserve(methods.size());
+    for (const core::ScheduleMethod* method : methods) {
+      cell.outcomes.push_back(EvaluateMethod(*method, context, options));
+    }
+  } catch (const util::Error& error) {
+    cell.outcomes.clear();
+    cell.error = error.what();
+    ACS_LOG_WARN << "grid cell " << cell_index << " failed: " << cell.error;
+  }
+  return cell;
+}
+
+}  // namespace
+
+double CellResult::ImprovementOver(std::size_t method_index,
+                                   std::size_t baseline_index) const {
+  const double base = outcomes.at(baseline_index).measured_energy;
+  const double measured = outcomes.at(method_index).measured_energy;
+  return base > 0.0 ? (base - measured) / base : 0.0;
+}
+
+void ProgressSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  method_energy_.resize(grid.methods.size());
+  ++completed_;
+  if (!cell.ok()) {
+    ++failed_;
+    return;
+  }
+  for (std::size_t m = 0; m < cell.outcomes.size(); ++m) {
+    method_energy_[m].Add(cell.outcomes[m].measured_energy);
+  }
+}
+
+std::size_t ProgressSink::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::size_t ProgressSink::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+stats::OnlineStats ProgressSink::MethodEnergy(std::size_t method_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The vector is sized on the first OnCell; polling earlier just reads an
+  // empty accumulator.
+  return method_index < method_energy_.size() ? method_energy_[method_index]
+                                              : stats::OnlineStats{};
+}
+
+MethodAggregate GridResult::Aggregate(const ExperimentGrid& grid,
+                                      std::size_t method_index,
+                                      std::int64_t source_index) const {
+  const std::size_t baseline = grid.BaselineIndex();
+  MethodAggregate aggregate;
+  for (const CellResult& cell : cells) {
+    if (!cell.ok()) {
+      continue;
+    }
+    if (source_index >= 0 &&
+        cell.coord.source != static_cast<std::size_t>(source_index)) {
+      continue;
+    }
+    const core::MethodOutcome& outcome = cell.outcomes.at(method_index);
+    aggregate.measured_energy.Add(outcome.measured_energy);
+    if (method_index != baseline) {
+      aggregate.improvement.Add(cell.ImprovementOver(method_index, baseline));
+    }
+    aggregate.deadline_misses += outcome.deadline_misses;
+    aggregate.fallbacks += outcome.used_fallback ? 1 : 0;
+  }
+  return aggregate;
+}
+
+GridResult RunGrid(const ExperimentGrid& grid,
+                   const core::MethodRegistry& registry,
+                   const RunOptions& options) {
+  grid.Validate(registry);
+
+  std::vector<const core::ScheduleMethod*> methods;
+  methods.reserve(grid.methods.size());
+  for (const std::string& name : grid.methods) {
+    methods.push_back(&registry.Get(name));
+  }
+
+  const std::size_t cell_count = grid.CellCount();
+  GridResult result;
+  result.cells.resize(cell_count);
+
+  ThreadPool pool(options.threads);
+  ACS_LOG_INFO << "RunGrid: " << cell_count << " cells x "
+               << grid.methods.size() << " methods on " << pool.size()
+               << " threads";
+  pool.ParallelFor(cell_count, [&](std::size_t cell_index) {
+    result.cells[cell_index] = RunCell(grid, methods, cell_index);
+    if (options.sink != nullptr) {
+      options.sink->OnCell(grid, result.cells[cell_index]);
+    }
+  });
+
+  for (const CellResult& cell : result.cells) {
+    result.failed_cells += cell.ok() ? 0 : 1;
+  }
+  return result;
+}
+
+GridResult RunGrid(const ExperimentGrid& grid, const RunOptions& options) {
+  return RunGrid(grid, core::MethodRegistry::Builtin(), options);
+}
+
+}  // namespace dvs::runner

@@ -1,0 +1,108 @@
+// Parallel grid execution.
+//
+// RunGrid fans the grid's cells across a chunked ThreadPool.  Every cell is
+// a pure function of (grid, cell_index): it derives its own rng stream,
+// draws or copies its task set, and evaluates every grid method on
+// identical workload realisations through a per-cell core::MethodContext.
+// Results land in a vector slot owned by the cell, and aggregates are
+// computed afterwards in cell order — so an 8-thread run is bit-identical
+// to a 1-thread run, cell by cell and aggregate by aggregate.
+//
+// Cells that fail with a util::Error (infeasible set, generator exhaustion)
+// record the message in CellResult::error and do not abort the grid; any
+// other exception propagates out of RunGrid.
+#ifndef ACS_RUNNER_RUN_GRID_H
+#define ACS_RUNNER_RUN_GRID_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/method_registry.h"
+#include "runner/experiment_grid.h"
+#include "stats/summary.h"
+
+namespace dvs::runner {
+
+/// Outcome of one grid cell: one MethodOutcome per grid method (in grid
+/// method order), or an error message when the cell failed.
+struct CellResult {
+  CellCoord coord;
+  std::size_t sub_instances = 0;
+  std::vector<core::MethodOutcome> outcomes;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+
+  /// The paper's metric generalised: (E_base - E_method) / E_base on
+  /// measured energy.
+  double ImprovementOver(std::size_t method_index,
+                         std::size_t baseline_index) const;
+};
+
+/// Streaming observer: OnCell fires as each cell finishes, from whichever
+/// worker thread ran it (implementations synchronise internally; completion
+/// order is nondeterministic — anything order-sensitive belongs in the
+/// post-hoc aggregates, which are deterministic).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnCell(const ExperimentGrid& grid, const CellResult& cell) = 0;
+};
+
+/// Built-in sink: thread-safe progress counter + running per-method energy
+/// stats merged via the parallel-combinable stats::OnlineStats.
+class ProgressSink : public ResultSink {
+ public:
+  void OnCell(const ExperimentGrid& grid, const CellResult& cell) override;
+
+  std::size_t completed() const;
+  std::size_t failed() const;
+  /// Running measured-energy stats for one method (order-insensitive counts;
+  /// use GridResult::Aggregate for reproducible moments).
+  stats::OnlineStats MethodEnergy(std::size_t method_index) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::vector<stats::OnlineStats> method_energy_;
+};
+
+/// Deterministic per-method aggregate over the successful cells, merged in
+/// cell order.
+struct MethodAggregate {
+  stats::OnlineStats measured_energy;
+  stats::OnlineStats improvement;  // vs the grid baseline; empty for itself
+  std::int64_t deadline_misses = 0;
+  std::int64_t fallbacks = 0;
+};
+
+struct GridResult {
+  std::vector<CellResult> cells;  // indexed by cell_index
+  std::size_t failed_cells = 0;
+
+  /// Aggregates `method_index` over all successful cells, or over one
+  /// source's cells when `source_index` >= 0.
+  MethodAggregate Aggregate(const ExperimentGrid& grid,
+                            std::size_t method_index,
+                            std::int64_t source_index = -1) const;
+};
+
+struct RunOptions {
+  int threads = 1;              // <= 0 selects ThreadPool::HardwareThreads()
+  ResultSink* sink = nullptr;   // optional streaming observer
+};
+
+/// Runs every cell of `grid`, resolving methods against `registry`.
+GridResult RunGrid(const ExperimentGrid& grid,
+                   const core::MethodRegistry& registry,
+                   const RunOptions& options = {});
+
+/// Same, against the built-in registry.
+GridResult RunGrid(const ExperimentGrid& grid, const RunOptions& options = {});
+
+}  // namespace dvs::runner
+
+#endif  // ACS_RUNNER_RUN_GRID_H

@@ -1,0 +1,100 @@
+#include "runner/thread_pool.h"
+
+#include "util/error.h"
+
+namespace dvs::runner {
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads > 0 ? threads : HardwareThreads()) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = epoch_;
+    }
+    Drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_active_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Drain() {
+  for (;;) {
+    const std::size_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= n_) {
+      return;
+    }
+    try {
+      (*fn_)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error_ == nullptr || index < error_index_) {
+        error_ = std::current_exception();
+        error_index_ = index;
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACS_CHECK(fn_ == nullptr, "nested ParallelFor on one ThreadPool");
+    fn_ = &fn;
+    n_ = n;
+    cursor_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    error_index_ = 0;
+    workers_active_ = workers_.size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  Drain();  // the calling thread is one of the workers
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  fn_ = nullptr;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace dvs::runner

@@ -1,0 +1,70 @@
+// Chunked thread pool for embarrassingly parallel experiment grids.
+//
+// ParallelFor hands indices out one at a time from an atomic cursor — grid
+// cells are coarse (each one solves NLPs and simulates hundreds of
+// hyper-periods), so self-balancing work stealing from a shared cursor beats
+// static chunking and keeps the tail short when cell costs vary wildly.
+// The calling thread participates as a worker, so ThreadPool(1) spawns no
+// threads and runs everything inline — the serial baseline that parallel
+// runs must match bit-for-bit (see runner/run_grid.h).
+#ifndef ACS_RUNNER_THREAD_POOL_H
+#define ACS_RUNNER_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvs::runner {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total worker count including the calling thread;
+  /// <= 0 selects HardwareThreads().
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return threads_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+  /// Runs fn(i) for every i in [0, n), distributing indices across the pool.
+  /// Blocks until all indices complete.  Exceptions thrown by `fn` are
+  /// captured; the one from the lowest index is rethrown afterwards, so the
+  /// surfaced error does not depend on thread interleaving.  Not re-entrant:
+  /// one ParallelFor per pool at a time.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void Drain();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  std::uint64_t epoch_ = 0;  // bumped once per ParallelFor
+  std::size_t workers_active_ = 0;
+
+  // Current job (valid while a ParallelFor is in flight).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+};
+
+}  // namespace dvs::runner
+
+#endif  // ACS_RUNNER_THREAD_POOL_H

@@ -43,6 +43,7 @@ Logger& Logger::Instance() {
 Logger::Logger() : stream_(&std::clog) {}
 
 void Logger::set_stream(std::ostream* stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
   stream_ = stream != nullptr ? stream : &std::clog;
 }
 
@@ -50,6 +51,9 @@ void Logger::Write(LogLevel level, const std::string& message) {
   if (!Enabled(level)) {
     return;
   }
+  // One formatted line per lock hold: concurrent workers' lines interleave
+  // whole, never mid-line.
+  std::lock_guard<std::mutex> lock(mutex_);
   (*stream_) << '[' << LogLevelName(level) << "] " << message << '\n';
 }
 

@@ -6,7 +6,9 @@
 #ifndef ACS_UTIL_LOGGING_H
 #define ACS_UTIL_LOGGING_H
 
+#include <atomic>
 #include <iosfwd>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -27,24 +29,28 @@ const char* LogLevelName(LogLevel level);
 /// Parses a level name; throws InvalidArgumentError on unknown names.
 LogLevel ParseLogLevel(const std::string& name);
 
-/// Process-wide logger.  Thread-compatible (not thread-safe): the library is
-/// single-threaded by design; benches run experiments sequentially.
+/// Process-wide logger.  Thread-safe: sink writes are serialised under a
+/// mutex (runner::RunGrid workers log concurrently), and the level is
+/// atomic so the ACS_LOG fast path stays lock-free.
 class Logger {
  public:
   static Logger& Instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Redirects output (default: std::clog).  Pass nullptr to restore.
   void set_stream(std::ostream* stream);
 
-  bool Enabled(LogLevel level) const { return level >= level_; }
+  bool Enabled(LogLevel level) const { return level >= this->level(); }
   void Write(LogLevel level, const std::string& message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  // guards stream_ and all sink writes
   std::ostream* stream_;
 };
 

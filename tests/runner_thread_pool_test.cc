@@ -1,0 +1,92 @@
+#include "runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dvs::runner {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  pool.ParallelFor(64, [&](std::size_t) {
+    // No worker threads exist, so everything runs on the calling thread and
+    // the unsynchronised counter is safe.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 64u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::HardwareThreads());
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  // Several indices throw; the pool must deterministically surface the one
+  // from the lowest index regardless of interleaving.
+  const auto run = [&] {
+    pool.ParallelFor(100, [](std::size_t i) {
+      if (i == 97 || i == 13 || i == 55) {
+        throw std::runtime_error("boom at " + std::to_string(i));
+      }
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  try {
+    run();
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom at 13");
+  }
+}
+
+TEST(ThreadPool, SurvivesExceptionAndRunsAgain) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(10, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(16, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 136u);
+  }
+}
+
+}  // namespace
+}  // namespace dvs::runner
