@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     config.Finalize();
+    const auto cell_sink = config.OpenCellSink();
 
     const model::LinearDvsModel cpu = workload::DefaultModel();
 

@@ -5,14 +5,14 @@
 // The engine can charge a stall time and an energy cost per volt of change;
 // this bench sweeps the overhead magnitude and reports the energy increase
 // and any deadline damage, quantifying where the assumption holds.
+//
+// Each stall value runs as one runner::RunGrid whose `transition` field
+// charges the overhead in every cell; the grids share one master seed, so
+// every row faces bit-identical task sets and workload realisations and
+// the energy ratio isolates the overhead alone.
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/pipeline.h"
-#include "core/scheduler.h"
-#include "fps/expansion.h"
-#include "model/workload.h"
-#include "sim/policy.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "workload/presets.h"
@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   using namespace dvs;
   bench::SweepConfig config;
   config.tasksets = 5;
+  config.methods = "acs";
+  config.baseline = "acs";
   util::ArgParser parser("bench_ablation_transition",
                          "voltage-transition overhead sensitivity");
   config.Register(parser);
@@ -30,10 +32,11 @@ int main(int argc, char** argv) {
       return 0;
     }
     config.Finalize();
+    const auto cell_sink = config.OpenCellSink();
 
     const model::LinearDvsModel cpu = workload::DefaultModel();
     // Stall time per volt, as a fraction of the shortest period (10 time
-    // units): 0 (the paper), 1e-4, 1e-3, 1e-2.
+    // units): 0 (the paper), 1e-3, 1e-2, 1e-1.
     const double stalls[] = {0.0, 1e-3, 1e-2, 1e-1};
 
     util::TextTable table({"stall/volt (time units)", "ACS energy ratio",
@@ -42,68 +45,61 @@ int main(int argc, char** argv) {
                         "deadline_misses"});
 
     std::cout << "Ablation: voltage-transition overhead (6 tasks, ratio "
-                 "0.3, " << config.tasksets
-              << " sets; energy cost 0.1/volt in all non-zero rows)\n\n";
+                 "0.3, " << config.tasksets << " sets, "
+              << config.ResolvedThreads()
+              << " threads; energy cost 0.1/volt in all non-zero rows)\n\n";
 
-    // Prepare shared schedules once.
-    struct Prepared {
-      // The expansion holds a pointer into the task set, so the set needs a
-      // stable address for the lifetime of the record.
-      std::unique_ptr<model::TaskSet> set;
-      std::unique_ptr<fps::FullyPreemptiveSchedule> fps;
-      std::unique_ptr<sim::StaticSchedule> acs;
-      std::uint64_t seed;
-    };
-    std::vector<Prepared> prepared;
-    stats::Rng stream(config.seed);
-    for (std::int64_t i = 0; i < config.tasksets; ++i) {
-      workload::RandomTaskSetOptions gen;
-      gen.num_tasks = 6;
-      gen.bcec_wcec_ratio = 0.3;
-      stats::Rng set_rng = stream.Fork();
-      auto set = std::make_unique<model::TaskSet>(
-          workload::GenerateRandomTaskSet(gen, cpu, set_rng));
-      auto fps = std::make_unique<fps::FullyPreemptiveSchedule>(*set);
-      const core::ScheduleResult acs = core::SolveAcs(*fps, cpu);
-      prepared.push_back(Prepared{std::move(set), std::move(fps),
-                                  std::make_unique<sim::StaticSchedule>(
-                                      acs.schedule),
-                                  stream.NextU64()});
-    }
+    workload::RandomTaskSetOptions gen;
+    gen.num_tasks = 6;
+    gen.bcec_wcec_ratio = 0.3;
 
     double base_energy = 0.0;
     for (double stall : stalls) {
-      double energy = 0.0;
-      double switches = 0.0;
-      std::int64_t misses = 0;
-      for (const Prepared& p : prepared) {
-        const model::TruncatedNormalWorkload sampler(*p.set, 6.0);
-        const sim::GreedyReclaimPolicy policy(cpu);
-        stats::Rng rng(p.seed);
-        sim::SimOptions options;
-        options.hyper_periods = config.hyper_periods;
-        if (stall > 0.0) {
-          options.transition = model::TransitionOverhead{stall, 0.1};
-        }
-        const sim::SimResult result = sim::Simulate(
-            *p.fps, *p.acs, cpu, policy, sampler, rng, options);
-        energy += result.total_energy;
-        switches += static_cast<double>(result.voltage_switches) /
-                    static_cast<double>(config.hyper_periods);
-        misses += result.deadline_misses;
+      // One grid per stall value; the shared config seed keeps the task
+      // sets and workload streams identical across rows, and the stall
+      // value is baked into the source label so --cell-csv rows from the
+      // four grids stay distinguishable.
+      runner::ExperimentGrid grid = config.MakeGrid(
+          cpu, {runner::RandomSource(
+                   "random-6-stall" + util::FormatDouble(stall, 4), gen,
+                   config.tasksets)});
+      if (stall > 0.0) {
+        grid.transition = model::TransitionOverhead{stall, 0.1};
       }
+      const runner::GridResult result =
+          runner::RunGrid(grid, config.RunOpts());
+      // The columns are specific to one arm — the baseline (ACS unless
+      // overridden) — even when --methods lists several.
+      const std::size_t report = grid.BaselineIndex();
+
+      double energy = 0.0;
+      double switches_per_hp = 0.0;
+      std::int64_t misses = 0;
+      std::size_t cells = 0;
+      for (const runner::CellResult& cell : result.cells) {
+        if (!cell.ok()) {
+          continue;
+        }
+        ++cells;
+        const core::MethodOutcome& outcome = cell.outcomes[report];
+        energy += outcome.measured_energy;
+        switches_per_hp += static_cast<double>(outcome.voltage_switches) /
+                           static_cast<double>(config.hyper_periods);
+        misses += outcome.deadline_misses;
+      }
+      ACS_REQUIRE(cells > 0, "every cell of the transition grid failed");
       if (stall == 0.0) {
         base_energy = energy;
       }
       table.AddRow({util::FormatDouble(stall, 4),
                     util::FormatDouble(energy / base_energy, 4) + "x",
                     util::FormatDouble(
-                        switches / static_cast<double>(prepared.size()), 1),
+                        switches_per_hp / static_cast<double>(cells), 1),
                     std::to_string(misses)});
       csv.NewRow()
           .Add(stall, 5)
           .Add(energy / base_energy, 6)
-          .Add(switches / static_cast<double>(prepared.size()), 2)
+          .Add(switches_per_hp / static_cast<double>(cells), 2)
           .Add(misses);
     }
     bench::Emit(table, csv, config.csv);

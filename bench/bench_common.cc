@@ -28,6 +28,17 @@ void SweepConfig::Register(util::ArgParser& parser) {
   parser.AddFlag("paper", &paper,
                  "paper scale: 100 task sets, 1000 hyper-periods");
   parser.AddString("csv", &csv, "write results to this CSV file");
+  parser.AddString("cell-csv", &cell_csv,
+                   "stream one row per (cell, method) to this CSV file");
+}
+
+std::unique_ptr<runner::CsvSink> SweepConfig::OpenCellSink() {
+  if (cell_csv.empty()) {
+    return nullptr;
+  }
+  auto cell_sink = std::make_unique<runner::CsvSink>(cell_csv);
+  sink = cell_sink.get();
+  return cell_sink;
 }
 
 void SweepConfig::Finalize() {
@@ -72,6 +83,7 @@ std::int64_t SweepConfig::ResolvedThreads() const {
 runner::RunOptions SweepConfig::RunOpts() const {
   runner::RunOptions options;
   options.threads = static_cast<int>(threads);
+  options.sink = sink;
   return options;
 }
 
@@ -119,17 +131,18 @@ SweepPoint RunRandomSweep(int num_tasks, double ratio,
       static_cast<std::uint64_t>(ratio * 1e6);
   runner::ExperimentGrid grid = config.MakeGrid(
       dvs,
-      {runner::RandomSource("random-" + std::to_string(num_tasks), gen,
-                            config.tasksets)},
+      {runner::RandomSource("random-" + std::to_string(num_tasks) + "-r" +
+                                util::FormatDouble(ratio, 2),
+                            gen, config.tasksets)},
       label);
   return Collapse(grid, runner::RunGrid(grid, config.RunOpts()));
 }
 
-SweepPoint RunFixedSetSweep(const model::TaskSet& set,
+SweepPoint RunFixedSetSweep(const model::TaskSet& set, std::string label,
                             const SweepConfig& config,
                             const model::DvsModel& dvs) {
   runner::ExperimentGrid grid =
-      config.MakeGrid(dvs, {runner::FixedSource("fixed", set)});
+      config.MakeGrid(dvs, {runner::FixedSource(std::move(label), set)});
   grid.workload_seeds.clear();
   for (std::int64_t i = 0; i < config.seeds; ++i) {
     grid.workload_seeds.push_back(static_cast<std::uint64_t>(i));

@@ -13,12 +13,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "model/power_model.h"
 #include "model/task.h"
+#include "runner/csv_sink.h"
 #include "runner/experiment_grid.h"
 #include "runner/run_grid.h"
 #include "stats/summary.h"
@@ -37,13 +39,24 @@ struct SweepConfig {
   std::string methods = "acs,wcs";  // registry methods, comma-separated
   std::string baseline = "wcs";     // improvement reference method
   bool paper = false;               // restore the paper's full scale
-  std::string csv;                  // optional CSV output path
+  std::string csv;                  // optional CSV output path (aggregates)
+  std::string cell_csv;             // optional per-cell streaming CSV path
+  /// Streaming sink RunOpts attaches to every grid run; set by
+  /// OpenCellSink (benches can also point it at their own ResultSink).
+  runner::ResultSink* sink = nullptr;
 
   /// Registers the shared flags on a parser.
   void Register(util::ArgParser& parser);
 
   /// Applies --paper: tasksets=100, hyper_periods=1000, seeds=20.
   void Finalize();
+
+  /// Opens the --cell-csv streaming sink (null when the flag is unset) and
+  /// points `sink` at it so every subsequent grid run streams one row per
+  /// (cell, method).  The caller owns the returned sink and keeps it alive
+  /// across its RunGrid calls — discarding it would leave `sink` dangling,
+  /// hence nodiscard.
+  [[nodiscard]] std::unique_ptr<runner::CsvSink> OpenCellSink();
 
   /// `methods` split on commas (empty fields dropped).
   std::vector<std::string> MethodList() const;
@@ -82,13 +95,17 @@ SweepPoint Collapse(const runner::ExperimentGrid& grid,
 
 /// Fig. 6 (left): aggregates `config.tasksets` random task sets with
 /// `num_tasks` tasks at the given BCEC/WCEC ratio through runner::RunGrid.
+/// The source label carries both sweep coordinates (e.g. "random-6-r0.1")
+/// so --cell-csv rows from different grids stay attributable.
 SweepPoint RunRandomSweep(int num_tasks, double ratio,
                           const SweepConfig& config,
                           const model::DvsModel& dvs);
 
 /// Fig. 6 (right): aggregates `config.seeds` workload streams on one fixed
-/// task set through runner::RunGrid.
-SweepPoint RunFixedSetSweep(const model::TaskSet& set,
+/// task set through runner::RunGrid.  `label` names the sweep point in
+/// --cell-csv rows (benches running several grids must make it unique,
+/// e.g. "cnc-r0.1").
+SweepPoint RunFixedSetSweep(const model::TaskSet& set, std::string label,
                             const SweepConfig& config,
                             const model::DvsModel& dvs);
 

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     config.Finalize();
+    const auto cell_sink = config.OpenCellSink();
 
     const model::LinearDvsModel cpu = workload::DefaultModel();
     const double ratios[] = {0.1, 0.3, 0.5, 0.7, 0.9};
@@ -64,12 +65,14 @@ int main(int argc, char** argv) {
       workload::CncOptions cnc_options;
       cnc_options.bcec_wcec_ratio = ratio;
       const model::TaskSet cnc = workload::CncTaskSet(cnc_options, cpu);
-      const bench::SweepPoint pc = bench::RunFixedSetSweep(cnc, config, cpu);
+      const bench::SweepPoint pc = bench::RunFixedSetSweep(
+          cnc, "cnc-r" + util::FormatDouble(ratio, 1), config, cpu);
 
       workload::GapOptions gap_options;
       gap_options.bcec_wcec_ratio = ratio;
       const model::TaskSet gap = workload::GapTaskSet(gap_options, cpu);
-      const bench::SweepPoint pg = bench::RunFixedSetSweep(gap, config, cpu);
+      const bench::SweepPoint pg = bench::RunFixedSetSweep(
+          gap, "gap-r" + util::FormatDouble(ratio, 1), config, cpu);
 
       table.AddRow({util::FormatDouble(ratio, 1), emit("cnc", ratio, pc),
                     emit("gap", ratio, pg)});

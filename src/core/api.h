@@ -8,9 +8,10 @@
 //   core::ComparisonResult r = core::CompareAcsWcs(set, cpu, {});
 //
 // Layering (see DESIGN.md): util <- stats <- model <- {fps, opt} <- sim <-
-// core <- workload <- runner.  Downstream users normally need only this
-// header plus the workload builders they care about; parallel experiment
-// grids additionally include runner/run_grid.h.
+// core <- workload <- mp <- runner.  Downstream users normally need only
+// this header plus the workload builders they care about; parallel
+// experiment grids additionally include runner/run_grid.h, and partitioned
+// multi-core experiments mp/fleet.h.
 #ifndef ACS_CORE_API_H
 #define ACS_CORE_API_H
 

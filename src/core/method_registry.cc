@@ -35,12 +35,8 @@ double GreedyAverageEnergy(const fps::FullyPreemptiveSchedule& fps,
 class AcsMethod final : public ScheduleMethod {
  public:
   MethodPlan Plan(MethodContext& context) const override {
-    ScheduleResult acs =
-        context.scheduler().warm_start_acs_with_wcs
-            ? SolveSchedule(context.fps(), context.dvs(), Scenario::kAverage,
-                            context.scheduler(), context.Wcs().schedule)
-            : SolveAcs(context.fps(), context.dvs(), context.scheduler());
-    MethodPlan plan{std::move(acs.schedule),
+    const ScheduleResult& acs = context.Acs();
+    MethodPlan plan{acs.schedule,
                     std::make_unique<sim::GreedyReclaimPolicy>(context.dvs()),
                     acs.predicted_energy, acs.used_fallback};
     return plan;
@@ -101,6 +97,16 @@ const ScheduleResult& MethodContext::Wcs() {
   return *wcs_;
 }
 
+const ScheduleResult& MethodContext::Acs() {
+  if (!acs_.has_value()) {
+    acs_ = scheduler_->warm_start_acs_with_wcs
+               ? SolveSchedule(*fps_, *dvs_, Scenario::kAverage, *scheduler_,
+                               Wcs().schedule)
+               : SolveAcs(*fps_, *dvs_, *scheduler_);
+  }
+  return *acs_;
+}
+
 const sim::StaticSchedule& MethodContext::VmaxAsap() {
   if (!vmax_asap_.has_value()) {
     vmax_asap_ = sim::BuildVmaxAsapSchedule(*fps_, *dvs_);
@@ -111,21 +117,25 @@ const sim::StaticSchedule& MethodContext::VmaxAsap() {
 const MethodRegistry& MethodRegistry::Builtin() {
   static const MethodRegistry registry = [] {
     MethodRegistry built;
-    built.Register("acs", "ACS full-NLP schedule + greedy online reclamation",
-                   std::make_unique<AcsMethod>());
-    built.Register("wcs", "WCS schedule + greedy online reclamation",
-                   std::make_unique<WcsMethod>());
-    built.Register("wcs-static",
-                   "WCS schedule, offline voltages only (no reclamation)",
-                   std::make_unique<WcsStaticMethod>());
-    built.Register("greedy-reclaim",
-                   "Vmax-ASAP schedule + greedy reclamation (online only)",
-                   std::make_unique<GreedyReclaimMethod>());
-    built.Register("static-vmax", "Vmax throughout (the no-DVS ceiling)",
-                   std::make_unique<StaticVmaxMethod>());
+    RegisterBuiltins(built);
     return built;
   }();
   return registry;
+}
+
+void RegisterBuiltins(MethodRegistry& registry) {
+  registry.Register("acs", "ACS full-NLP schedule + greedy online reclamation",
+                    std::make_unique<AcsMethod>());
+  registry.Register("wcs", "WCS schedule + greedy online reclamation",
+                    std::make_unique<WcsMethod>());
+  registry.Register("wcs-static",
+                    "WCS schedule, offline voltages only (no reclamation)",
+                    std::make_unique<WcsStaticMethod>());
+  registry.Register("greedy-reclaim",
+                    "Vmax-ASAP schedule + greedy reclamation (online only)",
+                    std::make_unique<GreedyReclaimMethod>());
+  registry.Register("static-vmax", "Vmax throughout (the no-DVS ceiling)",
+                    std::make_unique<StaticVmaxMethod>());
 }
 
 void MethodRegistry::Register(std::string name, std::string description,
@@ -181,14 +191,19 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
   const MethodPlan plan = method.Plan(context);
   const model::TruncatedNormalWorkload sampler(context.fps().task_set(),
                                                options.sigma_divisor);
+  stats::Rng rng(options.seed);
+  sim::SimOptions sim_options;
+  sim_options.hyper_periods = options.hyper_periods;
+  sim_options.transition = options.transition;
   const sim::SimResult sim =
-      SimulateWith(context.fps(), plan.schedule, context.dvs(), *plan.policy,
-                   sampler, options.seed, options.hyper_periods);
+      sim::Simulate(context.fps(), plan.schedule, context.dvs(), *plan.policy,
+                    sampler, rng, sim_options);
 
   MethodOutcome outcome;
   outcome.predicted_energy = plan.predicted_energy;
   outcome.measured_energy = sim.EnergyPerHyperPeriod(options.hyper_periods);
   outcome.deadline_misses = sim.deadline_misses;
+  outcome.voltage_switches = sim.voltage_switches;
   outcome.used_fallback = plan.used_fallback;
   return outcome;
 }

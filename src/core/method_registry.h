@@ -57,6 +57,11 @@ class MethodContext {
   /// Solves (once) and returns the WCS schedule.
   const ScheduleResult& Wcs();
 
+  /// Solves (once) and returns the ACS schedule, warm-started per the
+  /// scheduler options.  Shared by the "acs" arm and its policy variants
+  /// (e.g. the eager-dispatch ablation), so the NLP solve amortises.
+  const ScheduleResult& Acs();
+
   /// Builds (once) and returns the Vmax-ASAP schedule.  Throws
   /// InfeasibleError when the set is not RM-schedulable at Vmax.
   const sim::StaticSchedule& VmaxAsap();
@@ -66,6 +71,7 @@ class MethodContext {
   const model::DvsModel* dvs_;
   const SchedulerOptions* scheduler_;
   std::optional<ScheduleResult> wcs_;
+  std::optional<ScheduleResult> acs_;
   std::optional<sim::StaticSchedule> vmax_asap_;
 };
 
@@ -120,6 +126,11 @@ class MethodRegistry {
 
   std::vector<Entry> entries_;
 };
+
+/// Populates `registry` with the built-in methods of MethodRegistry::Builtin.
+/// Benches that add custom arms (discrete-voltage variants, the full-NLP
+/// solver, policy counterfactuals) start from this and Register() on top.
+void RegisterBuiltins(MethodRegistry& registry);
 
 /// Plans `method` and simulates it under the experiment's truncated-normal
 /// workload.  Methods evaluated with the same `options.seed` face identical

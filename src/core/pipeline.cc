@@ -26,8 +26,11 @@ sim::SimResult SimulateSchedule(const fps::FullyPreemptiveSchedule& fps,
   const model::TruncatedNormalWorkload sampler(fps.task_set(),
                                                options.sigma_divisor);
   const sim::GreedyReclaimPolicy policy(dvs);
-  return SimulateWith(fps, schedule, dvs, policy, sampler, options.seed,
-                      options.hyper_periods);
+  stats::Rng rng(options.seed);
+  sim::SimOptions sim_options;
+  sim_options.hyper_periods = options.hyper_periods;
+  sim_options.transition = options.transition;
+  return sim::Simulate(fps, schedule, dvs, policy, sampler, rng, sim_options);
 }
 
 ComparisonResult CompareAcsWcs(const model::TaskSet& set,

@@ -23,6 +23,9 @@ struct ExperimentOptions {
   std::int64_t hyper_periods = 200;  // paper: 1000 (set via --paper)
   double sigma_divisor = 6.0;        // workload sigma = (WCEC-BCEC)/divisor
   std::uint64_t seed = 1;            // workload sampling stream
+  /// Charged by the simulator per voltage change; zero matches the paper's
+  /// "transition overhead is negligible" assumption (ablation bench knob).
+  model::TransitionOverhead transition;
   SchedulerOptions scheduler;
 };
 
@@ -30,8 +33,18 @@ struct MethodOutcome {
   double predicted_energy = 0.0;      // NLP objective (per hyper-period)
   double measured_energy = 0.0;       // simulated energy per hyper-period
   std::int64_t deadline_misses = 0;
+  std::int64_t voltage_switches = 0;  // across the whole simulated run
   bool used_fallback = false;         // scheduler kept its warm start
 };
+
+/// The paper's reported metric, shared by every result type that compares a
+/// method against a baseline: (E_base - E_method) / E_base, 0 when the
+/// baseline carries no energy.
+inline double ImprovementRatio(double baseline_energy, double method_energy) {
+  return baseline_energy > 0.0
+             ? (baseline_energy - method_energy) / baseline_energy
+             : 0.0;
+}
 
 struct ComparisonResult {
   MethodOutcome acs;

@@ -174,6 +174,21 @@ struct TransitionOverhead {
   bool IsZero() const { return time_per_volt == 0.0 && energy_per_volt == 0.0; }
 };
 
+/// Always-on per-core power floor (leakage + uncore), the term that makes
+/// the core count an energy trade-off in the multi-core aggregation: DVS
+/// lowers the dynamic energy per core while every powered core keeps paying
+/// this floor for the whole mission time (Huang et al., leakage-aware
+/// reallocation).  Units: energy per ms per core, in the same ceff*V^2 scale
+/// as the dynamic energy.
+struct IdlePower {
+  double power_per_ms = 0.0;
+
+  bool IsZero() const { return power_per_ms == 0.0; }
+
+  /// Energy the floor costs one core over `duration` ms.
+  double Energy(double duration) const { return power_per_ms * duration; }
+};
+
 }  // namespace dvs::model
 
 #endif  // ACS_MODEL_POWER_MODEL_H

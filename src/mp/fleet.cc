@@ -1,0 +1,74 @@
+#include "mp/fleet.h"
+
+#include "fps/expansion.h"
+#include "stats/rng.h"
+#include "util/error.h"
+
+namespace dvs::mp {
+
+double FleetResult::ImprovementOver(std::size_t method_index,
+                                    std::size_t baseline_index) const {
+  return core::ImprovementRatio(
+      outcomes.at(baseline_index).fleet.measured_energy,
+      outcomes.at(method_index).fleet.measured_energy);
+}
+
+FleetResult EvaluateFleet(
+    const model::TaskSet& set, const model::DvsModel& dvs,
+    const Partitioner& partitioner, int cores,
+    const std::vector<const core::ScheduleMethod*>& methods,
+    const core::ExperimentOptions& options, const model::IdlePower& idle) {
+  ACS_REQUIRE(!methods.empty(), "fleet evaluation needs at least one method");
+
+  FleetResult result;
+  result.partition = partitioner.Assign(set, dvs, cores, idle);
+  ACS_REQUIRE(result.partition.cores() == cores,
+              "partitioner returned " +
+                  std::to_string(result.partition.cores()) +
+                  " cores for a " + std::to_string(cores) + "-core fleet");
+  result.partition.Validate(set);
+  result.outcomes.resize(methods.size());
+
+  const double idle_rate =
+      static_cast<double>(result.partition.used_cores()) * idle.power_per_ms;
+  for (FleetOutcome& outcome : result.outcomes) {
+    outcome.fleet.measured_energy = idle_rate;
+    outcome.fleet.predicted_energy = idle_rate;
+  }
+
+  for (int c = 0; c < result.partition.cores(); ++c) {
+    const std::vector<model::TaskIndex>& owned =
+        result.partition.assignment[static_cast<std::size_t>(c)];
+    if (owned.empty()) {
+      continue;  // power-gated
+    }
+    const model::TaskSet subset = SubTaskSet(set, owned);
+    const fps::FullyPreemptiveSchedule fps(subset);
+    result.sub_instances += fps.sub_count();
+    const double hyper_period = static_cast<double>(subset.hyper_period());
+
+    core::ExperimentOptions core_options = options;
+    core_options.seed = stats::Rng(options.seed)
+                            .ForkWith(static_cast<std::uint64_t>(c))
+                            .NextU64();
+
+    // One context per core: the WCS/ACS/Vmax-ASAP solves amortise across
+    // the methods, and every method sees this core's identical workload
+    // stream.
+    core::MethodContext context(fps, dvs, core_options.scheduler);
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const core::MethodOutcome outcome =
+          core::EvaluateMethod(*methods[m], context, core_options);
+      FleetOutcome& fleet = result.outcomes[m];
+      fleet.per_core.push_back(outcome);
+      fleet.fleet.measured_energy += outcome.measured_energy / hyper_period;
+      fleet.fleet.predicted_energy += outcome.predicted_energy / hyper_period;
+      fleet.fleet.deadline_misses += outcome.deadline_misses;
+      fleet.fleet.voltage_switches += outcome.voltage_switches;
+      fleet.fleet.used_fallback |= outcome.used_fallback;
+    }
+  }
+  return result;
+}
+
+}  // namespace dvs::mp

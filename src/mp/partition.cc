@@ -1,0 +1,81 @@
+#include "mp/partition.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace dvs::mp {
+
+int Partition::used_cores() const {
+  int used = 0;
+  for (const std::vector<model::TaskIndex>& core : assignment) {
+    used += core.empty() ? 0 : 1;
+  }
+  return used;
+}
+
+void Partition::Validate(const model::TaskSet& set) const {
+  ACS_REQUIRE(!assignment.empty(), "partition needs at least one core");
+  std::vector<int> placed(set.size(), 0);
+  for (const std::vector<model::TaskIndex>& core : assignment) {
+    for (model::TaskIndex task : core) {
+      ACS_REQUIRE(task < set.size(),
+                  "partition references task index " + std::to_string(task) +
+                      " outside the set");
+      ++placed[task];
+    }
+  }
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    ACS_REQUIRE(placed[i] == 1, "task " + set.task(i).name + " placed on " +
+                                    std::to_string(placed[i]) +
+                                    " cores (expected exactly 1)");
+  }
+}
+
+double Partition::CoreUtilization(const model::TaskSet& set,
+                                  const model::DvsModel& dvs, int c) const {
+  ACS_REQUIRE(c >= 0 && c < cores(), "core index out of range");
+  const double max_speed = dvs.MaxSpeed();
+  double utilization = 0.0;
+  for (model::TaskIndex task : assignment[static_cast<std::size_t>(c)]) {
+    const model::Task& t = set.task(task);
+    utilization += t.wcec / (static_cast<double>(t.period) * max_speed);
+  }
+  return utilization;
+}
+
+std::string Partition::Describe(const model::TaskSet& set) const {
+  std::string out;
+  for (int c = 0; c < cores(); ++c) {
+    if (c > 0) {
+      out += ' ';
+    }
+    out += "core" + std::to_string(c) + '{';
+    const std::vector<model::TaskIndex>& core =
+        assignment[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < core.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += set.task(core[i]).name;
+    }
+    out += '}';
+  }
+  return out;
+}
+
+model::TaskSet SubTaskSet(const model::TaskSet& set,
+                          const std::vector<model::TaskIndex>& tasks) {
+  ACS_REQUIRE(!tasks.empty(), "a core's task subset must be non-empty");
+  std::vector<model::TaskIndex> sorted = tasks;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<model::Task> subset;
+  subset.reserve(sorted.size());
+  for (model::TaskIndex task : sorted) {
+    ACS_REQUIRE(task < set.size(), "task index out of range");
+    subset.push_back(set.task(task));
+  }
+  return model::TaskSet(std::move(subset));
+}
+
+}  // namespace dvs::mp

@@ -1,0 +1,57 @@
+// Partitioned multi-core task assignment (the mp layer's core type).
+//
+// The mp subsystem lifts the paper's single-processor ACS/WCS machinery onto
+// an identical-multiprocessor platform the way the partitioned-DVS
+// literature does (Nélis et al., power-aware scheduling upon identical
+// multiprocessors): tasks are statically assigned to cores, and each core
+// then runs the unmodified per-core pipeline — fps expansion, offline
+// ACS/WCS solve, online greedy reclamation — on its own task subset.  No
+// migration, so every single-processor guarantee (including the
+// sim::VerifyWorstCase audit) applies per core verbatim.
+//
+// A Partition is the assignment itself: `assignment[c]` lists the task
+// indices (into the original TaskSet) owned by core c, each task appearing
+// on exactly one core.
+#ifndef ACS_MP_PARTITION_H
+#define ACS_MP_PARTITION_H
+
+#include <string>
+#include <vector>
+
+#include "model/power_model.h"
+#include "model/task.h"
+
+namespace dvs::mp {
+
+struct Partition {
+  /// assignment[c] = indices into the partitioned TaskSet owned by core c.
+  /// Cores may be empty (a valid outcome when the set needs fewer cores).
+  std::vector<std::vector<model::TaskIndex>> assignment;
+
+  int cores() const { return static_cast<int>(assignment.size()); }
+
+  /// Number of cores that received at least one task.
+  int used_cores() const;
+
+  /// Checks the assignment against `set`: every task index valid and placed
+  /// on exactly one core.  Throws InvalidArgumentError on violation.
+  void Validate(const model::TaskSet& set) const;
+
+  /// Worst-case utilisation of core `c` at the model's top speed.
+  double CoreUtilization(const model::TaskSet& set, const model::DvsModel& dvs,
+                         int c) const;
+
+  /// e.g. "core0{T1,T3} core1{T2}".
+  std::string Describe(const model::TaskSet& set) const;
+};
+
+/// Builds the validated TaskSet a core runs: the subset of `set` selected by
+/// `tasks`, in ascending task-index order (preserving the RM priority
+/// relation of the original set).  Throws InvalidArgumentError when `tasks`
+/// is empty — an idle core has no per-core pipeline to run.
+model::TaskSet SubTaskSet(const model::TaskSet& set,
+                          const std::vector<model::TaskIndex>& tasks);
+
+}  // namespace dvs::mp
+
+#endif  // ACS_MP_PARTITION_H

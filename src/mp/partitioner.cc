@@ -1,0 +1,235 @@
+#include "mp/partitioner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fps/expansion.h"
+#include "sim/engine.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dvs::mp {
+namespace {
+
+/// Worst-case utilisation of one task at the model's top speed.
+double TaskUtilization(const model::TaskSet& set, const model::DvsModel& dvs,
+                       model::TaskIndex task) {
+  const model::Task& t = set.task(task);
+  return t.wcec / (static_cast<double>(t.period) * dvs.MaxSpeed());
+}
+
+/// Task indices in decreasing-utilisation order (task index breaks ties):
+/// the "decreasing" in FFD/WFD, which all built-ins share so packing quality
+/// does not depend on the arbitrary input order.
+std::vector<model::TaskIndex> DecreasingUtilization(
+    const model::TaskSet& set, const model::DvsModel& dvs) {
+  std::vector<std::pair<double, model::TaskIndex>> keyed;
+  keyed.reserve(set.size());
+  for (model::TaskIndex i = 0; i < set.size(); ++i) {
+    keyed.emplace_back(TaskUtilization(set, dvs, i), i);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  std::vector<model::TaskIndex> order;
+  order.reserve(keyed.size());
+  for (const auto& [utilization, index] : keyed) {
+    order.push_back(index);
+  }
+  return order;
+}
+
+/// Exact admission test: does core `c` stay RM-schedulable at Vmax after
+/// adding `task`?  The cheap utilisation filter rejects most misfits before
+/// the exact expansion-based test runs.
+bool FitsOnCore(const model::TaskSet& set, const model::DvsModel& dvs,
+                const Partition& partition, int c, model::TaskIndex task,
+                double task_utilization) {
+  if (partition.CoreUtilization(set, dvs, c) + task_utilization >
+      1.0 + 1e-12) {
+    return false;
+  }
+  std::vector<model::TaskIndex> candidate =
+      partition.assignment[static_cast<std::size_t>(c)];
+  candidate.push_back(task);
+  const model::TaskSet subset = SubTaskSet(set, candidate);
+  const fps::FullyPreemptiveSchedule expansion(subset);
+  return sim::IsRmSchedulable(expansion, dvs);
+}
+
+[[noreturn]] void ThrowNoFit(const std::string& partitioner,
+                             const model::TaskSet& set, model::TaskIndex task,
+                             int cores) {
+  throw util::InfeasibleError(
+      "partitioner \"" + partitioner + "\" cannot place task " +
+      set.task(task).name + " on any of " + std::to_string(cores) +
+      " cores (set: " + set.Describe() + ")");
+}
+
+/// Shared driver of the built-ins, which differ only in how they rank the
+/// candidate cores: walk tasks in decreasing utilisation and place each on
+/// the feasible core with the smallest (score, core index) — admission is
+/// tested lazily in rank order, and the index tie-break keeps every
+/// assignment deterministic.  `score(partition, core, task_utilization)`.
+template <typename ScoreFn>
+Partition AssignByScore(const char* name, const model::TaskSet& set,
+                        const model::DvsModel& dvs, int cores,
+                        const ScoreFn& score) {
+  ACS_REQUIRE(cores >= 1, "need at least one core");
+  Partition partition;
+  partition.assignment.resize(static_cast<std::size_t>(cores));
+  std::vector<std::pair<double, int>> ranked(static_cast<std::size_t>(cores));
+  for (model::TaskIndex task : DecreasingUtilization(set, dvs)) {
+    const double u = TaskUtilization(set, dvs, task);
+    for (int c = 0; c < cores; ++c) {
+      ranked[static_cast<std::size_t>(c)] = {score(partition, c, u), c};
+    }
+    std::sort(ranked.begin(), ranked.end());
+    bool placed = false;
+    for (const auto& [cost, c] : ranked) {
+      if (FitsOnCore(set, dvs, partition, c, task, u)) {
+        partition.assignment[static_cast<std::size_t>(c)].push_back(task);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      ThrowNoFit(name, set, task, cores);
+    }
+  }
+  return partition;
+}
+
+/// First-fit decreasing: lowest-index feasible core.
+class FirstFitDecreasing final : public Partitioner {
+ public:
+  Partition Assign(const model::TaskSet& set, const model::DvsModel& dvs,
+                   int cores, const model::IdlePower& /*idle*/) const override {
+    return AssignByScore(
+        "ffd", set, dvs, cores,
+        [](const Partition&, int core, double) {
+          return static_cast<double>(core);
+        });
+  }
+};
+
+/// Worst-fit decreasing: least-loaded feasible core (lowest index on ties).
+class WorstFitDecreasing final : public Partitioner {
+ public:
+  Partition Assign(const model::TaskSet& set, const model::DvsModel& dvs,
+                   int cores, const model::IdlePower& /*idle*/) const override {
+    return AssignByScore(
+        "wfd", set, dvs, cores,
+        [&set, &dvs](const Partition& partition, int core, double) {
+          return partition.CoreUtilization(set, dvs, core);
+        });
+  }
+};
+
+/// Energy-aware greedy: feasible core with the smallest marginal
+/// convex-energy estimate; powering a previously empty core additionally
+/// charges the idle floor (leakage-aware consolidation).
+class EnergyGreedy final : public Partitioner {
+ public:
+  Partition Assign(const model::TaskSet& set, const model::DvsModel& dvs,
+                   int cores, const model::IdlePower& idle) const override {
+    return AssignByScore(
+        "energy-greedy", set, dvs, cores,
+        [&set, &dvs, &idle](const Partition& partition, int core, double u) {
+          const double load = partition.CoreUtilization(set, dvs, core);
+          const bool powers_new_core =
+              partition.assignment[static_cast<std::size_t>(core)].empty();
+          return CoreEnergyRate(dvs, load + u) - CoreEnergyRate(dvs, load) +
+                 (powers_new_core ? idle.power_per_ms : 0.0);
+        });
+  }
+};
+
+}  // namespace
+
+double CoreEnergyRate(const model::DvsModel& dvs, double utilization) {
+  if (utilization <= 0.0) {
+    return 0.0;
+  }
+  const double demand = utilization * dvs.MaxSpeed();  // cycles per ms
+  // Below the slowest sustainable speed the core runs at vmin and idles the
+  // rest of the time; above it the voltage tracks the demand exactly.
+  const double voltage = demand <= dvs.MinSpeed()
+                             ? dvs.vmin()
+                             : dvs.ClampVoltage(dvs.VoltageForSpeed(demand));
+  return dvs.Energy(voltage, demand);
+}
+
+const PartitionerRegistry& PartitionerRegistry::Builtin() {
+  static const PartitionerRegistry registry = [] {
+    PartitionerRegistry built;
+    RegisterBuiltinPartitioners(built);
+    return built;
+  }();
+  return registry;
+}
+
+void RegisterBuiltinPartitioners(PartitionerRegistry& registry) {
+  registry.Register("ffd", "first-fit decreasing by utilisation (densest)",
+                    std::make_unique<FirstFitDecreasing>());
+  registry.Register("wfd",
+                    "worst-fit decreasing: least-loaded feasible core "
+                    "(load balancing)",
+                    std::make_unique<WorstFitDecreasing>());
+  registry.Register("energy-greedy",
+                    "smallest marginal convex-energy core, idle-power aware",
+                    std::make_unique<EnergyGreedy>());
+}
+
+void PartitionerRegistry::Register(
+    std::string name, std::string description,
+    std::unique_ptr<const Partitioner> partitioner) {
+  ACS_REQUIRE(!name.empty(), "partitioner name must be non-empty");
+  ACS_REQUIRE(partitioner != nullptr, "partitioner must be non-null");
+  ACS_REQUIRE(!Contains(name), "duplicate partitioner name: " + name);
+  entries_.push_back(
+      Entry{std::move(name), std::move(description), std::move(partitioner)});
+}
+
+bool PartitionerRegistry::Contains(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const PartitionerRegistry::Entry& PartitionerRegistry::Find(
+    const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return entry;
+    }
+  }
+  throw util::InvalidArgumentError("unknown partitioner \"" + name +
+                                   "\"; registered partitioners: " +
+                                   util::Join(Names(), ", "));
+}
+
+const Partitioner& PartitionerRegistry::Get(const std::string& name) const {
+  return *Find(name).partitioner;
+}
+
+const std::string& PartitionerRegistry::Description(
+    const std::string& name) const {
+  return Find(name).description;
+}
+
+std::vector<std::string> PartitionerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+}  // namespace dvs::mp

@@ -1,0 +1,98 @@
+#include "runner/csv_sink.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace dvs::runner {
+namespace {
+
+std::string FormatG(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CsvSink::Header() {
+  // hyper_period is the per-hyper-period -> per-ms conversion factor:
+  // single-core grids report energies per hyper-period, multi-core grids
+  // per ms (see run_grid.h), and this column is what lets a consumer put
+  // rows from both on one scale.
+  static const std::vector<std::string> header = {
+      "cell_index",      "source",          "replicate",
+      "utilization",     "cores",           "partitioner",
+      "sigma_divisor",   "workload_seed",   "sub_instances",
+      "hyper_period",    "method",          "predicted_energy",
+      "measured_energy", "improvement_pct", "deadline_misses",
+      "voltage_switches", "used_fallback",  "error"};
+  return header;
+}
+
+CsvSink::CsvSink(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw util::Error("cannot open CSV sink file: " + path);
+  }
+  const std::vector<std::string>& header = Header();
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << (i == 0 ? "" : ",") << util::CsvEscape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
+  const CellCoord& coord = cell.coord;
+  const TaskSetSource& source = grid.sources.at(coord.source);
+  // The effective utilisation of the cell: the axis override for random
+  // sources, the source's own default otherwise; blank for fixed sets
+  // (their demand is whatever the set carries).
+  std::string utilization;
+  if (!source.fixed.has_value()) {
+    utilization = FormatG(grid.utilizations.empty()
+                              ? source.random.utilization
+                              : grid.utilizations[coord.util_index]);
+  }
+
+  std::string prefix;
+  prefix += std::to_string(coord.cell_index);
+  prefix += ',' + util::CsvEscape(source.label);
+  prefix += ',' + std::to_string(coord.replicate);
+  prefix += ',' + utilization;
+  prefix += ',' + std::to_string(grid.core_counts[coord.core_index]);
+  prefix += ',' + util::CsvEscape(grid.partitioners[coord.partitioner_index]);
+  prefix += ',' + FormatG(grid.sigma_divisors[coord.sigma_index]);
+  prefix += ',' + std::to_string(grid.workload_seeds[coord.seed_index]);
+  prefix += ',' + std::to_string(cell.sub_instances);
+  prefix += ',' + std::to_string(cell.hyper_period);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!cell.ok()) {
+    out_ << prefix << ",,,,,,,," << util::CsvEscape(cell.error) << '\n';
+    ++rows_;
+    out_.flush();
+    return;
+  }
+  const std::size_t baseline = grid.BaselineIndex();
+  for (std::size_t m = 0; m < cell.outcomes.size(); ++m) {
+    const core::MethodOutcome& outcome = cell.outcomes[m];
+    out_ << prefix << ',' << util::CsvEscape(grid.methods[m]) << ','
+         << FormatG(outcome.predicted_energy) << ','
+         << FormatG(outcome.measured_energy) << ',';
+    if (m != baseline) {
+      out_ << FormatG(100.0 * cell.ImprovementOver(m, baseline));
+    }
+    out_ << ',' << outcome.deadline_misses << ',' << outcome.voltage_switches
+         << ',' << (outcome.used_fallback ? 1 : 0) << ",\n";
+    ++rows_;
+  }
+  out_.flush();
+}
+
+std::size_t CsvSink::rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_;
+}
+
+}  // namespace dvs::runner

@@ -1,0 +1,46 @@
+// Streaming per-cell CSV emission.
+//
+// CsvSink is a runner::ResultSink that appends one row per (cell, method)
+// to a CSV file as cells finish, so a bench run leaves a machine-readable
+// artifact of every cell — axes included — instead of stdout tables only.
+// Failed cells emit a single row carrying the error message, keeping the
+// artifact a complete record of the grid.
+//
+// Rows stream in completion order, which is nondeterministic under
+// multi-threaded runs; the cell_index column is the stable key to sort on
+// when reproducibility of the file ordering matters.
+#ifndef ACS_RUNNER_CSV_SINK_H
+#define ACS_RUNNER_CSV_SINK_H
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "runner/run_grid.h"
+
+namespace dvs::runner {
+
+class CsvSink : public ResultSink {
+ public:
+  /// Opens `path` for writing and emits the header row immediately; throws
+  /// util::Error when the file cannot be opened.
+  explicit CsvSink(const std::string& path);
+
+  /// Thread-safe: rows are formatted and written under an internal mutex.
+  void OnCell(const ExperimentGrid& grid, const CellResult& cell) override;
+
+  /// Rows written so far (excluding the header).
+  std::size_t rows() const;
+
+  /// The column header, shared with tests.
+  static const std::vector<std::string>& Header();
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dvs::runner
+
+#endif  // ACS_RUNNER_CSV_SINK_H

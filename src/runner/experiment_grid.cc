@@ -1,5 +1,6 @@
 #include "runner/experiment_grid.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.h"
@@ -17,7 +18,8 @@ std::size_t UtilCells(const ExperimentGrid& grid, const TaskSetSource& source) {
 
 std::size_t InnerCells(const ExperimentGrid& grid,
                        const TaskSetSource& source) {
-  return UtilCells(grid, source) * grid.sigma_divisors.size() *
+  return UtilCells(grid, source) * grid.core_counts.size() *
+         grid.partitioners.size() * grid.sigma_divisors.size() *
          grid.workload_seeds.size();
 }
 
@@ -72,12 +74,36 @@ CellCoord ExperimentGrid::Coord(std::size_t cell_index) const {
 
   const std::size_t utils = UtilCells(*this, sources[coord.source]);
   const std::size_t sigma_seed = sigma_divisors.size() * workload_seeds.size();
-  coord.util_index = remaining / sigma_seed;
+  const std::size_t part_block = partitioners.size() * sigma_seed;
+  const std::size_t core_block = core_counts.size() * part_block;
+  coord.util_index = remaining / core_block;
+  remaining %= core_block;
+  coord.core_index = remaining / part_block;
+  remaining %= part_block;
+  coord.partitioner_index = remaining / sigma_seed;
   remaining %= sigma_seed;
   coord.sigma_index = remaining / workload_seeds.size();
   coord.seed_index = remaining % workload_seeds.size();
   ACS_CHECK(coord.util_index < utils, "grid coordinate decode overflow");
   return coord;
+}
+
+const mp::PartitionerRegistry& ExperimentGrid::Partitioners() const {
+  return partitioner_registry != nullptr ? *partitioner_registry
+                                         : mp::PartitionerRegistry::Builtin();
+}
+
+bool ExperimentGrid::AnyCoreAboveOne() const {
+  for (int cores : core_counts) {
+    if (cores > 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExperimentGrid::MultiCore() const {
+  return AnyCoreAboveOne() || !idle_power.IsZero();
 }
 
 std::size_t ExperimentGrid::BaselineIndex() const {
@@ -105,9 +131,27 @@ void ExperimentGrid::Validate(const core::MethodRegistry& registry) const {
   for (double divisor : sigma_divisors) {
     ACS_REQUIRE(divisor > 0.0, "sigma divisors must be positive");
   }
+  ACS_REQUIRE(!core_counts.empty(), "grid needs a core count");
+  int max_cores = 0;
+  for (int cores : core_counts) {
+    ACS_REQUIRE(cores >= 1, "core counts must be at least 1");
+    max_cores = std::max(max_cores, cores);
+  }
+  ACS_REQUIRE(!partitioners.empty(), "grid needs a partitioner");
+  for (const std::string& name : partitioners) {
+    Partitioners().Get(name);  // throws, listing the registered names
+  }
+  ACS_REQUIRE(idle_power.power_per_ms >= 0.0,
+              "idle power must be non-negative");
+  ACS_REQUIRE(transition.time_per_volt >= 0.0 &&
+                  transition.energy_per_volt >= 0.0,
+              "transition overheads must be non-negative");
+  // A utilization must stay below the fleet's capacity; single-core grids
+  // keep the paper's (0, 1) admission.
   for (double utilization : utilizations) {
-    ACS_REQUIRE(utilization > 0.0 && utilization < 1.0,
-                "utilizations must lie in (0, 1)");
+    ACS_REQUIRE(utilization > 0.0 &&
+                    utilization < static_cast<double>(max_cores),
+                "utilizations must lie in (0, max core count)");
   }
   for (const std::string& name : methods) {
     registry.Get(name);  // throws with the full method list on failure
@@ -120,12 +164,30 @@ stats::Rng ExperimentGrid::CellRng(std::size_t cell_index) const {
   return master.ForkWith(static_cast<std::uint64_t>(cell_index));
 }
 
+std::size_t ExperimentGrid::SetIndex(const CellCoord& coord) const {
+  std::size_t offset = 0;
+  for (std::size_t s = 0; s < coord.source; ++s) {
+    offset += static_cast<std::size_t>(sources[s].Replicates()) *
+              UtilCells(*this, sources[s]);
+  }
+  return offset +
+         static_cast<std::size_t>(coord.replicate) *
+             UtilCells(*this, sources[coord.source]) +
+         coord.util_index;
+}
+
 ExperimentGrid::CellStreams ExperimentGrid::Streams(
     const CellCoord& coord) const {
-  stats::Rng cell_rng = CellRng(coord.cell_index);
-  stats::Rng set_rng = cell_rng.Fork();
+  // Exactly the historical derivation (ForkWith(index), one Fork() for the
+  // set stream, then the labelled workload fork), keyed by the reduced set
+  // index: cells equal up to the core/partitioner/sigma/seed axes share
+  // both streams, so those axes compare paired.  Grids whose inner axes
+  // are all singletons have SetIndex == cell_index and draw streams
+  // bit-identical to the pre-mp runner.
+  stats::Rng base_rng = CellRng(SetIndex(coord));
+  stats::Rng set_rng = base_rng.Fork();
   const std::uint64_t workload_seed =
-      cell_rng.ForkWith(workload_seeds[coord.seed_index]).NextU64();
+      base_rng.ForkWith(workload_seeds[coord.seed_index]).NextU64();
   return CellStreams{set_rng, workload_seed};
 }
 
@@ -140,6 +202,12 @@ model::TaskSet ExperimentGrid::MaterializeTaskSet(
   if (!utilizations.empty()) {
     options.utilization = utilizations[coord.util_index];
   }
+  // Any multi-core cells in the grid make the draw a fleet demand: the
+  // partitioner owns admission, and — because the flag is grid-level —
+  // cells sharing a SetIndex keep bit-identical draws across the cores
+  // axis, unbiased toward single-core-feasible sets.  (Deliberately
+  // AnyCoreAboveOne, not MultiCore: see the header.)
+  options.multi_core = options.multi_core || AnyCoreAboveOne();
   CellStreams streams = Streams(coord);
   return workload::GenerateRandomTaskSet(options, *dvs, streams.set_rng);
 }

@@ -2,7 +2,8 @@
 //
 // An ExperimentGrid is the cartesian product of
 //
-//   task-set sources x replicates x utilizations x sigma divisors x seeds
+//   task-set sources x replicates x utilizations x core counts x
+//   partitioners x sigma divisors x seeds
 //
 // where every product point is one *cell*.  Within a cell the grid's
 // registry methods are all evaluated on the same task set and identical
@@ -11,10 +12,14 @@
 // solves (WCS warm start, Vmax-ASAP) then amortise across methods through
 // the core::MethodContext.
 //
-// Seeding: every cell derives an independent stats::Rng stream from
-// (master_seed, cell_index) alone, so a cell's result is a pure function of
-// the grid — execution order and thread count cannot change any bit of the
-// output (see runner/run_grid.h and the runner determinism test).
+// Seeding: every cell derives its streams from the master seed and its own
+// coordinates alone, so a cell's result is a pure function of the grid —
+// execution order and thread count cannot change any bit of the output (see
+// runner/run_grid.h and the runner determinism test).  The task-set stream
+// is keyed by the *set index* — (source, replicate, utilization) only — so
+// cells that differ purely in the core-count, partitioner, sigma or
+// workload-seed axes draw bit-identical task sets and those axes compare
+// paired, not across a seed lottery.
 #ifndef ACS_RUNNER_EXPERIMENT_GRID_H
 #define ACS_RUNNER_EXPERIMENT_GRID_H
 
@@ -27,6 +32,7 @@
 #include "core/scheduler.h"
 #include "model/power_model.h"
 #include "model/task.h"
+#include "mp/partitioner.h"
 #include "stats/rng.h"
 #include "workload/random_taskset.h"
 
@@ -55,6 +61,8 @@ struct CellCoord {
   std::size_t source = 0;     // index into ExperimentGrid::sources
   std::int64_t replicate = 0; // 0 .. Replicates()-1
   std::size_t util_index = 0; // index into utilizations (0 when empty)
+  std::size_t core_index = 0; // index into core_counts
+  std::size_t partitioner_index = 0;  // index into partitioners
   std::size_t sigma_index = 0;
   std::size_t seed_index = 0; // index into workload_seeds
 };
@@ -63,8 +71,27 @@ struct ExperimentGrid {
   const model::DvsModel* dvs = nullptr;  // non-owning; required
   std::vector<TaskSetSource> sources;
   /// Worst-case utilization overrides for random sources; empty keeps each
-  /// source's own value.  Fixed sources ignore this axis.
+  /// source's own value.  Fixed sources ignore this axis.  With multi-core
+  /// axes the values may reach (0, max core count): a cell's set is a fleet
+  /// demand, partitioned before any per-core pipeline runs.
   std::vector<double> utilizations;
+  /// Identical-multiprocessor axes (src/mp).  A cell whose core count
+  /// exceeds 1 (or whose grid charges idle power) partitions its task set
+  /// with the named mp partitioner and runs the per-core pipeline on every
+  /// powered core; its MethodOutcomes are then *fleet* figures in energy-
+  /// per-ms units (see mp/fleet.h).  The defaults keep single-core grids
+  /// bit-identical to the pre-mp runner.
+  std::vector<int> core_counts = {1};
+  std::vector<std::string> partitioners = {"ffd"};
+  /// Registry the partitioner names resolve against; null selects
+  /// mp::PartitionerRegistry::Builtin().  Non-owning (like `dvs`): point it
+  /// at a custom registry to plug experiment-specific strategies into the
+  /// grid, mirroring how RunGrid takes a custom MethodRegistry.
+  const mp::PartitionerRegistry* partitioner_registry = nullptr;
+  /// Always-on per-powered-core power floor for multi-core cells.
+  model::IdlePower idle_power;
+  /// Voltage-transition overhead charged in every cell's simulation.
+  model::TransitionOverhead transition;
   std::vector<double> sigma_divisors = {6.0};
   /// Workload-stream labels: each entry yields an independent realisation
   /// stream per cell (replaying fixed sets under `k` streams = `k` entries).
@@ -83,15 +110,41 @@ struct ExperimentGrid {
   /// Index of `baseline` within `methods`.
   std::size_t BaselineIndex() const;
 
-  /// Validates axes and resolves every method name against `registry`;
-  /// throws InvalidArgumentError with the offending field on failure.
+  /// True when the cores axis holds any entry above 1.  Deliberately
+  /// narrower than MultiCore(): this is the trigger for *fleet-demand task
+  /// set draws* (MaterializeTaskSet), while MultiCore() additionally fires
+  /// on an idle-power floor alone — an idle-only grid takes the fleet
+  /// execution path but must keep drawing the exact pre-mp single-core
+  /// sets (the bit-compatibility guarantee).
+  bool AnyCoreAboveOne() const;
+
+  /// True when this grid's cells take the multi-core (partitioned fleet)
+  /// path: AnyCoreAboveOne() or a non-zero idle-power floor.  The routing
+  /// is per grid, not per cell, so a mixed cores axis reports every cell —
+  /// m = 1 included — in the same fleet energy-per-ms units.
+  bool MultiCore() const;
+
+  /// The effective partitioner registry (`partitioner_registry` or the
+  /// built-ins).
+  const mp::PartitionerRegistry& Partitioners() const;
+
+  /// Validates axes, resolves every method name against `registry` and
+  /// every partitioner name against Partitioners(); throws
+  /// InvalidArgumentError with the offending field on failure.
   void Validate(const core::MethodRegistry& registry) const;
 
   /// The independent per-cell stream: a pure function of (master_seed,
   /// cell_index).
   stats::Rng CellRng(std::size_t cell_index) const;
 
-  /// The two streams one cell consumes, in derivation order.
+  /// Flattened index of the cell's task-set draw: (source, replicate,
+  /// util_index) only.  Cells equal on those coordinates — however they
+  /// differ on the core/partitioner/sigma/workload-seed axes — share it,
+  /// and with it their task set.
+  std::size_t SetIndex(const CellCoord& coord) const;
+
+  /// The two streams one cell consumes, both keyed by SetIndex (the
+  /// workload stream additionally by the cell's seed-axis label).
   struct CellStreams {
     stats::Rng set_rng;            // task-set generation
     std::uint64_t workload_seed;   // workload realisations

@@ -1,6 +1,7 @@
 #include "runner/run_grid.h"
 
 #include "fps/expansion.h"
+#include "mp/fleet.h"
 #include "runner/thread_pool.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -16,24 +17,47 @@ CellResult RunCell(const ExperimentGrid& grid,
   try {
     const ExperimentGrid::CellStreams streams = grid.Streams(cell.coord);
     const model::TaskSet set = grid.MaterializeTaskSet(cell.coord);
-    const fps::FullyPreemptiveSchedule fps(set);
-    cell.sub_instances = fps.sub_count();
+    cell.hyper_period = set.hyper_period();
 
     core::ExperimentOptions options;
     options.hyper_periods = grid.hyper_periods;
     options.sigma_divisor = grid.sigma_divisors[cell.coord.sigma_index];
     options.seed = streams.workload_seed;
+    options.transition = grid.transition;
     options.scheduler = grid.scheduler;
 
-    // One context per cell: the WCS / Vmax-ASAP solves amortise across the
-    // methods while every method sees the identical workload stream.
-    core::MethodContext context(fps, *grid.dvs, options.scheduler);
-    cell.outcomes.reserve(methods.size());
-    for (const core::ScheduleMethod* method : methods) {
-      cell.outcomes.push_back(EvaluateMethod(*method, context, options));
+    if (!grid.MultiCore()) {
+      // Single-core grid: the original per-cell pipeline, bit-identical to
+      // the pre-mp runner.  One context per cell: the WCS / Vmax-ASAP
+      // solves amortise across the methods while every method sees the
+      // identical workload stream.
+      const fps::FullyPreemptiveSchedule fps(set);
+      cell.sub_instances = fps.sub_count();
+      core::MethodContext context(fps, *grid.dvs, options.scheduler);
+      cell.outcomes.reserve(methods.size());
+      for (const core::ScheduleMethod* method : methods) {
+        cell.outcomes.push_back(EvaluateMethod(*method, context, options));
+      }
+    } else {
+      // Multi-core grid: partition, then per-core pipelines; outcomes are
+      // fleet figures in energy-per-ms units (mp/fleet.h) for every cell,
+      // m = 1 included, so a mixed cores axis compares in one unit.
+      const int cores = grid.core_counts[cell.coord.core_index];
+      const mp::Partitioner& partitioner = grid.Partitioners().Get(
+          grid.partitioners[cell.coord.partitioner_index]);
+      const mp::FleetResult fleet =
+          mp::EvaluateFleet(set, *grid.dvs, partitioner, cores, methods,
+                            options, grid.idle_power);
+      cell.sub_instances = fleet.sub_instances;
+      cell.outcomes.reserve(methods.size());
+      for (const mp::FleetOutcome& outcome : fleet.outcomes) {
+        cell.outcomes.push_back(outcome.fleet);
+      }
     }
   } catch (const util::Error& error) {
     cell.outcomes.clear();
+    cell.sub_instances = 0;
+    cell.hyper_period = 0;  // the documented failed-cell contract
     cell.error = error.what();
     ACS_LOG_WARN << "grid cell " << cell_index << " failed: " << cell.error;
   }
@@ -44,9 +68,8 @@ CellResult RunCell(const ExperimentGrid& grid,
 
 double CellResult::ImprovementOver(std::size_t method_index,
                                    std::size_t baseline_index) const {
-  const double base = outcomes.at(baseline_index).measured_energy;
-  const double measured = outcomes.at(method_index).measured_energy;
-  return base > 0.0 ? (base - measured) / base : 0.0;
+  return core::ImprovementRatio(outcomes.at(baseline_index).measured_energy,
+                                outcomes.at(method_index).measured_energy);
 }
 
 void ProgressSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {

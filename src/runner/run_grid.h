@@ -8,9 +8,20 @@
 // computed afterwards in cell order — so an 8-thread run is bit-identical
 // to a 1-thread run, cell by cell and aggregate by aggregate.
 //
-// Cells that fail with a util::Error (infeasible set, generator exhaustion)
-// record the message in CellResult::error and do not abort the grid; any
-// other exception propagates out of RunGrid.
+// Cells of a multi-core grid (any core count > 1, or a non-zero idle-power
+// floor — see ExperimentGrid::MultiCore) first partition the cell's task
+// set with the grid's mp partitioner and then run the identical per-core
+// pipeline on every powered core; their MethodOutcomes are fleet aggregates
+// in energy-per-ms units (mp/fleet.h), for every cell of the grid so a
+// mixed cores axis compares in one unit.
+// The determinism guarantee is unchanged: partitioning is a pure function
+// of the cell's task set and per-core workload streams are forked from the
+// cell stream by physical core index.
+//
+// Cells that fail with a util::Error (infeasible set, generator exhaustion,
+// a partitioner that cannot place a task) record the message in
+// CellResult::error and do not abort the grid; any other exception
+// propagates out of RunGrid.
 #ifndef ACS_RUNNER_RUN_GRID_H
 #define ACS_RUNNER_RUN_GRID_H
 
@@ -30,6 +41,10 @@ namespace dvs::runner {
 struct CellResult {
   CellCoord coord;
   std::size_t sub_instances = 0;
+  /// Hyper-period of the cell's (whole) task set — the per-hyper-period /
+  /// per-ms unit conversion factor, recorded so consumers need not re-draw
+  /// the set.  0 on failed cells.
+  std::int64_t hyper_period = 0;
   std::vector<core::MethodOutcome> outcomes;
   std::string error;
 

@@ -1,5 +1,6 @@
 #include "workload/cnc.h"
 
+#include "util/error.h"
 #include "workload/presets.h"
 
 namespace dvs::workload {
@@ -30,6 +31,11 @@ model::TaskSet CncTaskSet(const CncOptions& options,
     ApplyBcecRatio(task, options.bcec_wcec_ratio);
     tasks.push_back(std::move(task));
   }
+  // Single-processor reconstructions: keep the (0, 1) admission that
+  // ScaleToUtilization itself no longer enforces (fleet targets are legal
+  // there for src/mp).
+  ACS_REQUIRE(options.utilization > 0.0 && options.utilization < 1.0,
+              "cnc utilisation must lie in (0, 1)");
   return ScaleToUtilization(std::move(tasks), dvs, options.utilization);
 }
 

@@ -1,5 +1,6 @@
 #include "workload/gap.h"
 
+#include "util/error.h"
 #include "workload/presets.h"
 
 namespace dvs::workload {
@@ -33,6 +34,11 @@ model::TaskSet GapTaskSet(const GapOptions& options,
     ApplyBcecRatio(task, options.bcec_wcec_ratio);
     tasks.push_back(std::move(task));
   }
+  // Single-processor reconstructions: keep the (0, 1) admission that
+  // ScaleToUtilization itself no longer enforces (fleet targets are legal
+  // there for src/mp).
+  ACS_REQUIRE(options.utilization > 0.0 && options.utilization < 1.0,
+              "gap utilisation must lie in (0, 1)");
   return ScaleToUtilization(std::move(tasks), dvs, options.utilization);
 }
 

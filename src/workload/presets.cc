@@ -18,8 +18,9 @@ void ApplyBcecRatio(model::Task& task, double bcec_wcec_ratio) {
 
 model::TaskSet ScaleToUtilization(std::vector<model::Task> tasks,
                                   const model::DvsModel& dvs, double target) {
-  ACS_REQUIRE(target > 0.0 && target < 1.0,
-              "utilisation target must lie in (0, 1)");
+  // Targets >= 1 describe multi-core fleet demands (src/mp); single-core
+  // admission is the generator's / the partitioner's job, not this scaler's.
+  ACS_REQUIRE(target > 0.0, "utilisation target must be positive");
   ACS_REQUIRE(!tasks.empty(), "no tasks to scale");
   const double max_speed = dvs.MaxSpeed();
   double raw = 0.0;

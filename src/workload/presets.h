@@ -20,6 +20,7 @@ model::LinearDvsModel DefaultModel();
 void ApplyBcecRatio(model::Task& task, double bcec_wcec_ratio);
 
 /// Rescales a task list so worst-case utilisation at Vmax equals `target`.
+/// Targets >= 1 are legal and describe a multi-core fleet demand (src/mp).
 /// Returns the validated TaskSet.
 model::TaskSet ScaleToUtilization(std::vector<model::Task> tasks,
                                   const model::DvsModel& dvs, double target);

@@ -1,6 +1,7 @@
 #include "workload/random_taskset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "fps/expansion.h"
@@ -20,9 +21,18 @@ model::TaskSet GenerateRandomTaskSet(const RandomTaskSetOptions& options,
                                      const model::DvsModel& dvs,
                                      stats::Rng& rng) {
   ACS_REQUIRE(options.num_tasks >= 1, "need at least one task");
-  ACS_REQUIRE(options.utilization > 0.0 && options.utilization < 1.0,
-              "utilisation must lie in (0, 1)");
+  ACS_REQUIRE(options.utilization > 0.0,
+              "utilisation must be positive");
+  ACS_REQUIRE(options.utilization < static_cast<double>(options.num_tasks),
+              "utilisation must stay below the task count (each task must "
+              "fit on one core)");
 
+  const bool multi_core = options.multi_core || options.utilization >= 1.0;
+  const std::size_t sub_cap =
+      multi_core ? options.max_sub_instances *
+                       static_cast<std::size_t>(
+                           std::ceil(std::max(options.utilization, 1.0)))
+                 : options.max_sub_instances;
   const std::vector<std::int64_t>& candidates = CandidatePeriods();
 
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
@@ -44,10 +54,24 @@ model::TaskSet GenerateRandomTaskSet(const RandomTaskSetOptions& options,
         ScaleToUtilization(std::move(tasks), dvs, options.utilization);
 
     const fps::FullyPreemptiveSchedule expansion(set);
-    if (expansion.sub_count() > options.max_sub_instances) {
+    if (expansion.sub_count() > sub_cap) {
       continue;
     }
-    if (!sim::IsRmSchedulable(expansion, dvs)) {
+    if (multi_core) {
+      // Per-core admission belongs to the partitioner; here only reject sets
+      // with a task no single core could ever carry at Vmax.
+      const double max_speed = dvs.MaxSpeed();
+      bool oversized = false;
+      for (const model::Task& task : set.tasks()) {
+        if (task.wcec > static_cast<double>(task.period) * max_speed) {
+          oversized = true;
+          break;
+        }
+      }
+      if (oversized) {
+        continue;
+      }
+    } else if (!sim::IsRmSchedulable(expansion, dvs)) {
       continue;
     }
     return set;

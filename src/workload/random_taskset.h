@@ -28,8 +28,23 @@ namespace dvs::workload {
 struct RandomTaskSetOptions {
   int num_tasks = 6;
   double bcec_wcec_ratio = 0.5;   // paper x-axis: 0.1 / 0.5 / 0.9
+  /// Worst-case utilisation at Vmax.  Values below 1 reproduce the paper's
+  /// single-processor sets (exact RM admission at Vmax); values >= 1 imply
+  /// `multi_core` below.
   double utilization = 0.7;       // paper: "about 70%"
-  std::size_t max_sub_instances = 1000;  // paper's cap
+  /// Marks the draw as a *multi-core* fleet demand (the mp layer's
+  /// partitioned experiments): the single-core RM test is skipped — per-core
+  /// feasibility is the partitioner's admission problem — and draws where
+  /// any single task alone exceeds one core are rejected instead.  Forced on
+  /// when utilization >= 1; set it explicitly for multi-core experiments at
+  /// per-core-scale utilisation so the draw is not biased toward
+  /// single-core-feasible sets.
+  bool multi_core = false;
+  /// Cap on the fully preemptive expansion (paper: 1000).  For multi-core
+  /// sets the cap is applied pro rata: the whole-set expansion may reach
+  /// max_sub_instances * ceil(utilization), keeping the eventual per-core
+  /// expansions near the single-core cap.
+  std::size_t max_sub_instances = 1000;
   int max_attempts = 500;         // rejection-sampling budget
 };
 

@@ -1,0 +1,121 @@
+#include "mp/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "core/method_registry.h"
+#include "util/error.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+
+namespace dvs::mp {
+namespace {
+
+model::TaskSet FleetSet(const model::DvsModel& dvs, double utilization,
+                        int num_tasks, std::uint64_t seed) {
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = num_tasks;
+  gen.bcec_wcec_ratio = 0.3;
+  gen.utilization = utilization;
+  gen.max_sub_instances = 120;
+  stats::Rng rng(seed);
+  return workload::GenerateRandomTaskSet(gen, dvs, rng);
+}
+
+std::vector<const core::ScheduleMethod*> AcsWcs() {
+  const core::MethodRegistry& registry = core::MethodRegistry::Builtin();
+  return {&registry.Get("acs"), &registry.Get("wcs")};
+}
+
+core::ExperimentOptions SmallRun() {
+  core::ExperimentOptions options;
+  options.hyper_periods = 10;
+  options.seed = 42;
+  return options;
+}
+
+// The acceptance property: on every grid cell the partitioned-ACS fleet
+// consumes no more energy than partitioned-WCS.  Deterministic streams make
+// this an exact regression check, not a flaky statistical one.
+TEST(EvaluateFleetFn, PartitionedAcsBeatsPartitionedWcs) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const model::TaskSet set = FleetSet(cpu, 1.2, 8, seed);
+    for (const std::string& name : PartitionerRegistry::Builtin().Names()) {
+      const FleetResult result = EvaluateFleet(
+          set, cpu, PartitionerRegistry::Builtin().Get(name), 2, AcsWcs(),
+          SmallRun());
+      ASSERT_EQ(result.outcomes.size(), 2u);
+      const core::MethodOutcome& acs = result.outcomes[0].fleet;
+      const core::MethodOutcome& wcs = result.outcomes[1].fleet;
+      EXPECT_LE(acs.measured_energy, wcs.measured_energy)
+          << name << " seed " << seed;
+      EXPECT_GT(result.ImprovementOver(0, 1), 0.0) << name;
+      EXPECT_EQ(acs.deadline_misses, 0) << name;
+      EXPECT_EQ(wcs.deadline_misses, 0) << name;
+      EXPECT_GT(result.sub_instances, 0u);
+    }
+  }
+}
+
+TEST(EvaluateFleetFn, DeterministicAcrossCalls) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const model::TaskSet set = FleetSet(cpu, 1.2, 8, 9);
+  const Partitioner& wfd = PartitionerRegistry::Builtin().Get("wfd");
+  const FleetResult a = EvaluateFleet(set, cpu, wfd, 2, AcsWcs(), SmallRun());
+  const FleetResult b = EvaluateFleet(set, cpu, wfd, 2, AcsWcs(), SmallRun());
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t m = 0; m < a.outcomes.size(); ++m) {
+    EXPECT_EQ(a.outcomes[m].fleet.measured_energy,
+              b.outcomes[m].fleet.measured_energy);
+    EXPECT_EQ(a.outcomes[m].fleet.predicted_energy,
+              b.outcomes[m].fleet.predicted_energy);
+    ASSERT_EQ(a.outcomes[m].per_core.size(), b.outcomes[m].per_core.size());
+  }
+  EXPECT_EQ(a.partition.Describe(set), b.partition.Describe(set));
+}
+
+TEST(EvaluateFleetFn, IdleFloorChargesPoweredCoresOnly) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const model::TaskSet set = FleetSet(cpu, 0.7, 4, 3);
+  const Partitioner& ffd = PartitionerRegistry::Builtin().Get("ffd");
+  // Single-core demand packed by FFD onto one of four cores: only that core
+  // pays the floor.
+  const FleetResult cold =
+      EvaluateFleet(set, cpu, ffd, 4, AcsWcs(), SmallRun());
+  const model::IdlePower idle{0.25};
+  const FleetResult warm =
+      EvaluateFleet(set, cpu, ffd, 4, AcsWcs(), SmallRun(), idle);
+  ASSERT_EQ(cold.partition.used_cores(), warm.partition.used_cores());
+  const double expected_floor =
+      idle.power_per_ms * static_cast<double>(warm.partition.used_cores());
+  for (std::size_t m = 0; m < warm.outcomes.size(); ++m) {
+    EXPECT_NEAR(warm.outcomes[m].fleet.measured_energy -
+                    cold.outcomes[m].fleet.measured_energy,
+                expected_floor, 1e-9);
+  }
+}
+
+TEST(EvaluateFleetFn, PerCoreOutcomesMatchPoweredCores) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const model::TaskSet set = FleetSet(cpu, 1.2, 8, 13);
+  const FleetResult result =
+      EvaluateFleet(set, cpu, PartitionerRegistry::Builtin().Get("wfd"), 4,
+                    AcsWcs(), SmallRun());
+  const int powered = result.partition.used_cores();
+  ASSERT_GE(powered, 2);
+  for (const FleetOutcome& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.per_core.size(), static_cast<std::size_t>(powered));
+  }
+}
+
+TEST(EvaluateFleetFn, RequiresMethods) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const model::TaskSet set = FleetSet(cpu, 0.7, 4, 3);
+  EXPECT_THROW(
+      EvaluateFleet(set, cpu, PartitionerRegistry::Builtin().Get("ffd"), 2,
+                    {}, SmallRun()),
+      util::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace dvs::mp

@@ -1,0 +1,100 @@
+#include "runner/csv_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/experiment_grid.h"
+#include "runner/run_grid.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+
+namespace dvs::runner {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+ExperimentGrid TinyGrid(const model::DvsModel& dvs,
+                        workload::RandomTaskSetOptions gen) {
+  ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = {RandomSource("random-2", gen, 2)};
+  grid.methods = {"wcs", "static-vmax"};
+  grid.baseline = "wcs";
+  grid.hyper_periods = 5;
+  grid.master_seed = 3;
+  return grid;
+}
+
+TEST(CsvSink, StreamsOneRowPerCellMethod) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 2;
+  gen.bcec_wcec_ratio = 0.5;
+  gen.max_sub_instances = 24;
+  const ExperimentGrid grid = TinyGrid(cpu, gen);
+
+  const std::string path = testing::TempDir() + "/cells.csv";
+  {
+    CsvSink sink(path);
+    RunOptions options;
+    options.threads = 2;
+    options.sink = &sink;
+    const GridResult result = RunGrid(grid, options);
+    ASSERT_EQ(result.failed_cells, 0u);
+    EXPECT_EQ(sink.rows(), grid.CellCount() * grid.methods.size());
+  }
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u + grid.CellCount() * grid.methods.size());
+  EXPECT_EQ(lines[0], util::Join(CsvSink::Header(), ","));
+  const std::size_t columns = CsvSink::Header().size();
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    // No quoting needed for these labels, so columns == comma count + 1.
+    EXPECT_EQ(util::Split(lines[i], ',').size(), columns) << lines[i];
+  }
+}
+
+TEST(CsvSink, FailedCellsEmitOneErrorRow) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 2;
+  gen.bcec_wcec_ratio = 0.5;
+  gen.max_sub_instances = 0;  // every draw rejected: cells fail
+  gen.max_attempts = 3;
+  const ExperimentGrid grid = TinyGrid(cpu, gen);
+
+  const std::string path = testing::TempDir() + "/failed.csv";
+  CsvSink sink(path);
+  RunOptions options;
+  options.sink = &sink;
+  const GridResult result = RunGrid(grid, options);
+  EXPECT_EQ(result.failed_cells, grid.CellCount());
+  EXPECT_EQ(sink.rows(), grid.CellCount());
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u + grid.CellCount());
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_NE(lines[i].find("attempt budget"), std::string::npos) << lines[i];
+  }
+}
+
+TEST(CsvSink, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvSink("/nonexistent-dir/cells.csv"), util::Error);
+}
+
+}  // namespace
+}  // namespace dvs::runner

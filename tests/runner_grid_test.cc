@@ -214,6 +214,172 @@ TEST(RunGrid, SinkSeesEveryCellAndAggregatesImprovement) {
             grid.CellCount());
 }
 
+// DESIGN.md §5's failure-cell contract: a cell whose task-set draw is
+// infeasible records a util::Error on that cell, does not abort the grid,
+// and is excluded from GridResult::Aggregate.
+TEST(RunGrid, FailedCellsAreRecordedAndExcludedFromAggregates) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  workload::RandomTaskSetOptions doomed;
+  doomed.num_tasks = 2;
+  doomed.bcec_wcec_ratio = 0.5;
+  doomed.max_sub_instances = 0;  // every draw rejected -> SolverError
+  doomed.max_attempts = 3;
+
+  ExperimentGrid grid = SmallGrid(cpu);
+  grid.sources = {RandomSource("doomed", doomed, 2),
+                  grid.sources[1]};  // the fixed set keeps succeeding
+  grid.sigma_divisors = {6.0};
+  grid.workload_seeds = {0};
+  grid.methods = {"acs", "wcs"};
+
+  ProgressSink sink;
+  RunOptions options;
+  options.threads = 2;
+  options.sink = &sink;
+  const GridResult result = RunGrid(grid, options);
+
+  ASSERT_EQ(result.cells.size(), 3u);
+  EXPECT_EQ(result.failed_cells, 2u);
+  EXPECT_EQ(sink.failed(), 2u);
+  EXPECT_EQ(sink.completed(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FALSE(result.cells[i].ok());
+    EXPECT_NE(result.cells[i].error.find("attempt budget"), std::string::npos)
+        << result.cells[i].error;
+    EXPECT_TRUE(result.cells[i].outcomes.empty());
+  }
+  EXPECT_TRUE(result.cells[2].ok());
+
+  // Aggregates cover the surviving cell only.
+  for (std::size_t m = 0; m < grid.methods.size(); ++m) {
+    const MethodAggregate aggregate = result.Aggregate(grid, m);
+    EXPECT_EQ(aggregate.measured_energy.count(), 1);
+    EXPECT_GT(aggregate.measured_energy.mean(), 0.0);
+  }
+  // Per-source filtering sees zero successful cells for the doomed source.
+  EXPECT_EQ(result.Aggregate(grid, 0, 0).measured_energy.count(), 0);
+}
+
+ExperimentGrid MultiCoreGrid(const model::DvsModel& dvs) {
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 5;
+  gen.bcec_wcec_ratio = 0.3;
+  gen.max_sub_instances = 40;  // pro-rata for the fleet demand
+
+  ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = {RandomSource("random-5", gen, 2)};
+  grid.utilizations = {1.2};
+  grid.core_counts = {2, 4};
+  grid.partitioners = {"ffd", "wfd"};
+  grid.idle_power.power_per_ms = 0.1;
+  grid.methods = {"acs", "wcs"};
+  grid.hyper_periods = 5;
+  grid.master_seed = 11;
+  return grid;
+}
+
+TEST(ExperimentGrid, MultiCoreAxesRoundTripAndShareTaskSets) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = MultiCoreGrid(cpu);
+  // 2 replicates x 1 util x 2 cores x 2 partitioners.
+  ASSERT_EQ(grid.CellCount(), 8u);
+  for (std::size_t i = 0; i < grid.CellCount(); ++i) {
+    const CellCoord coord = grid.Coord(i);
+    EXPECT_EQ(coord.cell_index, i);
+    EXPECT_LT(coord.core_index, grid.core_counts.size());
+    EXPECT_LT(coord.partitioner_index, grid.partitioners.size());
+  }
+  // Cells differing only in the core/partitioner axes share the set index,
+  // and with it a bit-identical task-set draw (paired comparisons).
+  const CellCoord first = grid.Coord(0);
+  const model::TaskSet reference = grid.MaterializeTaskSet(first);
+  for (std::size_t i = 1; i < 4; ++i) {
+    const CellCoord coord = grid.Coord(i);
+    EXPECT_EQ(coord.replicate, first.replicate);
+    EXPECT_EQ(grid.SetIndex(coord), grid.SetIndex(first));
+    const model::TaskSet set = grid.MaterializeTaskSet(coord);
+    ASSERT_EQ(set.size(), reference.size());
+    for (std::size_t t = 0; t < set.size(); ++t) {
+      EXPECT_EQ(set.task(t).wcec, reference.task(t).wcec);
+      EXPECT_EQ(set.task(t).period, reference.task(t).period);
+    }
+  }
+  // The next replicate draws a different set.
+  EXPECT_NE(grid.SetIndex(grid.Coord(4)), grid.SetIndex(first));
+}
+
+TEST(ExperimentGrid, ValidateChecksMultiCoreAxes) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const core::MethodRegistry& registry = core::MethodRegistry::Builtin();
+
+  ExperimentGrid grid = MultiCoreGrid(cpu);
+  grid.Validate(registry);
+
+  ExperimentGrid bad_partitioner = MultiCoreGrid(cpu);
+  bad_partitioner.partitioners = {"ffd", "definitely-not-a-partitioner"};
+  EXPECT_THROW(bad_partitioner.Validate(registry),
+               util::InvalidArgumentError);
+
+  ExperimentGrid bad_cores = MultiCoreGrid(cpu);
+  bad_cores.core_counts = {2, 0};
+  EXPECT_THROW(bad_cores.Validate(registry), util::InvalidArgumentError);
+
+  ExperimentGrid too_demanding = MultiCoreGrid(cpu);
+  too_demanding.utilizations = {4.5};  // above the 4-core fleet capacity
+  EXPECT_THROW(too_demanding.Validate(registry), util::InvalidArgumentError);
+
+  // Single-core grids keep the paper's (0, 1) admission.
+  ExperimentGrid single = MultiCoreGrid(cpu);
+  single.core_counts = {1};
+  single.utilizations = {1.2};
+  EXPECT_THROW(single.Validate(registry), util::InvalidArgumentError);
+}
+
+// The determinism guarantee extended to multi-core cells: an m=4 grid run
+// on four threads is bit-identical to the serial run.
+TEST(RunGrid, MultiCoreGridFourThreadsBitIdenticalToOneThread) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = MultiCoreGrid(cpu);
+
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+
+  const GridResult a = RunGrid(grid, serial);
+  const GridResult b = RunGrid(grid, parallel);
+
+  ASSERT_EQ(a.cells.size(), grid.CellCount());
+  ASSERT_EQ(b.cells.size(), grid.CellCount());
+  EXPECT_EQ(a.failed_cells, b.failed_cells);
+
+  std::size_t succeeded = 0;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const CellResult& ca = a.cells[i];
+    const CellResult& cb = b.cells[i];
+    ASSERT_EQ(ca.ok(), cb.ok()) << "cell " << i;
+    EXPECT_EQ(ca.error, cb.error) << "cell " << i;
+    if (!ca.ok()) {
+      continue;
+    }
+    ++succeeded;
+    EXPECT_EQ(ca.sub_instances, cb.sub_instances) << "cell " << i;
+    ASSERT_EQ(ca.outcomes.size(), grid.methods.size()) << "cell " << i;
+    for (std::size_t m = 0; m < grid.methods.size(); ++m) {
+      EXPECT_EQ(ca.outcomes[m].measured_energy, cb.outcomes[m].measured_energy)
+          << "cell " << i << " method " << grid.methods[m];
+      EXPECT_EQ(ca.outcomes[m].predicted_energy,
+                cb.outcomes[m].predicted_energy)
+          << "cell " << i << " method " << grid.methods[m];
+      EXPECT_EQ(ca.outcomes[m].deadline_misses, cb.outcomes[m].deadline_misses)
+          << "cell " << i << " method " << grid.methods[m];
+    }
+  }
+  // The grid must actually exercise the fleet path.
+  EXPECT_GT(succeeded, 0u);
+}
+
 TEST(RunGrid, UtilizationAxisAppliesToRandomSources) {
   const model::LinearDvsModel cpu = workload::DefaultModel();
   workload::RandomTaskSetOptions gen;

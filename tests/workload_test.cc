@@ -43,7 +43,10 @@ TEST(Presets, ScaleToUtilizationHitsTarget) {
   ApplyBcecRatio(t, 0.5);
   const model::TaskSet set = ScaleToUtilization({t, t}, cpu, 0.7);
   EXPECT_NEAR(set.Utilization(cpu), 0.7, 1e-12);
-  EXPECT_THROW(ScaleToUtilization({t}, cpu, 1.5),
+  // Targets >= 1 are legal multi-core fleet demands (src/mp).
+  const model::TaskSet fleet = ScaleToUtilization({t, t}, cpu, 1.5);
+  EXPECT_NEAR(fleet.Utilization(cpu), 1.5, 1e-12);
+  EXPECT_THROW(ScaleToUtilization({t}, cpu, 0.0),
                util::InvalidArgumentError);
 }
 
