@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     grid.baseline = "wcs";
 
     const runner::GridResult result =
-        runner::RunGrid(grid, config.RunOpts());
+        bench::RunGridTimed(grid, config, "baseline-grid");
 
     constexpr std::size_t kAcs = 0;
     stats::OnlineStats vs_wcs_greedy;
@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
     if (!config.csv.empty()) {
       csv.WriteFile(config.csv);
     }
+    config.WriteBenchJson();
     return 0;
   } catch (const util::Error& error) {
     std::cerr << "error: " << error.what() << "\n";

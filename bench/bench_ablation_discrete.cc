@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
                  "runtime quantises up)\n\n";
 
     const runner::GridResult result =
-        runner::RunGrid(grid, registry, config.RunOpts());
+        bench::RunGridTimed(grid, registry, config, "discrete-grid");
 
     // Method name -> grid index, for looking up each level's pair.
     const auto method_index = [&grid](const std::string& name) {
@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
           .Add(improvement.mean(), 6)
           .Add(misses);
     }
-    bench::Emit(table, csv, config.csv);
+    bench::Emit(table, csv, config);
     std::cout << "\nreading: a handful of levels already tracks the "
                  "continuous model closely; quantising up preserves every "
                  "deadline\n";

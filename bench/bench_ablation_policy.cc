@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
               << config.ResolvedThreads() << " threads)\n\n";
 
     const runner::GridResult result =
-        runner::RunGrid(grid, registry, config.RunOpts());
+        bench::RunGridTimed(grid, registry, config, "policy-grid");
 
     util::TextTable table({"dispatch policy", "mean energy",
                            "deadline misses"});
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
           .Add(aggregate.measured_energy.mean(), 3)
           .Add(aggregate.deadline_misses);
     }
-    bench::Emit(table, csv, config.csv);
+    bench::Emit(table, csv, config);
     std::cout << "\nreading: gating costs little energy and is what makes "
                  "the offline worst-case guarantee hold at runtime; the "
                  "eager variant breaks the planned interleaving\n";

@@ -66,8 +66,8 @@ int main(int argc, char** argv) {
       if (stall > 0.0) {
         grid.transition = model::TransitionOverhead{stall, 0.1};
       }
-      const runner::GridResult result =
-          runner::RunGrid(grid, config.RunOpts());
+      const runner::GridResult result = bench::RunGridTimed(
+          grid, config, "stall-" + util::FormatDouble(stall, 4));
       // The columns are specific to one arm — the baseline (ACS unless
       // overridden) — even when --methods lists several.
       const std::size_t report = grid.BaselineIndex();
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
           .Add(switches_per_hp / static_cast<double>(cells), 2)
           .Add(misses);
     }
-    bench::Emit(table, csv, config.csv);
+    bench::Emit(table, csv, config);
     std::cout << "\nreading: the paper's assumption holds while the stall "
                  "stays well under the shortest period; large stalls both "
                  "cost energy and endanger deadlines\n";

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
               << " threads; paper fixes 0.7)\n\n";
 
     const runner::GridResult result =
-        runner::RunGrid(grid, config.RunOpts());
+        bench::RunGridTimed(grid, config, "utilization-grid");
     const std::size_t baseline = grid.BaselineIndex();
     // Improvement column tracks the first non-baseline method.
     const std::size_t method = bench::FirstNonBaseline(grid);
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
           .Add(has_data ? improvement.stddev() : 0.0, 6)
           .Add(misses);
     }
-    bench::Emit(table, csv, config.csv);
+    bench::Emit(table, csv, config);
     return 0;
   } catch (const util::Error& error) {
     std::cerr << "error: " << error.what() << "\n";

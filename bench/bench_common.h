@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_workspace.h"
 #include "core/pipeline.h"
 #include "model/power_model.h"
 #include "model/task.h"
@@ -30,6 +31,32 @@
 
 namespace dvs::bench {
 
+/// Machine-readable run record accumulated across a bench's grids and
+/// written by --bench-json: one entry per (grid, repeat) with wall-clock
+/// timing and per-method energy aggregates.  Repeat 0 runs with whatever
+/// workspace state the process has ("cold" on the first grid); repeats > 0
+/// re-run the identical grid against the now-warm per-thread workspaces, so
+/// the cold/warm delta is the workspace reuse win (--grid-repeats).
+struct BenchReport {
+  struct MethodSummary {
+    std::string name;
+    double mean_measured_energy = 0.0;
+    double mean_improvement = 0.0;  // vs the grid baseline; 0 for itself
+  };
+  struct Entry {
+    std::string label;
+    std::int64_t repeat = 0;
+    double wall_ms = 0.0;
+    std::size_t cells = 0;
+    std::size_t failed_cells = 0;
+    std::int64_t threads = 1;
+    std::vector<MethodSummary> methods;
+  };
+
+  std::vector<Entry> entries;
+  double total_wall_ms = 0.0;
+};
+
 struct SweepConfig {
   std::int64_t tasksets = 8;        // random sets per grid point (paper: 100)
   std::int64_t hyper_periods = 150; // simulated hyper-periods (paper: 1000)
@@ -41,9 +68,25 @@ struct SweepConfig {
   bool paper = false;               // restore the paper's full scale
   std::string csv;                  // optional CSV output path (aggregates)
   std::string cell_csv;             // optional per-cell streaming CSV path
+  /// Machine-readable timing/energy summary path (--bench-json); empty
+  /// disables the report.
+  std::string bench_json;
+  /// Times each grid this many times (--grid-repeats): repeat 0 is the
+  /// result-bearing run, later repeats re-run the identical grid against
+  /// warm workspaces purely for the --bench-json timing trajectory.
+  std::int64_t grid_repeats = 1;
   /// Streaming sink RunOpts attaches to every grid run; set by
   /// OpenCellSink (benches can also point it at their own ResultSink).
   runner::ResultSink* sink = nullptr;
+  /// Accumulated --bench-json entries (shared so the const sweep helpers
+  /// can append).
+  std::shared_ptr<BenchReport> report = std::make_shared<BenchReport>();
+  /// Per-worker evaluation workspaces, persistent across this config's
+  /// grid runs (the warm state --grid-repeats measures).
+  std::shared_ptr<std::vector<core::EvalWorkspace>> workspaces =
+      std::make_shared<std::vector<core::EvalWorkspace>>();
+  /// Bench binary name for the report header; captured by Register().
+  std::string program;
 
   /// Registers the shared flags on a parser.
   void Register(util::ArgParser& parser);
@@ -70,7 +113,24 @@ struct SweepConfig {
                                   std::uint64_t grid_label = 0) const;
 
   runner::RunOptions RunOpts() const;
+
+  /// Writes the accumulated BenchReport to `bench_json` (no-op when the
+  /// flag is unset).  Emit() calls this; benches with custom epilogues can
+  /// call it directly.
+  void WriteBenchJson() const;
 };
+
+/// Runs `grid` through runner::RunGrid `config.grid_repeats` times against
+/// the config's persistent per-worker workspaces, recording one timed
+/// BenchReport entry per repeat under `label`; returns the first repeat's
+/// result (bit-identical to a plain RunGrid call).
+runner::GridResult RunGridTimed(const runner::ExperimentGrid& grid,
+                                const core::MethodRegistry& registry,
+                                const SweepConfig& config, std::string label);
+
+/// Same, against the built-in registry.
+runner::GridResult RunGridTimed(const runner::ExperimentGrid& grid,
+                                const SweepConfig& config, std::string label);
 
 struct SweepPoint {
   stats::OnlineStats improvement;   // first non-baseline method vs baseline
@@ -112,6 +172,10 @@ SweepPoint RunFixedSetSweep(const model::TaskSet& set, std::string label,
 /// Standard epilogue: prints the table, optionally writes the CSV.
 void Emit(const util::TextTable& table, const util::CsvTable& csv,
           const std::string& csv_path);
+
+/// Same, plus the --bench-json report when configured.
+void Emit(const util::TextTable& table, const util::CsvTable& csv,
+          const SweepConfig& config);
 
 }  // namespace dvs::bench
 

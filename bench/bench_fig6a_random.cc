@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       }
       table.AddRow(std::move(row));
     }
-    bench::Emit(table, csv, config.csv);
+    bench::Emit(table, csv, config);
     std::cout << "\npaper reference: ~60% at (10 tasks, ratio 0.1); "
                  "improvement rises with task count, falls with ratio\n";
     return 0;

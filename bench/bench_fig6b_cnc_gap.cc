@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
         std::cerr << "WARNING: deadline misses at ratio " << ratio << "\n";
       }
     }
-    bench::Emit(table, csv, config.csv);
+    bench::Emit(table, csv, config);
     std::cout << "\npaper reference: ~41% (CNC) and ~30% (GAP) at ratio 0.1, "
                  "falling towards zero at 0.9\n";
     return 0;

@@ -124,8 +124,8 @@ int main(int argc, char** argv) {
       grid.partitioners = partitioners;
       grid.idle_power.power_per_ms = idle_power;
 
-      const runner::GridResult result =
-          runner::RunGrid(grid, config.RunOpts());
+      const runner::GridResult result = bench::RunGridTimed(
+          grid, config, "cores-" + std::to_string(m));
       const std::size_t baseline = grid.BaselineIndex();
       const std::size_t method = bench::FirstNonBaseline(grid);
 
@@ -171,7 +171,7 @@ int main(int argc, char** argv) {
             .Add(failed);
       }
     }
-    bench::Emit(table, csv, config.csv);
+    bench::Emit(table, csv, config);
     std::cout << "\nreading: the per-core ACS win survives partitioning at "
                  "every core count; the partitioner decides how much idle "
                  "floor the fleet pays on top\n";

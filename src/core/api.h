@@ -16,6 +16,7 @@
 #define ACS_CORE_API_H
 
 #include "core/case_analysis.h"
+#include "core/eval_workspace.h"
 #include "core/formulation.h"
 #include "core/full_nlp.h"
 #include "core/method_registry.h"

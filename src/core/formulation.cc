@@ -11,14 +11,50 @@ namespace {
 constexpr double kCycleEps = 1e-9;   // budgets below this execute nothing
 constexpr double kWindowEps = 1e-12; // windows below this mean "infinitely fast"
 
-enum class VClamp { kBelowMin, kInside, kAboveMax };
+/// Voltage-model kernel dispatching through the DvsModel vtable — the
+/// general path (alpha law, discrete wrapper, external models).
+struct VirtualKernel {
+  const model::DvsModel* dvs;
+
+  double CycleTime(double v) const { return dvs->CycleTime(v); }
+  double VoltageForSpeed(double speed) const {
+    return dvs->VoltageForSpeed(speed);
+  }
+  /// VoltageSlope evaluated at speed = w / d (the reverse pass's chain
+  /// point).  Kernels whose slope is speed-independent skip the division.
+  double VoltageSlopeForRatio(double w, double d) const {
+    return dvs->VoltageSlope(w / d);
+  }
+  double SpeedSlope(double v) const { return dvs->SpeedSlope(v); }
+};
+
+/// Inlined LinearDvsModel math (speed = k * V).  Each expression mirrors
+/// the member implementation exactly — same operations, same order — so the
+/// fast path is bit-identical to the virtual one.  (`inv_k` is computed
+/// once; LinearDvsModel::VoltageSlope computes the same 1.0 / k per call.)
+struct LinearKernel {
+  double k;
+  double inv_k;
+
+  explicit LinearKernel(double k) : k(k), inv_k(1.0 / k) {}
+
+  double CycleTime(double v) const { return 1.0 / (k * v); }
+  double VoltageForSpeed(double speed) const { return speed / k; }
+  double VoltageSlopeForRatio(double /*w*/, double /*d*/) const {
+    return inv_k;
+  }
+  double SpeedSlope(double /*v*/) const { return k; }
+};
 
 }  // namespace
 
 EnergyObjective::EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
                                  const model::DvsModel& dvs,
-                                 Scenario scenario)
-    : fps_(&fps), dvs_(&dvs), scenario_(scenario) {
+                                 Scenario scenario, ObjectiveScratch* scratch)
+    : fps_(&fps),
+      dvs_(&dvs),
+      scenario_(scenario),
+      scratch_(scratch != nullptr ? scratch : &own_scratch_) {
   n_ = fps.sub_count();
   records_.resize(n_);
   const model::TaskSet& set = fps.task_set();
@@ -47,6 +83,11 @@ EnergyObjective::EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
   dim_ = next_var;
   ct_vmax_ = dvs.CycleTime(dvs.vmax());
   max_speed_ = dvs.MaxSpeed();
+
+  if (const auto* linear = dynamic_cast<const model::LinearDvsModel*>(&dvs)) {
+    linear_model_ = true;
+    linear_k_ = linear->k();
+  }
 }
 
 bool EnergyObjective::HasBudgetVariable(std::size_t order) const {
@@ -71,13 +112,16 @@ double EnergyObjective::Value(const opt::Vector& x) const {
 
 void EnergyObjective::Gradient(const opt::Vector& x,
                                opt::Vector& grad) const {
-  grad.assign(dim_, 0.0);
+  // The reverse pass writes every component exactly once (each end-time and
+  // budget variable belongs to exactly one sub-instance), so no zero-fill
+  // is needed — only the size.
+  grad.resize(dim_);
   (void)Evaluate(x, &grad, nullptr);
 }
 
 double EnergyObjective::ValueAndGradient(const opt::Vector& x,
                                          opt::Vector& grad) const {
-  grad.assign(dim_, 0.0);
+  grad.resize(dim_);
   return Evaluate(x, &grad, nullptr);
 }
 
@@ -94,30 +138,49 @@ ForwardDetail EnergyObjective::Replay(const opt::Vector& x) const {
 
 double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
                                  ForwardDetail* detail) const {
+  if (linear_model_) {
+    const LinearKernel kernel{linear_k_};
+    return scenario_ == Scenario::kAverage
+               ? EvaluateImpl<LinearKernel, true>(x, grad, detail, kernel)
+               : EvaluateImpl<LinearKernel, false>(x, grad, detail, kernel);
+  }
+  const VirtualKernel kernel{dvs_};
+  return scenario_ == Scenario::kAverage
+             ? EvaluateImpl<VirtualKernel, true>(x, grad, detail, kernel)
+             : EvaluateImpl<VirtualKernel, false>(x, grad, detail, kernel);
+}
+
+template <typename Kernel, bool kAverageScenario>
+double EnergyObjective::EvaluateImpl(const opt::Vector& x, opt::Vector* grad,
+                                     ForwardDetail* detail,
+                                     const Kernel& kernel) const {
   ACS_REQUIRE(x.size() == dim_, "point dimension mismatch");
+  using Node = ObjectiveScratch::Node;
+  using Clamp = ObjectiveScratch::Clamp;
   const model::DvsModel& dvs = *dvs_;
   const double ceff = dvs.ceff();
   const double vmin = dvs.vmin();
   const double vmax = dvs.vmax();
+  // Cycle times at the clamp rails, hoisted: a clamped dispatch runs at
+  // exactly vmin/vmax, so CycleTime(nd.v) is one of these two constants.
+  const double ct_vmin = kernel.CycleTime(vmin);
+  const double ct_vmax = kernel.CycleTime(vmax);
 
   // ---- Forward pass --------------------------------------------------------
-  struct Node {
-    double w = 0.0;       // worst-case budget
-    double avg = 0.0;     // scenario workload executed here
-    AvgCase avg_case = AvgCase::kEmpty;
-    double s = 0.0;       // start (scenario chain)
-    bool s_from_finish = false;  // max() branch: true -> depends on f_{u-1}
-    double d = 0.0;       // window e - s
-    double v = 0.0;       // dispatch voltage (clamped)
-    VClamp clamp = VClamp::kInside;
-    double ct = 0.0;      // cycle time at v
-    double f = 0.0;       // finish under the scenario
-    bool executes = false;  // w > eps
-  };
-  std::vector<Node> nodes(n_);
+  // All per-sub state lives in the scratch; every field read below is
+  // written by this pass first, so stale values from earlier evaluations
+  // cannot leak through.
+  ObjectiveScratch& scratch = *scratch_;
+  scratch.nodes.resize(n_);
+  Node* const nodes = scratch.nodes.data();
 
-  // Cumulative worst-case budget per parent (before the current sub).
-  std::vector<double> cum(fps_->instance_count(), 0.0);
+  // Cumulative worst-case budget per parent (before the current sub) —
+  // only the average-case analysis consumes it.
+  double* cum = nullptr;
+  if constexpr (kAverageScenario) {
+    scratch.cum.assign(fps_->instance_count(), 0.0);
+    cum = scratch.cum.data();
+  }
 
   double total = 0.0;
   double f_prev = 0.0;
@@ -126,7 +189,7 @@ double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
     Node& nd = nodes[u];
 
     nd.w = std::max(0.0, BudgetOf(x, u));
-    if (scenario_ == Scenario::kAverage) {
+    if constexpr (kAverageScenario) {
       const double left = r.acec - cum[r.parent];
       if (left >= nd.w) {
         nd.avg = nd.w;
@@ -138,11 +201,11 @@ double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
         nd.avg = 0.0;
         nd.avg_case = AvgCase::kEmpty;
       }
+      cum[r.parent] += nd.w;
     } else {
       nd.avg = nd.w;
       nd.avg_case = AvgCase::kFull;
     }
-    cum[r.parent] += nd.w;
 
     nd.s_from_finish = f_prev >= r.release;
     nd.s = nd.s_from_finish ? f_prev : r.release;
@@ -154,28 +217,35 @@ double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
       // a dispatch sitting exactly at Vmax/Vmin keeps the interior one-sided
       // derivative, so the solver can still pull end-times off the Vmax-tight
       // warm start (whose chain constraints are all exactly active).
-      if (nd.d <= kWindowEps || nd.w / nd.d > max_speed_) {
+      // (The w / d speed is only read when d is non-degenerate, exactly as
+      // the short-circuit evaluated it.)
+      const double speed = nd.w / nd.d;
+      if (nd.d <= kWindowEps || speed > max_speed_) {
         nd.v = vmax;
-        nd.clamp = VClamp::kAboveMax;
+        nd.clamp = Clamp::kAboveMax;
+        nd.ct = ct_vmax;
       } else {
-        const double v_raw = dvs.VoltageForSpeed(nd.w / nd.d);
+        const double v_raw = kernel.VoltageForSpeed(speed);
         if (v_raw < vmin) {
           nd.v = vmin;
-          nd.clamp = VClamp::kBelowMin;
+          nd.clamp = Clamp::kBelowMin;
+          nd.ct = ct_vmin;
         } else if (v_raw > vmax) {
           nd.v = vmax;
-          nd.clamp = VClamp::kAboveMax;
+          nd.clamp = Clamp::kAboveMax;
+          nd.ct = ct_vmax;
         } else {
           nd.v = v_raw;
-          nd.clamp = VClamp::kInside;
+          nd.clamp = Clamp::kInside;
+          nd.ct = kernel.CycleTime(nd.v);
         }
       }
-      nd.ct = dvs.CycleTime(nd.v);
       nd.f = nd.s + nd.avg * nd.ct;
       total += ceff * nd.v * nd.v * nd.avg;
     } else {
       nd.v = vmin;
-      nd.ct = dvs.CycleTime(vmin);
+      nd.clamp = Clamp::kBelowMin;
+      nd.ct = ct_vmin;
       nd.f = nd.s;  // executes nothing
     }
     f_prev = nd.f;
@@ -199,8 +269,13 @@ double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
   // in time.  carry[p]: sum of dO/d avg over later *partial* sub-instances
   // of parent p — each earlier budget variable of p shifts those averages by
   // -1 (Fig. 5 semantics).
-  std::vector<double> g_f(n_, 0.0);
-  std::vector<double> carry(fps_->instance_count(), 0.0);
+  scratch.g_f.assign(n_, 0.0);
+  double* const g_f = scratch.g_f.data();
+  double* carry = nullptr;
+  if constexpr (kAverageScenario) {
+    scratch.carry.assign(fps_->instance_count(), 0.0);
+    carry = scratch.carry.data();
+  }
 
   for (std::size_t u = n_; u-- > 0;) {
     const SubRecord& r = records_[u];
@@ -214,36 +289,49 @@ double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
 
     if (nd.executes) {
       d_avg = ceff * nd.v * nd.v + g_f[u] * nd.ct;
-      if (nd.clamp == VClamp::kInside) {
+      if (nd.clamp == Clamp::kInside) {
         // dct/dV = -speed'(V) / speed(V)^2 = -speed'(V) * ct^2
-        const double dct_dv = -dvs.SpeedSlope(nd.v) * nd.ct * nd.ct;
+        const double dct_dv = -kernel.SpeedSlope(nd.v) * nd.ct * nd.ct;
         d_volt = 2.0 * ceff * nd.v * nd.avg + g_f[u] * nd.avg * dct_dv;
-        // V = V(speed = w/d):
-        const double slope = dvs.VoltageSlope(nd.w / nd.d);  // dV/dspeed
+        // V = V(speed = w/d); the shared d_volt * slope factor and the
+        // w / d^2 term are hoisted (multiplication is left-associative, so
+        // the groupings below are the ones the spelled-out products used).
+        const double slope =
+            kernel.VoltageSlopeForRatio(nd.w, nd.d);  // dV/dspeed
         const double inv_d = 1.0 / nd.d;
-        d_e += d_volt * slope * (-nd.w * inv_d * inv_d);
-        d_s += d_volt * slope * (nd.w * inv_d * inv_d);
-        d_w += d_volt * slope * inv_d;
+        const double ds = d_volt * slope;
+        const double w_inv_d2 = nd.w * inv_d * inv_d;
+        d_e += ds * (-w_inv_d2);
+        d_s += ds * w_inv_d2;
+        d_w += ds * inv_d;
       }
     }
 
-    // Budget routing through the case analysis.
-    if (r.has_budget_var) {
-      double d_w_total = d_w - carry[r.parent];
-      if (nd.avg_case == AvgCase::kFull) {
-        d_w_total += d_avg;
+    // Budget routing through the case analysis.  Under the worst-case
+    // scenario every sub is kFull with zero carry, so the routing collapses
+    // to d_w + d_avg.
+    if constexpr (kAverageScenario) {
+      if (r.has_budget_var) {
+        double d_w_total = d_w - carry[r.parent];
+        if (nd.avg_case == AvgCase::kFull) {
+          d_w_total += d_avg;
+        }
+        (*grad)[r.budget_var] = d_w_total;
       }
-      (*grad)[r.budget_var] += d_w_total;
-    }
-    if (nd.avg_case == AvgCase::kPartial) {
-      carry[r.parent] += d_avg;
+      if (nd.avg_case == AvgCase::kPartial) {
+        carry[r.parent] += d_avg;
+      }
+    } else {
+      if (r.has_budget_var) {
+        (*grad)[r.budget_var] = d_w + d_avg;
+      }
     }
 
     // Start-time routing through the max() branch.
     if (nd.s_from_finish && u > 0) {
       g_f[u - 1] += d_s;
     }
-    (*grad)[u] += d_e;
+    (*grad)[u] = d_e;
   }
 
   return total;

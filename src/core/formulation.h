@@ -53,11 +53,55 @@ struct ForwardDetail {
   double total_energy = 0.0;
 };
 
+/// Reusable buffers for EnergyObjective::Evaluate.  One objective evaluation
+/// walks every sub-instance forward and (for gradients) backward; these are
+/// the per-sub working arrays of that walk.  An objective owns a private
+/// scratch by default; passing a shared one (from core::EvalWorkspace) makes
+/// the evaluation hot path allocation-free across solves.  Not synchronised:
+/// a scratch — and therefore an objective evaluating through it — must be
+/// used by one thread at a time.
+struct ObjectiveScratch {
+  enum class Clamp : unsigned char { kBelowMin, kInside, kAboveMax };
+
+  /// Forward-pass state of one sub-instance.  Doubles first, flag bytes
+  /// packed last: the array is the inner loop's working set, so padding is
+  /// pure wasted bandwidth.
+  struct Node {
+    double w = 0.0;       // worst-case budget
+    double avg = 0.0;     // scenario workload executed here
+    double s = 0.0;       // start (scenario chain)
+    double d = 0.0;       // window e - s
+    double v = 0.0;       // dispatch voltage (clamped)
+    double ct = 0.0;      // cycle time at v
+    double f = 0.0;       // finish under the scenario
+    AvgCase avg_case = AvgCase::kEmpty;
+    Clamp clamp = Clamp::kInside;
+    bool s_from_finish = false;  // max() branch: true -> depends on f_{u-1}
+    bool executes = false;       // w > eps
+  };
+
+  std::vector<Node> nodes;     // per sub-instance
+  std::vector<double> cum;     // per parent: worst-case budget before sub
+  std::vector<double> g_f;     // per sub: adjoint of the finish time
+  std::vector<double> carry;   // per parent: partial-case avg adjoints
+};
+
 class EnergyObjective final : public opt::Objective {
  public:
-  /// `fps` and `dvs` must outlive the objective.
+  /// `fps` and `dvs` must outlive the objective.  `scratch` (optional)
+  /// shares evaluation buffers across objectives — pass one per thread from
+  /// core::EvalWorkspace to make repeated solves allocation-free; results
+  /// are bit-identical either way.
   EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
-                  const model::DvsModel& dvs, Scenario scenario);
+                  const model::DvsModel& dvs, Scenario scenario,
+                  ObjectiveScratch* scratch = nullptr);
+
+  // scratch_ may point at the objective's own owned scratch, so copies and
+  // moves would leave the new object writing through the source's buffers
+  // (dangling once the source dies).  Objectives are cheap to construct
+  // where needed instead.
+  EnergyObjective(const EnergyObjective&) = delete;
+  EnergyObjective& operator=(const EnergyObjective&) = delete;
 
   // --- opt::Objective -------------------------------------------------------
   std::size_t dim() const override { return dim_; }
@@ -111,6 +155,13 @@ class EnergyObjective final : public opt::Objective {
   double Evaluate(const opt::Vector& x, opt::Vector* grad,
                   ForwardDetail* detail) const;
 
+  /// The pass itself, templated on the voltage-model kernel (so the linear
+  /// model runs devirtualized) and on the scenario (so the WCS solve skips
+  /// the average-case bookkeeping entirely); see formulation.cc.
+  template <typename Kernel, bool kAverageScenario>
+  double EvaluateImpl(const opt::Vector& x, opt::Vector* grad,
+                      ForwardDetail* detail, const Kernel& kernel) const;
+
   const fps::FullyPreemptiveSchedule* fps_;
   const model::DvsModel* dvs_;
   Scenario scenario_;
@@ -119,6 +170,13 @@ class EnergyObjective final : public opt::Objective {
   std::vector<SubRecord> records_;
   double ct_vmax_ = 0.0;
   double max_speed_ = 0.0;
+  /// Devirtualized fast path: set when `dvs` is a LinearDvsModel, whose
+  /// closed-form speed law (speed = k * V) the evaluation inlines with
+  /// bit-identical arithmetic.
+  bool linear_model_ = false;
+  double linear_k_ = 0.0;
+  ObjectiveScratch* scratch_;             // never null after construction
+  mutable ObjectiveScratch own_scratch_;  // used when none was provided
 };
 
 }  // namespace dvs::core

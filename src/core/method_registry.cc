@@ -2,10 +2,10 @@
 
 #include <utility>
 
+#include "core/eval_workspace.h"
 #include "core/formulation.h"
 #include "sim/engine.h"
 #include "util/error.h"
-#include "util/strings.h"
 
 namespace dvs::core {
 namespace {
@@ -25,10 +25,12 @@ double VmaxAverageEnergy(const fps::FullyPreemptiveSchedule& fps,
 
 /// Average-scenario greedy-runtime energy of an arbitrary feasible schedule
 /// (the same forward replay the NLP objective optimises).
-double GreedyAverageEnergy(const fps::FullyPreemptiveSchedule& fps,
-                           const model::DvsModel& dvs,
+double GreedyAverageEnergy(MethodContext& context,
                            const sim::StaticSchedule& schedule) {
-  const EnergyObjective objective(fps, dvs, Scenario::kAverage);
+  EvalWorkspace* ws = context.workspace();
+  const EnergyObjective objective(
+      context.fps(), context.dvs(), Scenario::kAverage,
+      ws != nullptr ? &ws->objective_scratch() : nullptr);
   return objective.Replay(objective.PackSchedule(schedule)).total_energy;
 }
 
@@ -36,8 +38,7 @@ class AcsMethod final : public ScheduleMethod {
  public:
   MethodPlan Plan(MethodContext& context) const override {
     const ScheduleResult& acs = context.Acs();
-    MethodPlan plan{acs.schedule,
-                    std::make_unique<sim::GreedyReclaimPolicy>(context.dvs()),
+    MethodPlan plan{acs.schedule, sim::GreedyReclaimPolicy(context.dvs()),
                     acs.predicted_energy, acs.used_fallback};
     return plan;
   }
@@ -47,8 +48,7 @@ class WcsMethod final : public ScheduleMethod {
  public:
   MethodPlan Plan(MethodContext& context) const override {
     const ScheduleResult& wcs = context.Wcs();
-    MethodPlan plan{wcs.schedule,
-                    std::make_unique<sim::GreedyReclaimPolicy>(context.dvs()),
+    MethodPlan plan{wcs.schedule, sim::GreedyReclaimPolicy(context.dvs()),
                     wcs.predicted_energy, wcs.used_fallback};
     return plan;
   }
@@ -59,8 +59,8 @@ class WcsStaticMethod final : public ScheduleMethod {
   MethodPlan Plan(MethodContext& context) const override {
     const ScheduleResult& wcs = context.Wcs();
     MethodPlan plan{wcs.schedule,
-                    std::make_unique<sim::StaticOnlyPolicy>(
-                        context.fps(), wcs.schedule, context.dvs()),
+                    sim::StaticOnlyPolicy(context.fps(), wcs.schedule,
+                                          context.dvs()),
                     wcs.predicted_energy, wcs.used_fallback};
     return plan;
   }
@@ -70,10 +70,8 @@ class GreedyReclaimMethod final : public ScheduleMethod {
  public:
   MethodPlan Plan(MethodContext& context) const override {
     const sim::StaticSchedule& asap = context.VmaxAsap();
-    MethodPlan plan{asap,
-                    std::make_unique<sim::GreedyReclaimPolicy>(context.dvs()),
-                    GreedyAverageEnergy(context.fps(), context.dvs(), asap),
-                    false};
+    MethodPlan plan{asap, sim::GreedyReclaimPolicy(context.dvs()),
+                    GreedyAverageEnergy(context, asap), false};
     return plan;
   }
 };
@@ -81,8 +79,7 @@ class GreedyReclaimMethod final : public ScheduleMethod {
 class StaticVmaxMethod final : public ScheduleMethod {
  public:
   MethodPlan Plan(MethodContext& context) const override {
-    MethodPlan plan{context.VmaxAsap(),
-                    std::make_unique<sim::VmaxPolicy>(context.dvs()),
+    MethodPlan plan{context.VmaxAsap(), sim::VmaxPolicy(context.dvs()),
                     VmaxAverageEnergy(context.fps(), context.dvs()), false};
     return plan;
   }
@@ -91,27 +88,27 @@ class StaticVmaxMethod final : public ScheduleMethod {
 }  // namespace
 
 const ScheduleResult& MethodContext::Wcs() {
-  if (!wcs_.has_value()) {
-    wcs_ = SolveWcs(*fps_, *dvs_, *scheduler_);
+  if (!cache_->wcs.has_value()) {
+    cache_->wcs = SolveWcs(*fps_, *dvs_, *scheduler_, workspace_);
   }
-  return *wcs_;
+  return *cache_->wcs;
 }
 
 const ScheduleResult& MethodContext::Acs() {
-  if (!acs_.has_value()) {
-    acs_ = scheduler_->warm_start_acs_with_wcs
-               ? SolveSchedule(*fps_, *dvs_, Scenario::kAverage, *scheduler_,
-                               Wcs().schedule)
-               : SolveAcs(*fps_, *dvs_, *scheduler_);
+  if (!cache_->acs.has_value()) {
+    cache_->acs = scheduler_->warm_start_acs_with_wcs
+                      ? SolveSchedule(*fps_, *dvs_, Scenario::kAverage,
+                                      *scheduler_, Wcs().schedule, workspace_)
+                      : SolveAcs(*fps_, *dvs_, *scheduler_, workspace_);
   }
-  return *acs_;
+  return *cache_->acs;
 }
 
 const sim::StaticSchedule& MethodContext::VmaxAsap() {
-  if (!vmax_asap_.has_value()) {
-    vmax_asap_ = sim::BuildVmaxAsapSchedule(*fps_, *dvs_);
+  if (!cache_->vmax_asap.has_value()) {
+    cache_->vmax_asap = sim::BuildVmaxAsapSchedule(*fps_, *dvs_);
   }
-  return *vmax_asap_;
+  return *cache_->vmax_asap;
 }
 
 const MethodRegistry& MethodRegistry::Builtin() {
@@ -138,53 +135,6 @@ void RegisterBuiltins(MethodRegistry& registry) {
                     std::make_unique<StaticVmaxMethod>());
 }
 
-void MethodRegistry::Register(std::string name, std::string description,
-                              std::unique_ptr<const ScheduleMethod> method) {
-  ACS_REQUIRE(!name.empty(), "method name must be non-empty");
-  ACS_REQUIRE(method != nullptr, "method must be non-null");
-  ACS_REQUIRE(!Contains(name), "duplicate method name: " + name);
-  entries_.push_back(
-      Entry{std::move(name), std::move(description), std::move(method)});
-}
-
-bool MethodRegistry::Contains(const std::string& name) const {
-  for (const Entry& entry : entries_) {
-    if (entry.name == name) {
-      return true;
-    }
-  }
-  return false;
-}
-
-const MethodRegistry::Entry& MethodRegistry::Find(
-    const std::string& name) const {
-  for (const Entry& entry : entries_) {
-    if (entry.name == name) {
-      return entry;
-    }
-  }
-  throw util::InvalidArgumentError("unknown schedule method \"" + name +
-                                   "\"; registered methods: " +
-                                   util::Join(Names(), ", "));
-}
-
-const ScheduleMethod& MethodRegistry::Get(const std::string& name) const {
-  return *Find(name).method;
-}
-
-const std::string& MethodRegistry::Description(const std::string& name) const {
-  return Find(name).description;
-}
-
-std::vector<std::string> MethodRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const Entry& entry : entries_) {
-    names.push_back(entry.name);
-  }
-  return names;
-}
-
 MethodOutcome EvaluateMethod(const ScheduleMethod& method,
                              MethodContext& context,
                              const ExperimentOptions& options) {
@@ -195,17 +145,26 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
   sim::SimOptions sim_options;
   sim_options.hyper_periods = options.hyper_periods;
   sim_options.transition = options.transition;
-  const sim::SimResult sim =
-      sim::Simulate(context.fps(), plan.schedule, context.dvs(), *plan.policy,
-                    sampler, rng, sim_options);
 
-  MethodOutcome outcome;
-  outcome.predicted_energy = plan.predicted_energy;
-  outcome.measured_energy = sim.EnergyPerHyperPeriod(options.hyper_periods);
-  outcome.deadline_misses = sim.deadline_misses;
-  outcome.voltage_switches = sim.voltage_switches;
-  outcome.used_fallback = plan.used_fallback;
-  return outcome;
+  const auto fill = [&](const sim::SimResult& sim) {
+    MethodOutcome outcome;
+    outcome.predicted_energy = plan.predicted_energy;
+    outcome.measured_energy = sim.EnergyPerHyperPeriod(options.hyper_periods);
+    outcome.deadline_misses = sim.deadline_misses;
+    outcome.voltage_switches = sim.voltage_switches;
+    outcome.used_fallback = plan.used_fallback;
+    return outcome;
+  };
+
+  EvalWorkspace* ws = context.workspace();
+  if (ws != nullptr) {
+    // Steady-state path: simulate into the workspace's reused result.
+    return fill(sim::Simulate(context.fps(), plan.schedule, context.dvs(),
+                              plan.policy, sampler, rng, sim_options,
+                              ws->engine()));
+  }
+  return fill(sim::Simulate(context.fps(), plan.schedule, context.dvs(),
+                            plan.policy, sampler, rng, sim_options));
 }
 
 }  // namespace dvs::core

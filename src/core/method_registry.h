@@ -36,23 +36,51 @@
 #include "model/power_model.h"
 #include "sim/policy.h"
 #include "sim/static_schedule.h"
+#include "util/named_registry.h"
 
 namespace dvs::core {
+
+class EvalWorkspace;  // core/eval_workspace.h
 
 /// Per-task-set solve state shared by every method evaluated on one cell.
 /// The WCS solution doubles as the ACS warm start and as its own arm, and
 /// the Vmax-ASAP schedule seeds two baselines, so both are solved lazily
-/// once and cached here.  Not thread-safe: parallel experiment drivers use
-/// one MethodContext per cell (see runner::RunGrid).
+/// once and cached in a SolveCache (core/scheduler.h) — the context's own
+/// by default, or an external one whose lifetime exceeds the context (the
+/// workspace-backed constructor, which lets runner::RunGrid share solves
+/// across cells drawing the same task set).  Not thread-safe: parallel
+/// experiment drivers use one MethodContext per cell (see runner::RunGrid).
 class MethodContext {
  public:
   MethodContext(const fps::FullyPreemptiveSchedule& fps,
                 const model::DvsModel& dvs, const SchedulerOptions& scheduler)
-      : fps_(&fps), dvs_(&dvs), scheduler_(&scheduler) {}
+      : fps_(&fps), dvs_(&dvs), scheduler_(&scheduler), cache_(&own_cache_) {}
+
+  /// Workspace-backed variant: solves run out of `workspace`'s scratch
+  /// buffers, simulations reuse its engine buffers, and results are cached
+  /// in `cache` (typically the workspace's PreparedCell, so later contexts
+  /// on the same task set skip the solves entirely).  Bit-identical to the
+  /// self-contained constructor.
+  MethodContext(const fps::FullyPreemptiveSchedule& fps,
+                const model::DvsModel& dvs, const SchedulerOptions& scheduler,
+                EvalWorkspace& workspace, SolveCache& cache)
+      : fps_(&fps),
+        dvs_(&dvs),
+        scheduler_(&scheduler),
+        workspace_(&workspace),
+        cache_(&cache) {}
+
+  // The default cache is a member the context points at, so copies would
+  // dangle; contexts are cheap to construct where needed instead.
+  MethodContext(const MethodContext&) = delete;
+  MethodContext& operator=(const MethodContext&) = delete;
 
   const fps::FullyPreemptiveSchedule& fps() const { return *fps_; }
   const model::DvsModel& dvs() const { return *dvs_; }
   const SchedulerOptions& scheduler() const { return *scheduler_; }
+
+  /// The attached workspace, or nullptr for a self-contained context.
+  EvalWorkspace* workspace() const { return workspace_; }
 
   /// Solves (once) and returns the WCS schedule.
   const ScheduleResult& Wcs();
@@ -70,16 +98,19 @@ class MethodContext {
   const fps::FullyPreemptiveSchedule* fps_;
   const model::DvsModel* dvs_;
   const SchedulerOptions* scheduler_;
-  std::optional<ScheduleResult> wcs_;
-  std::optional<ScheduleResult> acs_;
-  std::optional<sim::StaticSchedule> vmax_asap_;
+  EvalWorkspace* workspace_ = nullptr;
+  SolveCache* cache_;
+  SolveCache own_cache_;
 };
 
 /// The offline product of one method: a feasible static schedule plus the
-/// policy that dispatches it online.
+/// policy that dispatches it online.  Built-in methods hand the policy over
+/// by value (sim::AnyPolicy's variant fast path — the engine then dispatches
+/// it without virtual calls); external plugins still pass a
+/// std::unique_ptr<DvsPolicy> exactly as before.
 struct MethodPlan {
   sim::StaticSchedule schedule;
-  std::unique_ptr<sim::DvsPolicy> policy;
+  sim::AnyPolicy policy;
   double predicted_energy = 0.0;  // the method's own offline estimate
   bool used_fallback = false;     // an NLP repair fell back to its warm start
 };
@@ -93,38 +124,15 @@ class ScheduleMethod {
   virtual MethodPlan Plan(MethodContext& context) const = 0;
 };
 
-/// Name -> strategy map.  Lookups on a fully-built registry are const and
-/// safe to share across threads; Register() is not (populate before use).
-class MethodRegistry {
+/// Name -> strategy map: util::NamedRegistry with this domain's error
+/// wording.  Lookups on a fully-built registry are const and safe to share
+/// across threads; Register() is not (populate before use).
+class MethodRegistry : public util::NamedRegistry<ScheduleMethod> {
  public:
   /// The immutable registry of built-in methods listed above.
   static const MethodRegistry& Builtin();
 
-  MethodRegistry() = default;
-
-  /// Registers a method; throws InvalidArgumentError on duplicate names.
-  void Register(std::string name, std::string description,
-                std::unique_ptr<const ScheduleMethod> method);
-
-  bool Contains(const std::string& name) const;
-
-  /// Throws InvalidArgumentError naming the unknown method and listing the
-  /// registered ones.
-  const ScheduleMethod& Get(const std::string& name) const;
-  const std::string& Description(const std::string& name) const;
-
-  /// Registered names, in registration order.
-  std::vector<std::string> Names() const;
-
- private:
-  struct Entry {
-    std::string name;
-    std::string description;
-    std::unique_ptr<const ScheduleMethod> method;
-  };
-  const Entry& Find(const std::string& name) const;
-
-  std::vector<Entry> entries_;
+  MethodRegistry() : NamedRegistry("method", "schedule method", "methods") {}
 };
 
 /// Populates `registry` with the built-in methods of MethodRegistry::Builtin.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "core/eval_workspace.h"
 #include "sim/engine.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -113,12 +114,15 @@ std::optional<sim::StaticSchedule> RepairSchedule(
 ScheduleResult SolveSchedule(
     const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
     Scenario scenario, const SchedulerOptions& options,
-    const std::optional<sim::StaticSchedule>& warm_start) {
+    const std::optional<sim::StaticSchedule>& warm_start,
+    EvalWorkspace* workspace) {
   const sim::StaticSchedule start_schedule =
       warm_start.has_value() ? *warm_start
                              : sim::BuildVmaxAsapSchedule(fps, dvs);
 
-  EnergyObjective objective(fps, dvs, scenario);
+  EnergyObjective objective(
+      fps, dvs, scenario,
+      workspace != nullptr ? &workspace->objective_scratch() : nullptr);
   const auto feasible_set = objective.BuildFeasibleSet();
   const std::vector<opt::LinearConstraint> chain =
       objective.BuildChainConstraints();
@@ -127,8 +131,9 @@ ScheduleResult SolveSchedule(
   const double start_energy = objective.Value(x);
 
   ScheduleResult result{start_schedule, start_energy, {}, false};
-  result.alm = opt::MinimizeAlm(objective, *feasible_set, chain, x,
-                                options.alm);
+  result.alm = opt::MinimizeAlm(
+      objective, *feasible_set, chain, x, options.alm,
+      workspace != nullptr ? &workspace->solver().alm : nullptr);
 
   std::vector<double> end_times(fps.sub_count());
   std::vector<double> budgets(fps.sub_count());
@@ -159,18 +164,21 @@ ScheduleResult SolveSchedule(
 
 ScheduleResult SolveWcs(const fps::FullyPreemptiveSchedule& fps,
                         const model::DvsModel& dvs,
-                        const SchedulerOptions& options) {
-  return SolveSchedule(fps, dvs, Scenario::kWorst, options);
+                        const SchedulerOptions& options,
+                        EvalWorkspace* workspace) {
+  return SolveSchedule(fps, dvs, Scenario::kWorst, options, std::nullopt,
+                       workspace);
 }
 
 ScheduleResult SolveAcs(const fps::FullyPreemptiveSchedule& fps,
                         const model::DvsModel& dvs,
-                        const SchedulerOptions& options) {
+                        const SchedulerOptions& options,
+                        EvalWorkspace* workspace) {
   std::optional<sim::StaticSchedule> warm;
   if (options.warm_start_acs_with_wcs) {
-    warm = SolveWcs(fps, dvs, options).schedule;
+    warm = SolveWcs(fps, dvs, options, workspace).schedule;
   }
-  return SolveSchedule(fps, dvs, Scenario::kAverage, options, warm);
+  return SolveSchedule(fps, dvs, Scenario::kAverage, options, warm, workspace);
 }
 
 }  // namespace dvs::core

@@ -20,6 +20,8 @@
 
 namespace dvs::core {
 
+class EvalWorkspace;  // core/eval_workspace.h
+
 struct SchedulerOptions {
   opt::AlmOptions alm = DefaultAlmOptions();
   /// ACS warm-starts from the solved WCS schedule (recommended: WCS is both
@@ -37,24 +39,39 @@ struct ScheduleResult {
   bool used_fallback = false;     // repair failed; warm start returned
 };
 
+/// Lazily solved per-task-set state shared by every method evaluated on one
+/// task set: the WCS solution doubles as the ACS warm start and as its own
+/// arm, and the Vmax-ASAP schedule seeds two baselines.  MethodContext owns
+/// one per cell by default; core::EvalWorkspace keeps one per *task set* so
+/// grid cells that share a set reuse the solves outright.
+struct SolveCache {
+  std::optional<ScheduleResult> wcs;
+  std::optional<ScheduleResult> acs;
+  std::optional<sim::StaticSchedule> vmax_asap;
+};
+
 /// Solves for one scenario.  `warm_start` must be worst-case feasible; when
 /// absent the Vmax-ASAP schedule is used.  Throws InfeasibleError when the
-/// task set is not RM-schedulable at Vmax.
+/// task set is not RM-schedulable at Vmax.  `workspace` (optional) supplies
+/// reusable solver/objective scratch — bit-identical results either way.
 ScheduleResult SolveSchedule(
     const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
     Scenario scenario, const SchedulerOptions& options = {},
-    const std::optional<sim::StaticSchedule>& warm_start = std::nullopt);
+    const std::optional<sim::StaticSchedule>& warm_start = std::nullopt,
+    EvalWorkspace* workspace = nullptr);
 
 /// WCS: the classical WCEC-only minimum-energy static schedule (paper §4's
 /// comparison baseline).
 ScheduleResult SolveWcs(const fps::FullyPreemptiveSchedule& fps,
                         const model::DvsModel& dvs,
-                        const SchedulerOptions& options = {});
+                        const SchedulerOptions& options = {},
+                        EvalWorkspace* workspace = nullptr);
 
 /// ACS: the paper's average-case-aware schedule.
 ScheduleResult SolveAcs(const fps::FullyPreemptiveSchedule& fps,
                         const model::DvsModel& dvs,
-                        const SchedulerOptions& options = {});
+                        const SchedulerOptions& options = {},
+                        EvalWorkspace* workspace = nullptr);
 
 /// Repairs an epsilon-feasible (end-times, budgets) pair into a strictly
 /// feasible StaticSchedule: exact per-instance budget simplex projection,

@@ -1,5 +1,8 @@
 #include "mp/fleet.h"
 
+#include <optional>
+
+#include "core/eval_workspace.h"
 #include "fps/expansion.h"
 #include "stats/rng.h"
 #include "util/error.h"
@@ -17,7 +20,8 @@ FleetResult EvaluateFleet(
     const model::TaskSet& set, const model::DvsModel& dvs,
     const Partitioner& partitioner, int cores,
     const std::vector<const core::ScheduleMethod*>& methods,
-    const core::ExperimentOptions& options, const model::IdlePower& idle) {
+    const core::ExperimentOptions& options, const model::IdlePower& idle,
+    core::EvalWorkspace* workspace, std::uint64_t set_key) {
   ACS_REQUIRE(!methods.empty(), "fleet evaluation needs at least one method");
 
   FleetResult result;
@@ -42,11 +46,6 @@ FleetResult EvaluateFleet(
     if (owned.empty()) {
       continue;  // power-gated
     }
-    const model::TaskSet subset = SubTaskSet(set, owned);
-    const fps::FullyPreemptiveSchedule fps(subset);
-    result.sub_instances += fps.sub_count();
-    const double hyper_period = static_cast<double>(subset.hyper_period());
-
     core::ExperimentOptions core_options = options;
     core_options.seed = stats::Rng(options.seed)
                             .ForkWith(static_cast<std::uint64_t>(c))
@@ -54,11 +53,41 @@ FleetResult EvaluateFleet(
 
     // One context per core: the WCS/ACS/Vmax-ASAP solves amortise across
     // the methods, and every method sees this core's identical workload
-    // stream.
-    core::MethodContext context(fps, dvs, core_options.scheduler);
+    // stream.  With a workspace the subset's expansion and solves live in
+    // its SubsetKey-addressed cache — shared with any other cell that put
+    // the same tasks on some core — and the solves/simulations reuse the
+    // calling thread's scratch buffers.  Workload streams stay keyed by the
+    // physical core index, so cached solves never change what a cell
+    // simulates.
+    std::optional<model::TaskSet> local_subset;
+    std::optional<fps::FullyPreemptiveSchedule> local_fps;
+    core::EvalWorkspace::PreparedCell* prep = nullptr;
+    if (workspace != nullptr) {
+      prep = &workspace->PrepareSubset(core::SubsetKey(set_key, owned), set,
+                                       owned, dvs, core_options.scheduler);
+    } else {
+      local_subset.emplace(SubTaskSet(set, owned));
+      local_fps.emplace(*local_subset);
+    }
+    const model::TaskSet& subset = prep != nullptr ? prep->set : *local_subset;
+    const fps::FullyPreemptiveSchedule& fps =
+        prep != nullptr ? prep->fps : *local_fps;
+    result.sub_instances += fps.sub_count();
+    // TaskSet validation guarantees a positive hyper-period; the guard keeps
+    // the per-ms normalisation from ever dividing by zero regardless.
+    const double hyper_period = static_cast<double>(subset.hyper_period());
+    ACS_REQUIRE(hyper_period > 0.0, "subset hyper-period must be positive");
+
+    std::optional<core::MethodContext> context;
+    if (workspace != nullptr) {
+      context.emplace(fps, dvs, core_options.scheduler, *workspace,
+                      prep->solves);
+    } else {
+      context.emplace(fps, dvs, core_options.scheduler);
+    }
     for (std::size_t m = 0; m < methods.size(); ++m) {
       const core::MethodOutcome outcome =
-          core::EvaluateMethod(*methods[m], context, core_options);
+          core::EvaluateMethod(*methods[m], *context, core_options);
       FleetOutcome& fleet = result.outcomes[m];
       fleet.per_core.push_back(outcome);
       fleet.fleet.measured_energy += outcome.measured_energy / hyper_period;

@@ -183,53 +183,4 @@ void RegisterBuiltinPartitioners(PartitionerRegistry& registry) {
                     std::make_unique<EnergyGreedy>());
 }
 
-void PartitionerRegistry::Register(
-    std::string name, std::string description,
-    std::unique_ptr<const Partitioner> partitioner) {
-  ACS_REQUIRE(!name.empty(), "partitioner name must be non-empty");
-  ACS_REQUIRE(partitioner != nullptr, "partitioner must be non-null");
-  ACS_REQUIRE(!Contains(name), "duplicate partitioner name: " + name);
-  entries_.push_back(
-      Entry{std::move(name), std::move(description), std::move(partitioner)});
-}
-
-bool PartitionerRegistry::Contains(const std::string& name) const {
-  for (const Entry& entry : entries_) {
-    if (entry.name == name) {
-      return true;
-    }
-  }
-  return false;
-}
-
-const PartitionerRegistry::Entry& PartitionerRegistry::Find(
-    const std::string& name) const {
-  for (const Entry& entry : entries_) {
-    if (entry.name == name) {
-      return entry;
-    }
-  }
-  throw util::InvalidArgumentError("unknown partitioner \"" + name +
-                                   "\"; registered partitioners: " +
-                                   util::Join(Names(), ", "));
-}
-
-const Partitioner& PartitionerRegistry::Get(const std::string& name) const {
-  return *Find(name).partitioner;
-}
-
-const std::string& PartitionerRegistry::Description(
-    const std::string& name) const {
-  return Find(name).description;
-}
-
-std::vector<std::string> PartitionerRegistry::Names() const {
-  std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const Entry& entry : entries_) {
-    names.push_back(entry.name);
-  }
-  return names;
-}
-
 }  // namespace dvs::mp

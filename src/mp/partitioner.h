@@ -32,6 +32,7 @@
 #include "model/power_model.h"
 #include "model/task.h"
 #include "mp/partition.h"
+#include "util/named_registry.h"
 
 namespace dvs::mp {
 
@@ -52,38 +53,16 @@ class Partitioner {
                            const model::IdlePower& idle) const = 0;
 };
 
-/// Name -> partitioner map; same contract as core::MethodRegistry (populate
-/// before sharing across threads, const lookups after).
-class PartitionerRegistry {
+/// Name -> partitioner map: util::NamedRegistry with this domain's error
+/// wording; same contract as core::MethodRegistry (populate before sharing
+/// across threads, const lookups after).
+class PartitionerRegistry : public util::NamedRegistry<Partitioner> {
  public:
   /// The immutable registry of built-ins listed above.
   static const PartitionerRegistry& Builtin();
 
-  PartitionerRegistry() = default;
-
-  /// Registers a partitioner; throws InvalidArgumentError on duplicates.
-  void Register(std::string name, std::string description,
-                std::unique_ptr<const Partitioner> partitioner);
-
-  bool Contains(const std::string& name) const;
-
-  /// Throws InvalidArgumentError naming the unknown partitioner and listing
-  /// the registered ones.
-  const Partitioner& Get(const std::string& name) const;
-  const std::string& Description(const std::string& name) const;
-
-  /// Registered names, in registration order.
-  std::vector<std::string> Names() const;
-
- private:
-  struct Entry {
-    std::string name;
-    std::string description;
-    std::unique_ptr<const Partitioner> partitioner;
-  };
-  const Entry& Find(const std::string& name) const;
-
-  std::vector<Entry> entries_;
+  PartitionerRegistry()
+      : NamedRegistry("partitioner", "partitioner", "partitioners") {}
 };
 
 /// Populates `registry` with the built-ins of PartitionerRegistry::Builtin.

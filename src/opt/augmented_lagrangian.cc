@@ -4,34 +4,111 @@
 #include <cmath>
 #include <limits>
 
+#include "opt/workspace.h"
 #include "util/error.h"
 #include "util/logging.h"
 
 namespace dvs::opt {
 namespace {
 
+// The ALM driver is templated over the constraint-system representation so
+// the same outer loop serves both the general ConstraintFunction pointers
+// and the flattened all-linear system.  A System exposes:
+//   size()                                  — number of rows
+//   Kind(c)                                 — row sense
+//   Evaluate(c, x)                          — row value
+//   Violation(c, x)                         — row violation
+//   AccumulateGradient(c, x, weight, grad)  — grad += weight * d row / d x
+
+/// Rows behind ConstraintFunction pointers (the general entry point).
+class PointerSystem {
+ public:
+  explicit PointerSystem(
+      const std::vector<const ConstraintFunction*>& constraints)
+      : constraints_(&constraints) {}
+
+  std::size_t size() const { return constraints_->size(); }
+  ConstraintKind Kind(std::size_t c) const { return (*constraints_)[c]->kind(); }
+  double Evaluate(std::size_t c, const Vector& x) const {
+    return (*constraints_)[c]->Evaluate(x);
+  }
+  double Violation(std::size_t c, const Vector& x) const {
+    return (*constraints_)[c]->Violation(x);
+  }
+  void AccumulateGradient(std::size_t c, const Vector& x, double weight,
+                          Vector& grad) const {
+    (*constraints_)[c]->AccumulateGradient(x, weight, grad);
+  }
+
+ private:
+  const std::vector<const ConstraintFunction*>* constraints_;
+};
+
+/// Rows of one contiguous FlatLinearSystem (the all-linear fast path).
+class FlatSystem {
+ public:
+  explicit FlatSystem(const FlatLinearSystem& flat) : flat_(&flat) {}
+
+  std::size_t size() const { return flat_->rows(); }
+  ConstraintKind Kind(std::size_t c) const { return flat_->kind[c]; }
+  double Evaluate(std::size_t c, const Vector& x) const {
+    return flat_->Evaluate(c, x);
+  }
+  double Violation(std::size_t c, const Vector& x) const {
+    return flat_->Violation(c, x);
+  }
+  void AccumulateGradient(std::size_t c, const Vector& /*x*/, double weight,
+                          Vector& grad) const {
+    flat_->AccumulateGradient(c, weight, grad);
+  }
+
+ private:
+  const FlatLinearSystem* flat_;
+};
+
 /// f(x) plus the augmented-Lagrangian terms of the constraints.
+///
+/// Multipliers and the penalty are constant across one inner solve, so the
+/// per-row lambda / rho ratio and the constant -lambda^2 / (2 rho) shift of
+/// the >=-row hinge are precomputed once per outer iteration (into
+/// workspace buffers) instead of re-divided on every objective evaluation.
+/// The precomputed values are the very expressions the inline code used, so
+/// evaluations are bit-identical.
+template <typename System>
 class AugmentedObjective final : public Objective {
  public:
-  AugmentedObjective(const Objective& base,
-                     const std::vector<const ConstraintFunction*>& constraints,
-                     const std::vector<double>& multipliers, double penalty)
+  AugmentedObjective(const Objective& base, const System& system,
+                     const std::vector<double>& multipliers, double penalty,
+                     std::vector<double>& ratio_scratch,
+                     std::vector<double>& shift_scratch)
       : base_(base),
-        constraints_(constraints),
+        system_(system),
         multipliers_(multipliers),
-        penalty_(penalty) {}
+        penalty_(penalty),
+        ratio_(ratio_scratch),
+        shift_(shift_scratch) {
+    ratio_.assign(system.size(), 0.0);
+    shift_.assign(system.size(), 0.0);
+    for (std::size_t c = 0; c < system.size(); ++c) {
+      if (system.Kind(c) == ConstraintKind::kGeZero) {
+        const double lambda = multipliers[c];
+        ratio_[c] = lambda / penalty;
+        shift_[c] = 0.5 * lambda * lambda / penalty;
+      }
+    }
+  }
 
   std::size_t dim() const override { return base_.dim(); }
 
   double Value(const Vector& x) const override { return Evaluate(x, nullptr); }
 
+  // No zero-fill before delegating: the Objective contract has the base
+  // write the full gradient, and the constraint terms accumulate on top.
   void Gradient(const Vector& x, Vector& grad) const override {
-    grad.assign(dim(), 0.0);
     (void)Evaluate(x, &grad);
   }
 
   double ValueAndGradient(const Vector& x, Vector& grad) const override {
-    grad.assign(dim(), 0.0);
     return Evaluate(x, &grad);
   }
 
@@ -39,22 +116,20 @@ class AugmentedObjective final : public Objective {
   double Evaluate(const Vector& x, Vector* grad) const {
     double value = grad != nullptr ? base_.ValueAndGradient(x, *grad)
                                    : base_.Value(x);
-    for (std::size_t c = 0; c < constraints_.size(); ++c) {
-      const ConstraintFunction& con = *constraints_[c];
-      const double cv = con.Evaluate(x);
-      const double lambda = multipliers_[c];
-      if (con.kind() == ConstraintKind::kGeZero) {
+    for (std::size_t c = 0; c < system_.size(); ++c) {
+      const double cv = system_.Evaluate(c, x);
+      if (system_.Kind(c) == ConstraintKind::kGeZero) {
         // Treat as g(x) = -c(x) <= 0.
-        const double active = std::max(0.0, lambda / penalty_ - cv);
-        value += 0.5 * penalty_ * active * active -
-                 0.5 * lambda * lambda / penalty_;
+        const double active = std::max(0.0, ratio_[c] - cv);
+        value += 0.5 * penalty_ * active * active - shift_[c];
         if (grad != nullptr && active > 0.0) {
-          con.AccumulateGradient(x, -penalty_ * active, *grad);
+          system_.AccumulateGradient(c, x, -penalty_ * active, *grad);
         }
       } else {
+        const double lambda = multipliers_[c];
         value += lambda * cv + 0.5 * penalty_ * cv * cv;
         if (grad != nullptr) {
-          con.AccumulateGradient(x, lambda + penalty_ * cv, *grad);
+          system_.AccumulateGradient(c, x, lambda + penalty_ * cv, *grad);
         }
       }
     }
@@ -62,30 +137,32 @@ class AugmentedObjective final : public Objective {
   }
 
   const Objective& base_;
-  const std::vector<const ConstraintFunction*>& constraints_;
+  const System& system_;
   const std::vector<double>& multipliers_;
   double penalty_;
+  std::vector<double>& ratio_;  // per >=-row: lambda / rho
+  std::vector<double>& shift_;  // per >=-row: (0.5 * lambda * lambda) / rho
 };
 
-double MaxViolation(const std::vector<const ConstraintFunction*>& constraints,
-                    const Vector& x) {
+template <typename System>
+double MaxViolation(const System& system, const Vector& x) {
   double worst = 0.0;
-  for (const ConstraintFunction* con : constraints) {
-    worst = std::max(worst, con->Violation(x));
+  for (std::size_t c = 0; c < system.size(); ++c) {
+    worst = std::max(worst, system.Violation(c, x));
   }
   return worst;
 }
 
-}  // namespace
-
-AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
-                      const std::vector<const ConstraintFunction*>& constraints,
-                      Vector& x, const AlmOptions& options) {
+template <typename System>
+AlmReport Drive(const Objective& objective, const FeasibleSet& set,
+                const System& system, Vector& x, const AlmOptions& options,
+                AlmWorkspace& ws) {
   ACS_REQUIRE(x.size() == objective.dim(), "start point dimension mismatch");
   AlmReport report;
 
-  if (constraints.empty()) {
-    const SpgReport inner = MinimizeSpg(objective, set, x, options.inner);
+  if (system.size() == 0) {
+    const SpgReport inner = MinimizeSpg(objective, set, x, options.inner,
+                                        &ws.spg);
     report.feasible = true;
     report.inner_status = inner.status;
     report.outer_iterations = 1;
@@ -95,25 +172,29 @@ AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
     return report;
   }
 
-  std::vector<double> multipliers(constraints.size(), 0.0);
+  std::vector<double>& multipliers = ws.multipliers;
+  multipliers.assign(system.size(), 0.0);
   double penalty = options.initial_penalty;
   double inner_tol = options.inner_tol_start;
   double previous_violation = std::numeric_limits<double>::infinity();
 
-  set.Project(x);
+  set.Project(x, ws.spg.projection);
 
   for (std::size_t outer = 0; outer < options.max_outer; ++outer) {
     report.outer_iterations = outer + 1;
 
-    AugmentedObjective augmented(objective, constraints, multipliers, penalty);
+    AugmentedObjective<System> augmented(objective, system, multipliers,
+                                         penalty, ws.penalty_ratio,
+                                         ws.penalty_shift);
     SpgOptions inner_options = options.inner;
     inner_options.tolerance = std::max(options.inner.tolerance, inner_tol);
-    const SpgReport inner = MinimizeSpg(augmented, set, x, inner_options);
+    const SpgReport inner =
+        MinimizeSpg(augmented, set, x, inner_options, &ws.spg);
     report.inner_status = inner.status;
     report.total_inner_iterations += inner.iterations;
     report.evaluations += inner.evaluations;
 
-    const double violation = MaxViolation(constraints, x);
+    const double violation = MaxViolation(system, x);
     report.max_violation = violation;
     report.final_penalty = penalty;
     ACS_LOG_DEBUG << "ALM outer " << outer << ": viol=" << violation
@@ -127,9 +208,9 @@ AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
     }
 
     // First-order multiplier updates.
-    for (std::size_t c = 0; c < constraints.size(); ++c) {
-      const double cv = constraints[c]->Evaluate(x);
-      if (constraints[c]->kind() == ConstraintKind::kGeZero) {
+    for (std::size_t c = 0; c < system.size(); ++c) {
+      const double cv = system.Evaluate(c, x);
+      if (system.Kind(c) == ConstraintKind::kGeZero) {
         multipliers[c] = std::max(0.0, multipliers[c] - penalty * cv);
       } else {
         multipliers[c] += penalty * cv;
@@ -147,26 +228,52 @@ AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
   }
 
   report.final_value = objective.Value(x);
-  report.max_violation = MaxViolation(constraints, x);
+  report.max_violation = MaxViolation(system, x);
   report.feasible = report.max_violation <= options.feasibility_tol;
   ++report.evaluations;
   return report;
 }
 
+}  // namespace
+
+void FlatLinearSystem::Assign(const std::vector<LinearConstraint>& constraints) {
+  term_index.clear();
+  term_coeff.clear();
+  row_begin.clear();
+  constant.clear();
+  kind.clear();
+  row_begin.reserve(constraints.size() + 1);
+  constant.reserve(constraints.size());
+  kind.reserve(constraints.size());
+  for (const LinearConstraint& con : constraints) {
+    row_begin.push_back(term_index.size());
+    constant.push_back(con.constant);
+    kind.push_back(con.kind);
+    for (const auto& [index, coeff] : con.terms) {
+      term_index.push_back(index);
+      term_coeff.push_back(coeff);
+    }
+  }
+  row_begin.push_back(term_index.size());
+}
+
+AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
+                      const std::vector<const ConstraintFunction*>& constraints,
+                      Vector& x, const AlmOptions& options,
+                      AlmWorkspace* workspace) {
+  AlmWorkspace local;
+  AlmWorkspace& ws = workspace != nullptr ? *workspace : local;
+  return Drive(objective, set, PointerSystem(constraints), x, options, ws);
+}
+
 AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
                       const std::vector<LinearConstraint>& constraints,
-                      Vector& x, const AlmOptions& options) {
-  std::vector<LinearConstraintFn> adapters;
-  adapters.reserve(constraints.size());
-  for (const LinearConstraint& con : constraints) {
-    adapters.emplace_back(con);
-  }
-  std::vector<const ConstraintFunction*> pointers;
-  pointers.reserve(adapters.size());
-  for (const LinearConstraintFn& fn : adapters) {
-    pointers.push_back(&fn);
-  }
-  return MinimizeAlm(objective, set, pointers, x, options);
+                      Vector& x, const AlmOptions& options,
+                      AlmWorkspace* workspace) {
+  AlmWorkspace local;
+  AlmWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.flat.Assign(constraints);
+  return Drive(objective, set, FlatSystem(ws.flat), x, options, ws);
 }
 
 }  // namespace dvs::opt

@@ -19,6 +19,8 @@
 
 namespace dvs::opt {
 
+struct AlmWorkspace;  // opt/workspace.h
+
 struct AlmOptions {
   std::size_t max_outer = 25;
   double feasibility_tol = 1e-7;   // sup-norm of constraint violations
@@ -43,15 +45,21 @@ struct AlmReport {
 
 /// Minimises over `x` in place (projected onto `set` first).  Constraints
 /// are non-owning pointers; callers keep them alive through the solve.
+/// `workspace` (optional) supplies reusable scratch buffers — results are
+/// bit-identical with or without it (see opt/workspace.h).
 AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
                       const std::vector<const ConstraintFunction*>& constraints,
-                      Vector& x, const AlmOptions& options = {});
+                      Vector& x, const AlmOptions& options = {},
+                      AlmWorkspace* workspace = nullptr);
 
-/// Convenience overload for all-linear constraint systems (the reduced ACS
-/// formulation).
+/// Overload for all-linear constraint systems (the reduced ACS
+/// formulation).  The rows are flattened into one contiguous system
+/// (opt::FlatLinearSystem) before the solve, so the inner loop walks a
+/// single array — same arithmetic, same order, bit-identical results.
 AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,
                       const std::vector<LinearConstraint>& constraints,
-                      Vector& x, const AlmOptions& options = {});
+                      Vector& x, const AlmOptions& options = {},
+                      AlmWorkspace* workspace = nullptr);
 
 }  // namespace dvs::opt
 

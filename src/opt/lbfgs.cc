@@ -2,29 +2,51 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
+#include "opt/workspace.h"
 #include "util/error.h"
 
 namespace dvs::opt {
 
 LbfgsReport MinimizeLbfgs(const Objective& objective, Vector& x,
-                          const LbfgsOptions& options) {
+                          const LbfgsOptions& options,
+                          LbfgsWorkspace* workspace) {
   ACS_REQUIRE(x.size() == objective.dim(), "start point dimension mismatch");
   LbfgsReport report;
 
+  LbfgsWorkspace local;
+  LbfgsWorkspace& ws = workspace != nullptr ? *workspace : local;
+
   const std::size_t n = x.size();
-  Vector grad(n, 0.0);
+  Vector& grad = ws.grad;
+  grad.assign(n, 0.0);
   double f = objective.ValueAndGradient(x, grad);
   ++report.evaluations;
 
-  std::deque<Vector> s_history;
-  std::deque<Vector> y_history;
-  std::deque<double> rho_history;
+  // (s, y, rho) history as contiguous rings: `count` live pairs ending at
+  // slot (head - 1); the slot vectors keep their capacity across solves.
+  std::vector<Vector>& s_history = ws.s_history;
+  std::vector<Vector>& y_history = ws.y_history;
+  std::vector<double>& rho_history = ws.rho_history;
+  const std::size_t memory = std::max<std::size_t>(1, options.memory);
+  s_history.resize(memory);
+  y_history.resize(memory);
+  rho_history.assign(memory, 0.0);
+  std::size_t head = 0;   // next slot to write
+  std::size_t count = 0;  // live pairs
 
-  Vector direction(n);
-  Vector trial(n);
-  Vector trial_grad(n);
+  // Oldest-first access into the ring (index 0 = oldest live pair).
+  const auto slot = [&](std::size_t i) {
+    return (head + memory - count + i) % memory;
+  };
+
+  Vector& direction = ws.direction;
+  Vector& trial = ws.trial;
+  Vector& trial_grad = ws.trial_grad;
+  direction.resize(n);
+  trial.resize(n);
+  trial_grad.resize(n);
+  std::vector<double>& alpha = ws.alpha;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     report.iterations = iter + 1;
@@ -37,22 +59,25 @@ LbfgsReport MinimizeLbfgs(const Objective& objective, Vector& x,
 
     // Two-loop recursion.
     direction = grad;
-    std::vector<double> alpha(s_history.size(), 0.0);
-    for (std::size_t i = s_history.size(); i-- > 0;) {
-      alpha[i] = rho_history[i] * Dot(s_history[i], direction);
-      Axpy(-alpha[i], y_history[i], direction);
+    alpha.assign(count, 0.0);
+    for (std::size_t i = count; i-- > 0;) {
+      const std::size_t k = slot(i);
+      alpha[i] = rho_history[k] * Dot(s_history[k], direction);
+      Axpy(-alpha[i], y_history[k], direction);
     }
-    if (!s_history.empty()) {
-      const Vector& s = s_history.back();
-      const Vector& y = y_history.back();
+    if (count > 0) {
+      const std::size_t last = slot(count - 1);
+      const Vector& s = s_history[last];
+      const Vector& y = y_history[last];
       const double yy = Dot(y, y);
       if (yy > 0.0) {
         Scale(Dot(s, y) / yy, direction);
       }
     }
-    for (std::size_t i = 0; i < s_history.size(); ++i) {
-      const double beta = rho_history[i] * Dot(y_history[i], direction);
-      Axpy(alpha[i] - beta, s_history[i], direction);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t k = slot(i);
+      const double beta = rho_history[k] * Dot(y_history[k], direction);
+      Axpy(alpha[i] - beta, s_history[k], direction);
     }
     Scale(-1.0, direction);
 
@@ -62,9 +87,7 @@ LbfgsReport MinimizeLbfgs(const Objective& objective, Vector& x,
       direction = grad;
       Scale(-1.0, direction);
       slope = Dot(grad, direction);
-      s_history.clear();
-      y_history.clear();
-      rho_history.clear();
+      count = 0;
     }
 
     double step = 1.0;
@@ -88,26 +111,33 @@ LbfgsReport MinimizeLbfgs(const Objective& objective, Vector& x,
       return report;
     }
 
-    Vector s(n);
-    Vector y(n);
+    // Curvature pair staged outside the ring: when the ring is full, the
+    // head slot IS the oldest live pair, so writing a rejected candidate
+    // there would corrupt history.  Commit (swap in) only on acceptance.
+    Vector& s = ws.s_candidate;
+    Vector& y = ws.y_candidate;
+    s.resize(n);
+    y.resize(n);
+    double sy = 0.0;
+    double ss = 0.0;
+    double yy_norm = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       s[i] = trial[i] - x[i];
       y[i] = trial_grad[i] - grad[i];
+      sy += s[i] * y[i];
+      ss += s[i] * s[i];
+      yy_norm += y[i] * y[i];
     }
-    const double sy = Dot(s, y);
-    if (sy > 1e-12 * Norm2(s) * Norm2(y)) {
-      s_history.push_back(std::move(s));
-      y_history.push_back(std::move(y));
-      rho_history.push_back(1.0 / sy);
-      if (s_history.size() > options.memory) {
-        s_history.pop_front();
-        y_history.pop_front();
-        rho_history.pop_front();
-      }
+    if (sy > 1e-12 * std::sqrt(ss) * std::sqrt(yy_norm)) {
+      std::swap(s_history[head], s);
+      std::swap(y_history[head], y);
+      rho_history[head] = 1.0 / sy;
+      head = (head + 1) % memory;
+      count = std::min(count + 1, memory);
     }
 
-    x = trial;
-    grad = trial_grad;
+    std::swap(x, trial);
+    std::swap(grad, trial_grad);
     f = f_new;
   }
 

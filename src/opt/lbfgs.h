@@ -15,6 +15,8 @@
 
 namespace dvs::opt {
 
+struct LbfgsWorkspace;  // opt/workspace.h
+
 struct LbfgsOptions {
   std::size_t max_iterations = 500;
   double tolerance = 1e-8;   // sup-norm of the gradient
@@ -32,8 +34,11 @@ struct LbfgsReport {
   double gradient_norm = 0.0;
 };
 
+/// `workspace` (optional) supplies reusable scratch buffers — results are
+/// bit-identical with or without it (see opt/workspace.h).
 LbfgsReport MinimizeLbfgs(const Objective& objective, Vector& x,
-                          const LbfgsOptions& options = {});
+                          const LbfgsOptions& options = {},
+                          LbfgsWorkspace* workspace = nullptr);
 
 }  // namespace dvs::opt
 

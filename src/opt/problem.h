@@ -36,11 +36,38 @@ class Objective {
   }
 };
 
+/// Reusable buffers for FeasibleSet projections (one per solver workspace;
+/// see opt/workspace.h).  BoxSimplexSet sorts each simplex group's copy in
+/// `sorted`; `values` serves as the probe buffer of the default
+/// SpgCriterion.  Other sets may ignore it.
+struct ProjectionScratch {
+  std::vector<double> values;
+  std::vector<double> sorted;
+};
+
 /// Closed convex set supporting Euclidean projection.
 class FeasibleSet {
  public:
   virtual ~FeasibleSet() = default;
   virtual void Project(Vector& x) const = 0;
+
+  /// Projection with caller-provided scratch — identical results to
+  /// Project(x); overriding it (as BoxSimplexSet does) only removes the
+  /// per-call allocations on the solver hot path.
+  virtual void Project(Vector& x, ProjectionScratch& /*scratch*/) const {
+    Project(x);
+  }
+
+  /// SPG's convergence measure ||P(x - grad) - x||_inf.  The returned value
+  /// is exact whenever it is <= `threshold`; above it, implementations may
+  /// return early with any sound lower bound that already exceeds the
+  /// threshold (BoxSimplexSet proves "not converged" from the separable box
+  /// coordinates alone, skipping the simplex sorts).  Callers comparing the
+  /// result against `threshold` therefore get the exact same decision as
+  /// projecting in full.
+  virtual double SpgCriterion(const Vector& x, const Vector& grad,
+                              double threshold,
+                              ProjectionScratch& scratch) const;
 };
 
 /// The whole space (no projection).
@@ -66,6 +93,9 @@ class BoxSimplexSet final : public FeasibleSet {
   void AddSimplex(std::vector<std::size_t> indices, double total);
 
   void Project(Vector& x) const override;
+  void Project(Vector& x, ProjectionScratch& scratch) const override;
+  double SpgCriterion(const Vector& x, const Vector& grad, double threshold,
+                      ProjectionScratch& scratch) const override;
 
   std::size_t dim() const { return lo_.size(); }
   double lower(std::size_t i) const { return lo_.at(i); }
@@ -86,6 +116,11 @@ class BoxSimplexSet final : public FeasibleSet {
 /// Projects `values` (in place) onto {v >= 0, sum v = total}.
 /// Classic O(n log n) sort-and-threshold algorithm.
 void ProjectOntoSimplex(std::vector<double>& values, double total);
+
+/// Same projection with a caller-provided sort buffer (bit-identical
+/// results; avoids the per-call copy allocation on the solver hot path).
+void ProjectOntoSimplex(std::vector<double>& values, double total,
+                        std::vector<double>& sorted_scratch);
 
 /// Constraint sense shared by all constraint representations.
 enum class ConstraintKind { kGeZero, kEqZero };

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
+#include "opt/workspace.h"
 #include "util/error.h"
 #include "util/logging.h"
 
@@ -22,20 +22,32 @@ const char* SolveStatusName(SolveStatus status) {
 }
 
 SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
-                      Vector& x, const SpgOptions& options) {
+                      Vector& x, const SpgOptions& options,
+                      SpgWorkspace* workspace) {
   ACS_REQUIRE(x.size() == objective.dim(), "start point dimension mismatch");
   SpgReport report;
 
-  set.Project(x);
-  Vector grad(x.size(), 0.0);
+  // Caller-provided scratch keeps the whole solve allocation-free after
+  // warm-up; a call-local workspace gives identical results otherwise.
+  SpgWorkspace local;
+  SpgWorkspace& ws = workspace != nullptr ? *workspace : local;
+
+  set.Project(x, ws.projection);
+  Vector& grad = ws.grad;
+  grad.assign(x.size(), 0.0);
   double f = objective.ValueAndGradient(x, grad);
   ++report.evaluations;
 
-  std::deque<double> recent{f};
+  std::vector<double>& recent = ws.recent;
+  recent.clear();
+  recent.push_back(f);
   double step = 1.0;
-  Vector trial(x.size());
-  Vector trial_grad(x.size());
-  Vector direction(x.size());
+  Vector& trial = ws.trial;
+  Vector& trial_grad = ws.trial_grad;
+  Vector& direction = ws.direction;
+  trial.resize(x.size());
+  trial_grad.resize(x.size());
+  direction.resize(x.size());
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     report.iterations = iter + 1;
@@ -44,29 +56,26 @@ SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
     for (std::size_t i = 0; i < x.size(); ++i) {
       trial[i] = x[i] - step * grad[i];
     }
-    set.Project(trial);
+    set.Project(trial, ws.projection);
+    // Direction and its slope against the gradient in one pass (the sum
+    // accumulates in index order, exactly as Dot would).
+    double slope = 0.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
       direction[i] = trial[i] - x[i];
+      slope += grad[i] * direction[i];
     }
 
-    // Convergence: unit-step projected gradient displacement.
-    Vector unit_probe(x.size());
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      unit_probe[i] = x[i] - grad[i];
-    }
-    set.Project(unit_probe);
-    double criterion = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      criterion = std::max(criterion, std::fabs(unit_probe[i] - x[i]));
-    }
+    // Convergence: unit-step projected gradient displacement.  The set may
+    // return early with a lower bound once it exceeds the tolerance (the
+    // stop decision is identical either way; see FeasibleSet::SpgCriterion).
+    const double criterion =
+        set.SpgCriterion(x, grad, options.tolerance, ws.projection);
     report.criterion = criterion;
     if (criterion <= options.tolerance) {
       report.status = SolveStatus::kConverged;
       report.final_value = f;
       return report;
     }
-
-    const double slope = Dot(grad, direction);
     if (slope >= 0.0) {
       // Projection produced a non-descent direction (can happen exactly at
       // a kink); fall back to the raw projected-gradient step.
@@ -114,12 +123,12 @@ SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
                ? std::clamp(sts / sty, options.step_min, options.step_max)
                : options.step_max;
 
-    x = trial;
-    grad = trial_grad;
+    std::swap(x, trial);
+    std::swap(grad, trial_grad);
     f = f_new;
     recent.push_back(f);
     if (recent.size() > options.history) {
-      recent.pop_front();
+      recent.erase(recent.begin());
     }
   }
 

@@ -16,6 +16,8 @@
 
 namespace dvs::opt {
 
+struct SpgWorkspace;  // opt/workspace.h
+
 struct SpgOptions {
   std::size_t max_iterations = 500;
   double tolerance = 1e-8;        // sup-norm of the projected gradient step
@@ -44,9 +46,12 @@ struct SpgReport {
 };
 
 /// Minimises `objective` over `set` starting from `x` (modified in place,
-/// projected first).
+/// projected first).  `workspace` (optional) supplies reusable scratch
+/// buffers — results are bit-identical with or without it; a warm workspace
+/// just makes the solve allocation-free (see opt/workspace.h).
 SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
-                      Vector& x, const SpgOptions& options = {});
+                      Vector& x, const SpgOptions& options = {},
+                      SpgWorkspace* workspace = nullptr);
 
 }  // namespace dvs::opt
 

@@ -11,7 +11,7 @@ namespace {
 
 CellResult RunCell(const ExperimentGrid& grid,
                    const std::vector<const core::ScheduleMethod*>& methods,
-                   std::size_t cell_index) {
+                   std::size_t cell_index, core::EvalWorkspace& workspace) {
   CellResult cell;
   cell.coord = grid.Coord(cell_index);
   try {
@@ -28,12 +28,18 @@ CellResult RunCell(const ExperimentGrid& grid,
 
     if (!grid.MultiCore()) {
       // Single-core grid: the original per-cell pipeline, bit-identical to
-      // the pre-mp runner.  One context per cell: the WCS / Vmax-ASAP
-      // solves amortise across the methods while every method sees the
-      // identical workload stream.
-      const fps::FullyPreemptiveSchedule fps(set);
-      cell.sub_instances = fps.sub_count();
-      core::MethodContext context(fps, *grid.dvs, options.scheduler);
+      // the pre-mp runner.  The workspace caches the expansion and the
+      // WCS / ACS / Vmax-ASAP solves per SetIndex, so cells differing only
+      // on the sigma / workload-seed axes skip straight to simulation —
+      // and every method still sees the identical workload stream.  (Cache
+      // hits depend on which worker ran the sibling cell, but the solves
+      // are deterministic, so results never do.)
+      core::EvalWorkspace::PreparedCell& prep =
+          workspace.Prepare(grid.SetIndex(cell.coord), set, *grid.dvs,
+                            options.scheduler);
+      cell.sub_instances = prep.fps.sub_count();
+      core::MethodContext context(prep.fps, *grid.dvs, options.scheduler,
+                                  workspace, prep.solves);
       cell.outcomes.reserve(methods.size());
       for (const core::ScheduleMethod* method : methods) {
         cell.outcomes.push_back(EvaluateMethod(*method, context, options));
@@ -41,13 +47,15 @@ CellResult RunCell(const ExperimentGrid& grid,
     } else {
       // Multi-core grid: partition, then per-core pipelines; outcomes are
       // fleet figures in energy-per-ms units (mp/fleet.h) for every cell,
-      // m = 1 included, so a mixed cores axis compares in one unit.
+      // m = 1 included, so a mixed cores axis compares in one unit.  The
+      // per-core subsets vary with the cores/partitioner axes, so only the
+      // workspace buffers are shared, not the solve cache.
       const int cores = grid.core_counts[cell.coord.core_index];
       const mp::Partitioner& partitioner = grid.Partitioners().Get(
           grid.partitioners[cell.coord.partitioner_index]);
-      const mp::FleetResult fleet =
-          mp::EvaluateFleet(set, *grid.dvs, partitioner, cores, methods,
-                            options, grid.idle_power);
+      const mp::FleetResult fleet = mp::EvaluateFleet(
+          set, *grid.dvs, partitioner, cores, methods, options,
+          grid.idle_power, &workspace, grid.SetIndex(cell.coord));
       cell.sub_instances = fleet.sub_instances;
       cell.outcomes.reserve(methods.size());
       for (const mp::FleetOutcome& outcome : fleet.outcomes) {
@@ -146,8 +154,21 @@ GridResult RunGrid(const ExperimentGrid& grid,
   ACS_LOG_INFO << "RunGrid: " << cell_count << " cells x "
                << grid.methods.size() << " methods on " << pool.size()
                << " threads";
-  pool.ParallelFor(cell_count, [&](std::size_t cell_index) {
-    result.cells[cell_index] = RunCell(grid, methods, cell_index);
+
+  // One evaluation workspace per worker: caller-provided ones stay warm
+  // across grids (bench --grid-repeats, the CI cold/warm timing step),
+  // call-local ones still amortise buffers across this grid's cells.
+  std::vector<core::EvalWorkspace> local_workspaces;
+  std::vector<core::EvalWorkspace>& workspaces =
+      options.workspaces != nullptr ? *options.workspaces : local_workspaces;
+  if (workspaces.size() < static_cast<std::size_t>(pool.size())) {
+    workspaces.resize(static_cast<std::size_t>(pool.size()));
+  }
+
+  pool.ParallelFor(cell_count, [&](std::size_t worker,
+                                   std::size_t cell_index) {
+    result.cells[cell_index] =
+        RunCell(grid, methods, cell_index, workspaces[worker]);
     if (options.sink != nullptr) {
       options.sink->OnCell(grid, result.cells[cell_index]);
     }

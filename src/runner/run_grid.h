@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_workspace.h"
 #include "core/method_registry.h"
 #include "runner/experiment_grid.h"
 #include "stats/summary.h"
@@ -108,6 +109,15 @@ struct GridResult {
 struct RunOptions {
   int threads = 1;              // <= 0 selects ThreadPool::HardwareThreads()
   ResultSink* sink = nullptr;   // optional streaming observer
+  /// Per-worker evaluation workspaces (grown to the pool size if short).
+  /// Passing the same vector across RunGrid calls keeps solver/sim buffers
+  /// — and the per-task-set solve caches — warm between grids; results are
+  /// bit-identical with or without it (cache hits additionally require the
+  /// same DVS model object and equal scheduler options, so grids differing
+  /// in either rebuild instead of reusing).  Null: RunGrid uses call-local
+  /// workspaces.  Non-owning; must outlive the call, and every grid's
+  /// `dvs` model must outlive the vector (cached solves reference it).
+  std::vector<core::EvalWorkspace>* workspaces = nullptr;
 };
 
 /// Runs every cell of `grid`, resolving methods against `registry`.

@@ -13,7 +13,8 @@ ThreadPool::ThreadPool(int threads)
     : threads_(threads > 0 ? threads : HardwareThreads()) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<std::size_t>(i)); });
   }
 }
 
@@ -28,7 +29,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -39,7 +40,7 @@ void ThreadPool::WorkerLoop() {
       }
       seen = epoch_;
     }
-    Drain();
+    Drain(worker);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--workers_active_ == 0) {
@@ -49,14 +50,14 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::Drain() {
+void ThreadPool::Drain(std::size_t worker) {
   for (;;) {
     const std::size_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (index >= n_) {
       return;
     }
     try {
-      (*fn_)(index);
+      (*fn_)(worker, index);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (error_ == nullptr || index < error_index_) {
@@ -69,6 +70,13 @@ void ThreadPool::Drain() {
 
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
+  ParallelFor(n, [&fn](std::size_t /*worker*/, std::size_t index) {
+    fn(index);
+  });
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) {
     return;
   }
@@ -84,7 +92,7 @@ void ThreadPool::ParallelFor(std::size_t n,
     ++epoch_;
   }
   start_cv_.notify_all();
-  Drain();  // the calling thread is one of the workers
+  Drain(0);  // the calling thread is worker 0
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return workers_active_ == 0; });

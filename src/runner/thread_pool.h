@@ -43,9 +43,16 @@ class ThreadPool {
   /// one ParallelFor per pool at a time.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Same, with the executing worker's index (0 = the calling thread,
+  /// 1..size()-1 = pool threads) as the first argument — the hook for
+  /// per-worker state such as core::EvalWorkspace.  Which worker runs which
+  /// index is nondeterministic; callers must not let it influence results.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
-  void WorkerLoop();
-  void Drain();
+  void WorkerLoop(std::size_t worker);
+  void Drain(std::size_t worker);
 
   int threads_;
   std::vector<std::thread> workers_;
@@ -58,7 +65,7 @@ class ThreadPool {
   std::size_t workers_active_ = 0;
 
   // Current job (valid while a ParallelFor is in flight).
-  const std::function<void(std::size_t)>* fn_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
   std::size_t n_ = 0;
   std::atomic<std::size_t> cursor_{0};
   std::exception_ptr error_;

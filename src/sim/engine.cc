@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "util/error.h"
 #include "util/logging.h"
@@ -15,54 +16,62 @@ constexpr double kCycleEps = 1e-6;   // cycles considered "zero"
 constexpr double kTimeEps = 1e-9;    // simultaneous-event tolerance
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-struct ActiveInstance {
-  model::TaskIndex task = 0;
-  std::size_t parent = 0;           // InstanceRecord index (within HP)
-  std::int64_t global_instance = 0; // across hyper-periods
-  double hp_base = 0.0;             // global time of this hyper-period start
-  double release_global = 0.0;
-  double deadline_global = 0.0;
-  double remaining = 0.0;           // actual cycles left
-  std::size_t sub_pos = 0;          // cursor into parent's sub list
-  double consumed_in_sub = 0.0;     // budget used within the current sub
-};
+using ActiveInstance = EngineWorkspace::ActiveInstance;
+using SubRef = EngineWorkspace::SubRef;
 
-/// Pre-resolved sub-instance data per parent instance.
-struct SubRef {
-  std::size_t order = 0;
-  double seg_begin = 0.0;
-  double seg_end = 0.0;
-  double end_time = 0.0;
-  double budget = 0.0;
-};
+/// Resets a (possibly reused) result to its just-constructed state while
+/// keeping vector/string/trace capacity.
+void ResetResult(SimResult& result, std::size_t task_count) {
+  result.total_energy = 0.0;
+  result.per_task_energy.assign(task_count, 0.0);
+  result.deadline_misses = 0;
+  result.completed_instances = 0;
+  result.busy_time = 0.0;
+  result.idle_time = 0.0;
+  result.stall_time = 0.0;
+  result.transition_energy = 0.0;
+  result.dispatches = 0;
+  result.preemptions = 0;
+  result.voltage_switches = 0;
+  result.makespan = 0.0;
+  result.first_miss.clear();
+  result.trace.Clear();
+}
 
-}  // namespace
-
-SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
-                   const StaticSchedule& schedule,
-                   const model::DvsModel& dvs, const DvsPolicy& policy,
-                   const model::WorkloadSampler& sampler, stats::Rng& rng,
-                   const SimOptions& options) {
+/// The engine loop, templated on the policy type so built-in policies
+/// dispatch without a virtual call per slice.  Identical logic for every
+/// instantiation; `Policy` only needs `Dispatch(const DispatchContext&)`.
+template <typename Policy>
+void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
+                  const StaticSchedule& schedule, const model::DvsModel& dvs,
+                  const Policy& policy, const model::WorkloadSampler& sampler,
+                  stats::Rng& rng, const SimOptions& options,
+                  EngineWorkspace& ws) {
   ACS_REQUIRE(options.hyper_periods > 0, "need at least one hyper-period");
 
   const model::TaskSet& set = fps.task_set();
   const double hyper = static_cast<double>(set.hyper_period());
 
-  // Pre-resolve sub-instance tables per parent instance.
-  std::vector<std::vector<SubRef>> sub_tables(fps.instance_count());
+  // Pre-resolve sub-instance tables per parent instance (flattened: parent
+  // p's table spans [sub_begin[p], sub_begin[p + 1]) of sub_refs).
+  ws.sub_refs.clear();
+  ws.sub_begin.clear();
+  ws.sub_refs.reserve(fps.sub_count());
+  ws.sub_begin.reserve(fps.instance_count() + 1);
   for (std::size_t p = 0; p < fps.instance_count(); ++p) {
-    const fps::InstanceRecord& rec = fps.instance(p);
-    sub_tables[p].reserve(rec.subs.size());
-    for (std::size_t order : rec.subs) {
+    ws.sub_begin.push_back(ws.sub_refs.size());
+    for (std::size_t order : fps.instance(p).subs) {
       const fps::SubInstance& sub = fps.sub(order);
-      sub_tables[p].push_back(SubRef{order, sub.seg_begin, sub.seg_end,
-                                     schedule.end_time(order),
-                                     schedule.worst_budget(order)});
+      ws.sub_refs.push_back(SubRef{order, sub.seg_begin, sub.seg_end,
+                                   schedule.end_time(order),
+                                   schedule.worst_budget(order)});
     }
   }
+  ws.sub_begin.push_back(ws.sub_refs.size());
 
   // Release stream: instances of one hyper-period sorted by release.
-  std::vector<std::size_t> release_order(fps.instance_count());
+  std::vector<std::size_t>& release_order = ws.release_order;
+  release_order.resize(fps.instance_count());
   for (std::size_t p = 0; p < fps.instance_count(); ++p) {
     release_order[p] = p;
   }
@@ -72,10 +81,11 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
                      fps.instance(b).info.release;
             });
 
-  SimResult result;
-  result.per_task_energy.assign(set.size(), 0.0);
+  SimResult& result = ws.result;
+  ResetResult(result, set.size());
 
-  std::vector<ActiveInstance> active;
+  std::vector<ActiveInstance>& active = ws.active;
+  active.clear();
   std::int64_t hp_index = 0;
   std::size_t stream_pos = 0;  // within release_order for current HP
 
@@ -120,8 +130,10 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
 
   // Cursor advance: skip sub-instances whose budget is exhausted (or zero).
   const auto advance_cursor = [&](ActiveInstance& inst) {
-    const auto& table = sub_tables[inst.parent];
-    while (inst.sub_pos + 1 < table.size() &&
+    const SubRef* table = ws.sub_refs.data() + ws.sub_begin[inst.parent];
+    const std::size_t table_size =
+        ws.sub_begin[inst.parent + 1] - ws.sub_begin[inst.parent];
+    while (inst.sub_pos + 1 < table_size &&
            inst.consumed_in_sub >= table[inst.sub_pos].budget - kCycleEps) {
       ++inst.sub_pos;
       inst.consumed_in_sub = 0.0;
@@ -140,7 +152,6 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
   };
 
   double last_voltage = -1.0;
-  std::size_t last_running = std::numeric_limits<std::size_t>::max();
   std::int64_t last_running_instance = -1;
   model::TaskIndex last_running_task = 0;
   bool last_still_active = false;
@@ -170,8 +181,7 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
     for (std::size_t i = 0; i < active.size(); ++i) {
       ActiveInstance& inst = active[i];
       advance_cursor(inst);
-      const auto& table = sub_tables[inst.parent];
-      const SubRef& sub = table[inst.sub_pos];
+      const SubRef& sub = ws.sub_refs[ws.sub_begin[inst.parent] + inst.sub_pos];
       DispatchContext ctx;
       ctx.task = inst.task;
       ctx.sub_order = sub.order;
@@ -200,13 +210,13 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
       continue;
     }
 
-    ActiveInstance& inst = active[chosen];
-    const auto& table = sub_tables[inst.parent];
-    const SubRef& sub = table[inst.sub_pos];
     const double voltage = dvs.ClampVoltage(decision.voltage);
     const double speed = dvs.SpeedAt(voltage);
 
-    // Voltage-transition accounting (optional overhead model).
+    // Voltage-transition accounting (optional overhead model).  References
+    // into `active` are taken only after this block: the activation inside
+    // it may grow the vector and invalidate them (`chosen` stays valid —
+    // activation appends without reordering).
     if (last_voltage >= 0.0 && std::fabs(voltage - last_voltage) > 1e-12) {
       ++result.voltage_switches;
       if (!options.transition.IsZero()) {
@@ -220,6 +230,12 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
       }
     }
     last_voltage = voltage;
+
+    ActiveInstance& inst = active[chosen];
+    const SubRef& sub = ws.sub_refs[ws.sub_begin[inst.parent] + inst.sub_pos];
+    const bool last_sub =
+        ws.sub_begin[inst.parent] + inst.sub_pos + 1 >=
+        ws.sub_begin[inst.parent + 1];
 
     // Preemption accounting: a different instance displaced the previous
     // runner while it still had work.
@@ -238,11 +254,9 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
         ++result.preemptions;
       }
     }
-    (void)last_running;
 
     // Slice horizon: completion, budget exhaustion, next release, wakes.
     const double budget_rem = std::max(0.0, sub.budget - inst.consumed_in_sub);
-    const bool last_sub = inst.sub_pos + 1 >= table.size();
     double dt = inst.remaining / speed;
     if (!last_sub && budget_rem < inst.remaining) {
       dt = std::min(dt, budget_rem / speed);
@@ -302,8 +316,53 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
     // release arrived (activation at loop head may preempt), or a deferred
     // instance woke up.  All handled by the next iteration.
   }
+}
 
-  return result;
+}  // namespace
+
+SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
+                   const StaticSchedule& schedule,
+                   const model::DvsModel& dvs, const DvsPolicy& policy,
+                   const model::WorkloadSampler& sampler, stats::Rng& rng,
+                   const SimOptions& options) {
+  EngineWorkspace ws;
+  SimulateLoop(fps, schedule, dvs, policy, sampler, rng, options, ws);
+  return std::move(ws.result);
+}
+
+SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
+                   const StaticSchedule& schedule,
+                   const model::DvsModel& dvs, const AnyPolicy& policy,
+                   const model::WorkloadSampler& sampler, stats::Rng& rng,
+                   const SimOptions& options) {
+  EngineWorkspace ws;
+  Simulate(fps, schedule, dvs, policy, sampler, rng, options, ws);
+  return std::move(ws.result);
+}
+
+const SimResult& Simulate(const fps::FullyPreemptiveSchedule& fps,
+                          const StaticSchedule& schedule,
+                          const model::DvsModel& dvs, const AnyPolicy& policy,
+                          const model::WorkloadSampler& sampler,
+                          stats::Rng& rng, const SimOptions& options,
+                          EngineWorkspace& workspace) {
+  if (policy.IsBuiltin()) {
+    std::visit(
+        [&](const auto& concrete) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(concrete)>,
+                                       std::monostate>) {
+            ACS_REQUIRE(false, "AnyPolicy holds no policy");
+          } else {
+            SimulateLoop(fps, schedule, dvs, concrete, sampler, rng, options,
+                         workspace);
+          }
+        },
+        policy.builtin());
+  } else {
+    SimulateLoop(fps, schedule, dvs, policy.external(), sampler, rng, options,
+                 workspace);
+  }
+  return workspace.result;
 }
 
 StaticSchedule BuildVmaxAsapSchedule(const fps::FullyPreemptiveSchedule& fps,

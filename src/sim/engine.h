@@ -54,9 +54,49 @@ struct SimResult {
   Trace trace;                      // populated when record_trace is set
 
   /// Energy per simulated hyper-period (the paper's reported quantity).
+  /// Guarded: a non-positive count (a failed or skipped run) reports zero
+  /// instead of dividing by it.
   double EnergyPerHyperPeriod(std::int64_t hyper_periods) const {
-    return total_energy / static_cast<double>(hyper_periods);
+    return hyper_periods > 0
+               ? total_energy / static_cast<double>(hyper_periods)
+               : 0.0;
   }
+};
+
+/// Reusable buffers for Simulate — the sub-instance tables, release stream,
+/// active set and the result object itself.  One workspace per thread (see
+/// core::EvalWorkspace); after the first simulation the steady-state engine
+/// path performs no heap allocations (deadline-miss reporting and trace
+/// recording excepted).  Results are bit-identical with or without one.
+struct EngineWorkspace {
+  /// Pre-resolved sub-instance data, flattened across parent instances
+  /// (parent p's table spans [sub_begin[p], sub_begin[p + 1])).
+  struct SubRef {
+    std::size_t order = 0;
+    double seg_begin = 0.0;
+    double seg_end = 0.0;
+    double end_time = 0.0;
+    double budget = 0.0;
+  };
+
+  /// One released-but-unfinished instance.
+  struct ActiveInstance {
+    model::TaskIndex task = 0;
+    std::size_t parent = 0;            // InstanceRecord index (within HP)
+    std::int64_t global_instance = 0;  // across hyper-periods
+    double hp_base = 0.0;              // global time of this HP's start
+    double release_global = 0.0;
+    double deadline_global = 0.0;
+    double remaining = 0.0;            // actual cycles left
+    std::size_t sub_pos = 0;           // cursor into the parent's sub table
+    double consumed_in_sub = 0.0;      // budget used within the current sub
+  };
+
+  std::vector<SubRef> sub_refs;
+  std::vector<std::size_t> sub_begin;
+  std::vector<std::size_t> release_order;
+  std::vector<ActiveInstance> active;
+  SimResult result;  // written by the workspace Simulate overload
 };
 
 /// Runs the simulation.  `schedule` supplies the per-sub-instance end-times
@@ -67,6 +107,25 @@ SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
                    const model::DvsModel& dvs, const DvsPolicy& policy,
                    const model::WorkloadSampler& sampler, stats::Rng& rng,
                    const SimOptions& options = {});
+
+/// Same, dispatching an AnyPolicy: built-ins run a loop specialised to the
+/// concrete policy type (no virtual call per slice), external plugins take
+/// the virtual path.
+SimResult Simulate(const fps::FullyPreemptiveSchedule& fps,
+                   const StaticSchedule& schedule,
+                   const model::DvsModel& dvs, const AnyPolicy& policy,
+                   const model::WorkloadSampler& sampler, stats::Rng& rng,
+                   const SimOptions& options = {});
+
+/// Allocation-free steady-state path: simulates into `workspace.result`
+/// reusing every buffer, and returns a reference to it (valid until the
+/// workspace's next use).
+const SimResult& Simulate(const fps::FullyPreemptiveSchedule& fps,
+                          const StaticSchedule& schedule,
+                          const model::DvsModel& dvs, const AnyPolicy& policy,
+                          const model::WorkloadSampler& sampler,
+                          stats::Rng& rng, const SimOptions& options,
+                          EngineWorkspace& workspace);
 
 /// Builds the canonical "everything at Vmax, as soon as possible" schedule:
 /// budgets follow the worst-case RM execution at top speed through the

@@ -37,6 +37,23 @@ StaticOnlyPolicy::StaticOnlyPolicy(const fps::FullyPreemptiveSchedule& fps,
   }
 }
 
+DispatchDecision AnyPolicy::Dispatch(const DispatchContext& ctx) const {
+  if (external_ != nullptr) {
+    return external_->Dispatch(ctx);
+  }
+  return std::visit(
+      [&ctx](const auto& policy) -> DispatchDecision {
+        if constexpr (std::is_same_v<std::decay_t<decltype(policy)>,
+                                     std::monostate>) {
+          ACS_REQUIRE(false, "AnyPolicy holds no policy");
+          return {};
+        } else {
+          return policy.Dispatch(ctx);
+        }
+      },
+      builtin_);
+}
+
 DispatchDecision StaticOnlyPolicy::Dispatch(const DispatchContext& ctx) const {
   ACS_REQUIRE(ctx.sub_order < voltages_.size(),
               "sub-instance index out of range in StaticOnlyPolicy");

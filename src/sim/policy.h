@@ -9,7 +9,11 @@
 #ifndef ACS_SIM_POLICY_H
 #define ACS_SIM_POLICY_H
 
+#include <memory>
 #include <optional>
+#include <type_traits>
+#include <utility>
+#include <variant>
 
 #include "fps/expansion.h"
 #include "model/power_model.h"
@@ -93,6 +97,48 @@ class StaticOnlyPolicy final : public DvsPolicy {
  private:
   const model::DvsModel* dvs_;
   std::vector<double> voltages_;  // per sub-instance, fixed offline
+};
+
+/// The built-in policies as a closed variant.  The engine dispatches these
+/// without virtual calls: it visits the variant *once* per simulation and
+/// runs a loop specialised to the concrete policy type, so the per-slice
+/// Dispatch call inlines (see sim/engine.cc).  kNone marks an AnyPolicy
+/// holding an external plugin instead.
+using BuiltinPolicy = std::variant<std::monostate, GreedyReclaimPolicy,
+                                   VmaxPolicy, StaticOnlyPolicy>;
+
+/// A policy by value: either one of the built-ins (variant fast path) or an
+/// owned external DvsPolicy plugin (virtual dispatch, the extension point).
+/// Built-in construction is implicit so method implementations write
+/// `sim::GreedyReclaimPolicy(dvs)` where they previously wrote
+/// `std::make_unique<sim::GreedyReclaimPolicy>(dvs)` — no heap, no vtable.
+class AnyPolicy {
+ public:
+  AnyPolicy(GreedyReclaimPolicy policy) : builtin_(std::move(policy)) {}
+  AnyPolicy(VmaxPolicy policy) : builtin_(std::move(policy)) {}
+  AnyPolicy(StaticOnlyPolicy policy) : builtin_(std::move(policy)) {}
+
+  /// External plugin path; accepts unique_ptr to any DvsPolicy subclass so
+  /// existing `std::make_unique<MyPolicy>(...)` call sites keep compiling.
+  template <typename P,
+            typename = std::enable_if_t<std::is_base_of_v<DvsPolicy, P>>>
+  AnyPolicy(std::unique_ptr<P> policy) : external_(std::move(policy)) {}
+
+  bool IsBuiltin() const { return external_ == nullptr; }
+
+  /// The builtin variant (monostate iff !IsBuiltin()).
+  const BuiltinPolicy& builtin() const { return builtin_; }
+
+  /// The external plugin; requires !IsBuiltin().
+  const DvsPolicy& external() const { return *external_; }
+
+  /// Convenience dispatch through whichever representation is held — used
+  /// outside the engine's hot loop (the engine specialises instead).
+  DispatchDecision Dispatch(const DispatchContext& ctx) const;
+
+ private:
+  BuiltinPolicy builtin_;
+  std::unique_ptr<const DvsPolicy> external_;
 };
 
 }  // namespace dvs::sim

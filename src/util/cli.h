@@ -33,6 +33,9 @@ class ArgParser {
 
   std::string Usage() const;
 
+  /// The program name given at construction (e.g. "bench_fig6a_random").
+  const std::string& program() const { return program_; }
+
  private:
   enum class Kind { kFlag, kInt, kDouble, kString };
   struct Option {

@@ -1,0 +1,53 @@
+// Minimal streaming JSON writer (no parsing, no external deps).
+//
+// Serves the machine-readable bench reports (--bench-json): benches emit a
+// small tree of objects/arrays with string/number/bool leaves.  The writer
+// tracks nesting and comma placement; keys and string values are escaped
+// per RFC 8259 (quotes, backslashes, control characters).  Numbers use
+// %.17g, enough digits to round-trip an IEEE double.
+#ifndef ACS_UTIL_JSON_H
+#define ACS_UTIL_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Key of the next value; must be inside an object.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& Value(const std::string& value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(std::int64_t value);
+  JsonWriter& Value(std::uint64_t value);
+  JsonWriter& Value(bool value);
+
+  /// The document so far.  Callers are responsible for having closed every
+  /// container they opened.
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true while the next element needs a
+  /// leading comma.
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+/// JSON string escaping (adds no surrounding quotes).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace dvs::util
+
+#endif  // ACS_UTIL_JSON_H

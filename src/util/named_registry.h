@@ -1,0 +1,103 @@
+// Generic name -> strategy registry.
+//
+// core::MethodRegistry and mp::PartitionerRegistry grew the same ~80 lines
+// of machinery independently (ordered entries, duplicate rejection,
+// unknown-name errors listing the registered names); this template is that
+// machinery once.  The concrete registries stay as thin subclasses so their
+// public APIs — and their error-message wording — are unchanged.
+//
+// Contract (same as both originals): populate with Register() before
+// sharing across threads; lookups on a fully built registry are const and
+// thread-safe.
+#ifndef ACS_UTIL_NAMED_REGISTRY_H
+#define ACS_UTIL_NAMED_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace dvs::util {
+
+/// `noun` names one entry in Register() errors ("method"), `unknown_noun`
+/// in Get() errors ("schedule method"), `plural` labels the recovery list
+/// ("methods").
+template <typename T>
+class NamedRegistry {
+ public:
+  NamedRegistry(std::string noun, std::string unknown_noun, std::string plural)
+      : noun_(std::move(noun)),
+        unknown_noun_(std::move(unknown_noun)),
+        plural_(std::move(plural)) {}
+
+  NamedRegistry(NamedRegistry&&) = default;
+  NamedRegistry& operator=(NamedRegistry&&) = default;
+
+  /// Registers an item; throws InvalidArgumentError on duplicate or empty
+  /// names and null items.
+  void Register(std::string name, std::string description,
+                std::unique_ptr<const T> item) {
+    ACS_REQUIRE(!name.empty(), noun_ + " name must be non-empty");
+    ACS_REQUIRE(item != nullptr, noun_ + " must be non-null");
+    ACS_REQUIRE(!Contains(name), "duplicate " + noun_ + " name: " + name);
+    entries_.push_back(
+        Entry{std::move(name), std::move(description), std::move(item)});
+  }
+
+  bool Contains(const std::string& name) const {
+    for (const Entry& entry : entries_) {
+      if (entry.name == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Throws InvalidArgumentError naming the unknown entry and listing the
+  /// registered ones.
+  const T& Get(const std::string& name) const { return *Find(name).item; }
+
+  const std::string& Description(const std::string& name) const {
+    return Find(name).description;
+  }
+
+  /// Registered names, in registration order.
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      names.push_back(entry.name);
+    }
+    return names;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string description;
+    std::unique_ptr<const T> item;
+  };
+
+  const Entry& Find(const std::string& name) const {
+    for (const Entry& entry : entries_) {
+      if (entry.name == name) {
+        return entry;
+      }
+    }
+    throw InvalidArgumentError("unknown " + unknown_noun_ + " \"" + name +
+                               "\"; registered " + plural_ + ": " +
+                               Join(Names(), ", "));
+  }
+
+  std::string noun_;
+  std::string unknown_noun_;
+  std::string plural_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dvs::util
+
+#endif  // ACS_UTIL_NAMED_REGISTRY_H

@@ -1,0 +1,89 @@
+// util::NamedRegistry<T>: the shared machinery behind core::MethodRegistry
+// and mp::PartitionerRegistry.  The registry-specific behaviour (ordering,
+// duplicate rejection, recovery-friendly error wording) is asserted here
+// once; the domain registries' own tests keep covering their public APIs.
+#include "util/named_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "core/method_registry.h"
+#include "mp/partitioner.h"
+#include "util/error.h"
+
+namespace dvs::util {
+namespace {
+
+struct Widget {
+  explicit Widget(int id) : id(id) {}
+  int id;
+};
+
+using WidgetRegistry = NamedRegistry<Widget>;
+
+WidgetRegistry MakeRegistry() {
+  WidgetRegistry registry("widget", "test widget", "widgets");
+  registry.Register("alpha", "first widget", std::make_unique<Widget>(1));
+  registry.Register("beta", "second widget", std::make_unique<Widget>(2));
+  return registry;
+}
+
+TEST(NamedRegistry, RegistersAndLooksUpInOrder) {
+  const WidgetRegistry registry = MakeRegistry();
+  EXPECT_TRUE(registry.Contains("alpha"));
+  EXPECT_TRUE(registry.Contains("beta"));
+  EXPECT_FALSE(registry.Contains("gamma"));
+  EXPECT_EQ(registry.Get("alpha").id, 1);
+  EXPECT_EQ(registry.Get("beta").id, 2);
+  EXPECT_EQ(registry.Description("beta"), "second widget");
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(NamedRegistry, RejectsDuplicatesEmptyNamesAndNulls) {
+  WidgetRegistry registry = MakeRegistry();
+  EXPECT_THROW(
+      registry.Register("alpha", "again", std::make_unique<Widget>(3)),
+      InvalidArgumentError);
+  EXPECT_THROW(registry.Register("", "unnamed", std::make_unique<Widget>(4)),
+               InvalidArgumentError);
+  EXPECT_THROW(registry.Register("gamma", "null", nullptr),
+               InvalidArgumentError);
+}
+
+TEST(NamedRegistry, UnknownNameErrorUsesNounsAndListsEntries) {
+  const WidgetRegistry registry = MakeRegistry();
+  try {
+    registry.Get("gamma");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown test widget \"gamma\""), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("registered widgets"), std::string::npos) << what;
+    EXPECT_NE(what.find("alpha, beta"), std::string::npos) << what;
+  }
+}
+
+// The domain registries are thin subclasses: their historical error wording
+// must survive the move onto the template.
+TEST(NamedRegistry, DomainRegistriesKeepTheirErrorWording) {
+  try {
+    core::MethodRegistry::Builtin().Get("no-such-method");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown schedule method"), std::string::npos) << what;
+    EXPECT_NE(what.find("registered methods"), std::string::npos) << what;
+  }
+  try {
+    mp::PartitionerRegistry::Builtin().Get("no-such-partitioner");
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unknown partitioner"), std::string::npos) << what;
+    EXPECT_NE(what.find("registered partitioners"), std::string::npos) << what;
+    EXPECT_NE(what.find("ffd"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace dvs::util
