@@ -3,6 +3,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <utility>
 
 #include "runner/thread_pool.h"
@@ -29,6 +30,8 @@ void SweepConfig::Register(util::ArgParser& parser) {
                    "comma-separated registry methods to evaluate");
   parser.AddString("baseline", &baseline,
                    "registry method the improvement is measured against");
+  parser.AddString("scenarios", &scenarios,
+                   "comma-separated execution-time scenarios to sweep");
   parser.AddFlag("paper", &paper,
                  "paper scale: 100 task sets, 1000 hyper-periods");
   parser.AddString("csv", &csv, "write results to this CSV file");
@@ -45,7 +48,8 @@ std::unique_ptr<runner::CsvSink> SweepConfig::OpenCellSink() {
   if (cell_csv.empty()) {
     return nullptr;
   }
-  auto cell_sink = std::make_unique<runner::CsvSink>(cell_csv);
+  auto cell_sink =
+      std::make_unique<runner::CsvSink>(cell_csv, SweepsScenarios());
   sink = cell_sink.get();
   return cell_sink;
 }
@@ -70,6 +74,23 @@ std::vector<std::string> SweepConfig::MethodList() const {
   return list;
 }
 
+std::vector<std::string> SweepConfig::ScenarioList() const {
+  std::vector<std::string> list;
+  std::vector<std::string> parts = util::Split(scenarios, ',');
+  for (std::string& name : parts) {
+    if (!name.empty()) {
+      list.push_back(std::move(name));
+    }
+  }
+  ACS_REQUIRE(!list.empty(), "--scenarios must name at least one scenario");
+  return list;
+}
+
+bool SweepConfig::SweepsScenarios() const {
+  const std::vector<std::string> list = ScenarioList();
+  return list.size() != 1 || list.front() != "iid-normal";
+}
+
 runner::ExperimentGrid SweepConfig::MakeGrid(
     const model::DvsModel& dvs, std::vector<runner::TaskSetSource> sources,
     std::uint64_t grid_label) const {
@@ -78,6 +99,7 @@ runner::ExperimentGrid SweepConfig::MakeGrid(
   grid.sources = std::move(sources);
   grid.methods = MethodList();
   grid.baseline = baseline;
+  grid.scenarios = ScenarioList();
   grid.hyper_periods = hyper_periods;
   // Decorrelate grid points sharing one config seed (e.g. fig6a's task-count
   // x ratio sweep runs one grid per point).
@@ -120,6 +142,8 @@ void SweepConfig::WriteBenchJson() const {
       .Value(methods)
       .Key("baseline")
       .Value(baseline)
+      .Key("scenarios")
+      .Value(scenarios)
       .Key("grid_repeats")
       .Value(grid_repeats)
       .Key("paper")
@@ -226,6 +250,56 @@ runner::GridResult RunGridTimed(const runner::ExperimentGrid& grid,
                                 const SweepConfig& config, std::string label) {
   return RunGridTimed(grid, core::MethodRegistry::Builtin(), config,
                       std::move(label));
+}
+
+namespace {
+
+/// Shared shape of the two list parsers: split, trim empties, convert each
+/// entry with `convert` (which must consume the whole field), require > 0.
+template <typename T, typename Convert>
+std::vector<T> ParsePositiveList(const std::string& flag,
+                                 const std::string& text, Convert convert) {
+  std::vector<T> values;
+  for (const std::string& part : util::Split(text, ',')) {
+    if (part.empty()) {
+      continue;
+    }
+    T value{};
+    std::size_t consumed = 0;
+    try {
+      value = convert(part, &consumed);
+    } catch (const std::exception&) {  // stoi/stod invalid or out of range
+      throw util::InvalidArgumentError("--" + flag +
+                                       " entries must be positive numbers, "
+                                       "got \"" + part + "\"");
+    }
+    ACS_REQUIRE(consumed == part.size() && value > T{0},
+                "--" + flag + " entries must be positive numbers, got \"" +
+                    part + "\"");
+    values.push_back(value);
+  }
+  ACS_REQUIRE(!values.empty(), "--" + flag + " must name at least one value");
+  return values;
+}
+
+}  // namespace
+
+std::vector<int> ParsePositiveIntList(const std::string& flag,
+                                      const std::string& text) {
+  return ParsePositiveList<int>(
+      flag, text,
+      [](const std::string& part, std::size_t* consumed) {
+        return std::stoi(part, consumed);
+      });
+}
+
+std::vector<double> ParsePositiveDoubleList(const std::string& flag,
+                                            const std::string& text) {
+  return ParsePositiveList<double>(
+      flag, text,
+      [](const std::string& part, std::size_t* consumed) {
+        return std::stod(part, consumed);
+      });
 }
 
 std::size_t FirstNonBaseline(const runner::ExperimentGrid& grid) {

@@ -65,6 +65,12 @@ struct SweepConfig {
   std::int64_t threads = 1;         // worker threads for grid sweeps
   std::string methods = "acs,wcs";  // registry methods, comma-separated
   std::string baseline = "wcs";     // improvement reference method
+  /// Execution-time scenario axis (--scenarios), comma-separated
+  /// workload::ScenarioRegistry names.  The default keeps every bench on
+  /// the paper's i.i.d. truncated normal — and its CSVs byte-identical to
+  /// the pre-scenario tree; any other value adds a "scenario" column to
+  /// --cell-csv output (see runner::CsvSink).
+  std::string scenarios = "iid-normal";
   bool paper = false;               // restore the paper's full scale
   std::string csv;                  // optional CSV output path (aggregates)
   std::string cell_csv;             // optional per-cell streaming CSV path
@@ -103,6 +109,13 @@ struct SweepConfig {
 
   /// `methods` split on commas (empty fields dropped).
   std::vector<std::string> MethodList() const;
+
+  /// `scenarios` split on commas (empty fields dropped).
+  std::vector<std::string> ScenarioList() const;
+
+  /// True when ScenarioList() is anything but the default {"iid-normal"} —
+  /// the trigger for the --cell-csv scenario column.
+  bool SweepsScenarios() const;
 
   /// Worker count after resolving 0 to the hardware thread count.
   std::int64_t ResolvedThreads() const;
@@ -143,6 +156,17 @@ struct SweepPoint {
   std::vector<stats::OnlineStats> method_energy;
   std::vector<stats::OnlineStats> method_improvement;  // vs baseline
 };
+
+/// Parses a comma-separated list of strictly positive integers (--cores
+/// style flags).  Rejects empty lists, non-numeric entries, trailing junk
+/// ("4x") and non-positive values, wrapping every failure in
+/// util::InvalidArgumentError naming `flag`.
+std::vector<int> ParsePositiveIntList(const std::string& flag,
+                                      const std::string& text);
+
+/// Same for strictly positive doubles (--sigmas style flags).
+std::vector<double> ParsePositiveDoubleList(const std::string& flag,
+                                            const std::string& text);
 
 /// Index of the first grid method that is not the baseline — the method the
 /// benches' "improvement" column reports.  Throws InvalidArgumentError when

@@ -31,32 +31,6 @@
 #include "workload/presets.h"
 #include "workload/random_taskset.h"
 
-namespace {
-
-std::vector<int> ParseCores(const std::string& text) {
-  std::vector<int> cores;
-  for (const std::string& part : dvs::util::Split(text, ',')) {
-    if (part.empty()) {
-      continue;
-    }
-    try {
-      std::size_t consumed = 0;
-      const int value = std::stoi(part, &consumed);
-      ACS_REQUIRE(consumed == part.size() && value >= 1,
-                  "--cores entries must be positive integers, got \"" + part +
-                      "\"");
-      cores.push_back(value);
-    } catch (const std::logic_error&) {  // stoi invalid_argument/out_of_range
-      throw dvs::util::InvalidArgumentError(
-          "--cores entries must be positive integers, got \"" + part + "\"");
-    }
-  }
-  ACS_REQUIRE(!cores.empty(), "--cores must name at least one core count");
-  return cores;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace dvs;
   bench::SweepConfig config;
@@ -86,7 +60,8 @@ int main(int argc, char** argv) {
     config.Finalize();
     const auto cell_sink = config.OpenCellSink();
 
-    const std::vector<int> core_counts = ParseCores(cores_flag);
+    const std::vector<int> core_counts =
+        bench::ParsePositiveIntList("cores", cores_flag);
     std::vector<std::string> partitioners;
     for (const std::string& name : util::Split(partitioners_flag, ',')) {
       if (!name.empty()) {

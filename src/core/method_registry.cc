@@ -139,8 +139,12 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
                              MethodContext& context,
                              const ExperimentOptions& options) {
   const MethodPlan plan = method.Plan(context);
-  const model::TruncatedNormalWorkload sampler(context.fps().task_set(),
-                                               options.sigma_divisor);
+  // A fresh sampler per evaluation (MakeRunSampler): stateful scenarios
+  // (Markov phases, AR(1) memory, trace cursors) restart per run, so every
+  // method faces the identical realisation for one (options.seed, scenario)
+  // pair.
+  const std::unique_ptr<model::WorkloadSampler> sampler =
+      MakeRunSampler(options, context.fps().task_set());
   stats::Rng rng(options.seed);
   sim::SimOptions sim_options;
   sim_options.hyper_periods = options.hyper_periods;
@@ -160,11 +164,11 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
   if (ws != nullptr) {
     // Steady-state path: simulate into the workspace's reused result.
     return fill(sim::Simulate(context.fps(), plan.schedule, context.dvs(),
-                              plan.policy, sampler, rng, sim_options,
+                              plan.policy, *sampler, rng, sim_options,
                               ws->engine()));
   }
   return fill(sim::Simulate(context.fps(), plan.schedule, context.dvs(),
-                            plan.policy, sampler, rng, sim_options));
+                            plan.policy, *sampler, rng, sim_options));
 }
 
 }  // namespace dvs::core

@@ -6,6 +6,15 @@
 
 namespace dvs::core {
 
+std::unique_ptr<model::WorkloadSampler> MakeRunSampler(
+    const ExperimentOptions& options, const model::TaskSet& set) {
+  if (options.scenario != nullptr) {
+    return options.scenario->MakeSampler(set, options.sigma_divisor);
+  }
+  return std::make_unique<model::TruncatedNormalWorkload>(
+      set, options.sigma_divisor);
+}
+
 sim::SimResult SimulateWith(const fps::FullyPreemptiveSchedule& fps,
                             const sim::StaticSchedule& schedule,
                             const model::DvsModel& dvs,
@@ -23,14 +32,15 @@ sim::SimResult SimulateSchedule(const fps::FullyPreemptiveSchedule& fps,
                                 const sim::StaticSchedule& schedule,
                                 const model::DvsModel& dvs,
                                 const ExperimentOptions& options) {
-  const model::TruncatedNormalWorkload sampler(fps.task_set(),
-                                               options.sigma_divisor);
+  const std::unique_ptr<model::WorkloadSampler> sampler =
+      MakeRunSampler(options, fps.task_set());
   const sim::GreedyReclaimPolicy policy(dvs);
   stats::Rng rng(options.seed);
   sim::SimOptions sim_options;
   sim_options.hyper_periods = options.hyper_periods;
   sim_options.transition = options.transition;
-  return sim::Simulate(fps, schedule, dvs, policy, sampler, rng, sim_options);
+  return sim::Simulate(fps, schedule, dvs, policy, *sampler, rng,
+                       sim_options);
 }
 
 ComparisonResult CompareAcsWcs(const model::TaskSet& set,

@@ -7,6 +7,7 @@
 #define ACS_CORE_PIPELINE_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/scheduler.h"
@@ -26,6 +27,14 @@ struct ExperimentOptions {
   /// Charged by the simulator per voltage change; zero matches the paper's
   /// "transition overhead is negligible" assumption (ablation bench knob).
   model::TransitionOverhead transition;
+  /// Execution-time process the simulation draws from: a fresh sampler is
+  /// built per evaluation via MakeSampler(set, sigma_divisor).  Null keeps
+  /// the paper's i.i.d. truncated normal (bit-identical to the
+  /// pre-scenario pipeline).  Non-owning — typically a
+  /// workload::ScenarioRegistry entry that outlives the run; mp's per-core
+  /// fan-out copies these options, so the pointee must outlive the whole
+  /// fleet evaluation.
+  const model::WorkloadScenario* scenario = nullptr;
   SchedulerOptions scheduler;
 };
 
@@ -60,6 +69,15 @@ struct ComparisonResult {
                : 0.0;
   }
 };
+
+/// Builds the fresh per-run sampler one evaluation simulates under:
+/// `options.scenario`'s process, or the paper's i.i.d. truncated normal
+/// when unset (the byte-compatible default).  Owning — one sampler serves
+/// one simulation run (the statefulness contract of model/workload.h);
+/// the single resolution point for everything that consumes
+/// ExperimentOptions (EvaluateMethod, SimulateSchedule).
+std::unique_ptr<model::WorkloadSampler> MakeRunSampler(
+    const ExperimentOptions& options, const model::TaskSet& set);
 
 /// Runs the full ACS-vs-WCS comparison.  Both schedules are simulated over
 /// the *same* workload realisations (identical seeded streams), mirroring

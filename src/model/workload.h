@@ -19,6 +19,15 @@
 namespace dvs::model {
 
 /// Interface: draws the actual execution cycles of one task instance.
+///
+/// Statefulness contract: implementations may evolve internal per-task state
+/// across draws (Markov phases, AR(1) memory, trace cursors — see
+/// workload/scenario.h), held in mutable members behind this const call.
+/// A sampler therefore serves exactly one simulation run at a time: the
+/// engine draws in release order from a single rng stream, and a fresh
+/// sampler per run (core::EvaluateMethod constructs one per evaluation)
+/// keeps results a pure function of (task set, scenario, seed).  Sharing
+/// one sampler across concurrent simulations is not supported.
 class WorkloadSampler {
  public:
   virtual ~WorkloadSampler() = default;
@@ -26,6 +35,29 @@ class WorkloadSampler {
   /// Cycles for the next instance of task `task`; must lie within
   /// [BCEC, WCEC] of that task.
   virtual double SampleCycles(TaskIndex task, stats::Rng& rng) const = 0;
+};
+
+/// Factory for one named execution-time process ("scenario"): given a task
+/// set, builds the fresh per-run sampler that realises the process on that
+/// set's [BCEC, WCEC] windows.  The indirection is what lets the evaluation
+/// core (core::EvaluateMethod, mp::EvaluateFleet) swap stochastic processes
+/// per experiment cell without depending on the concrete implementations —
+/// those live a layer up in workload::ScenarioRegistry.  `sigma_divisor` is
+/// the grid's dispersion knob: the i.i.d. normal uses it exactly as the
+/// paper does (sigma = span / divisor), other scenarios scale their own
+/// widths from it and document how (see workload/scenario.h).
+class WorkloadScenario {
+ public:
+  virtual ~WorkloadScenario() = default;
+
+  virtual std::unique_ptr<WorkloadSampler> MakeSampler(
+      const TaskSet& set, double sigma_divisor) const = 0;
+
+  /// False when MakeSampler ignores sigma_divisor (the process has no
+  /// dispersion knob — e.g. a fixed tail index or a deterministic replay):
+  /// cells differing only in sigma then realise identically, and sweep
+  /// drivers use this to skip the duplicates (see bench_scenario_sweep).
+  virtual bool UsesSigmaDivisor() const { return true; }
 };
 
 /// The paper's truncated-normal workload.

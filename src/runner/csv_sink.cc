@@ -31,11 +31,28 @@ const std::vector<std::string>& CsvSink::Header() {
   return header;
 }
 
-CsvSink::CsvSink(const std::string& path) : out_(path) {
+const std::vector<std::string>& CsvSink::HeaderWithScenario() {
+  static const std::vector<std::string> header = [] {
+    std::vector<std::string> columns = Header();
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == "workload_seed") {
+        columns.insert(columns.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       "scenario");
+        break;
+      }
+    }
+    return columns;
+  }();
+  return header;
+}
+
+CsvSink::CsvSink(const std::string& path, bool scenario_column)
+    : out_(path), scenario_column_(scenario_column) {
   if (!out_) {
     throw util::Error("cannot open CSV sink file: " + path);
   }
-  const std::vector<std::string>& header = Header();
+  const std::vector<std::string>& header =
+      scenario_column_ ? HeaderWithScenario() : Header();
   for (std::size_t i = 0; i < header.size(); ++i) {
     out_ << (i == 0 ? "" : ",") << util::CsvEscape(header[i]);
   }
@@ -64,6 +81,9 @@ void CsvSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
   prefix += ',' + util::CsvEscape(grid.partitioners[coord.partitioner_index]);
   prefix += ',' + FormatG(grid.sigma_divisors[coord.sigma_index]);
   prefix += ',' + std::to_string(grid.workload_seeds[coord.seed_index]);
+  if (scenario_column_) {
+    prefix += ',' + util::CsvEscape(grid.scenarios[coord.scenario_index]);
+  }
   prefix += ',' + std::to_string(cell.sub_instances);
   prefix += ',' + std::to_string(cell.hyper_period);
 

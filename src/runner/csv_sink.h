@@ -23,8 +23,11 @@ namespace dvs::runner {
 class CsvSink : public ResultSink {
  public:
   /// Opens `path` for writing and emits the header row immediately; throws
-  /// util::Error when the file cannot be opened.
-  explicit CsvSink(const std::string& path);
+  /// util::Error when the file cannot be opened.  `scenario_column` adds a
+  /// "scenario" column (after workload_seed) carrying each cell's
+  /// execution-time scenario name; the default omits it so sinks attached
+  /// to scenario-less grids keep the historical schema byte-for-byte.
+  explicit CsvSink(const std::string& path, bool scenario_column = false);
 
   /// Thread-safe: rows are formatted and written under an internal mutex.
   void OnCell(const ExperimentGrid& grid, const CellResult& cell) override;
@@ -32,12 +35,16 @@ class CsvSink : public ResultSink {
   /// Rows written so far (excluding the header).
   std::size_t rows() const;
 
-  /// The column header, shared with tests.
+  /// The historical column header (no scenario column), shared with tests.
   static const std::vector<std::string>& Header();
+
+  /// The header with the scenario column.
+  static const std::vector<std::string>& HeaderWithScenario();
 
  private:
   mutable std::mutex mutex_;
   std::ofstream out_;
+  bool scenario_column_ = false;
   std::size_t rows_ = 0;
 };
 

@@ -19,8 +19,8 @@ std::size_t UtilCells(const ExperimentGrid& grid, const TaskSetSource& source) {
 std::size_t InnerCells(const ExperimentGrid& grid,
                        const TaskSetSource& source) {
   return UtilCells(grid, source) * grid.core_counts.size() *
-         grid.partitioners.size() * grid.sigma_divisors.size() *
-         grid.workload_seeds.size();
+         grid.partitioners.size() * grid.scenarios.size() *
+         grid.sigma_divisors.size() * grid.workload_seeds.size();
 }
 
 }  // namespace
@@ -74,13 +74,16 @@ CellCoord ExperimentGrid::Coord(std::size_t cell_index) const {
 
   const std::size_t utils = UtilCells(*this, sources[coord.source]);
   const std::size_t sigma_seed = sigma_divisors.size() * workload_seeds.size();
-  const std::size_t part_block = partitioners.size() * sigma_seed;
+  const std::size_t scen_block = scenarios.size() * sigma_seed;
+  const std::size_t part_block = partitioners.size() * scen_block;
   const std::size_t core_block = core_counts.size() * part_block;
   coord.util_index = remaining / core_block;
   remaining %= core_block;
   coord.core_index = remaining / part_block;
   remaining %= part_block;
-  coord.partitioner_index = remaining / sigma_seed;
+  coord.partitioner_index = remaining / scen_block;
+  remaining %= scen_block;
+  coord.scenario_index = remaining / sigma_seed;
   remaining %= sigma_seed;
   coord.sigma_index = remaining / workload_seeds.size();
   coord.seed_index = remaining % workload_seeds.size();
@@ -91,6 +94,11 @@ CellCoord ExperimentGrid::Coord(std::size_t cell_index) const {
 const mp::PartitionerRegistry& ExperimentGrid::Partitioners() const {
   return partitioner_registry != nullptr ? *partitioner_registry
                                          : mp::PartitionerRegistry::Builtin();
+}
+
+const workload::ScenarioRegistry& ExperimentGrid::Scenarios() const {
+  return scenario_registry != nullptr ? *scenario_registry
+                                      : workload::ScenarioRegistry::Builtin();
 }
 
 bool ExperimentGrid::AnyCoreAboveOne() const {
@@ -141,6 +149,10 @@ void ExperimentGrid::Validate(const core::MethodRegistry& registry) const {
   for (const std::string& name : partitioners) {
     Partitioners().Get(name);  // throws, listing the registered names
   }
+  ACS_REQUIRE(!scenarios.empty(), "grid needs a workload scenario");
+  for (const std::string& name : scenarios) {
+    Scenarios().Get(name);  // throws, listing the registered names
+  }
   ACS_REQUIRE(idle_power.power_per_ms >= 0.0,
               "idle power must be non-negative");
   ACS_REQUIRE(transition.time_per_volt >= 0.0 &&
@@ -180,10 +192,13 @@ ExperimentGrid::CellStreams ExperimentGrid::Streams(
     const CellCoord& coord) const {
   // Exactly the historical derivation (ForkWith(index), one Fork() for the
   // set stream, then the labelled workload fork), keyed by the reduced set
-  // index: cells equal up to the core/partitioner/sigma/seed axes share
-  // both streams, so those axes compare paired.  Grids whose inner axes
-  // are all singletons have SetIndex == cell_index and draw streams
-  // bit-identical to the pre-mp runner.
+  // index: cells equal up to the core/partitioner/scenario/sigma/seed axes
+  // share both streams, so those axes compare paired.  The scenario axis
+  // deliberately does not perturb the derivation — scenario cells transform
+  // the identical seed through different processes, the paired-draw
+  // methodology.  Grids whose inner axes are all singletons have
+  // SetIndex == cell_index and draw streams bit-identical to the pre-mp
+  // runner.
   stats::Rng base_rng = CellRng(SetIndex(coord));
   stats::Rng set_rng = base_rng.Fork();
   const std::uint64_t workload_seed =

@@ -3,7 +3,7 @@
 // An ExperimentGrid is the cartesian product of
 //
 //   task-set sources x replicates x utilizations x core counts x
-//   partitioners x sigma divisors x seeds
+//   partitioners x scenarios x sigma divisors x seeds
 //
 // where every product point is one *cell*.  Within a cell the grid's
 // registry methods are all evaluated on the same task set and identical
@@ -17,9 +17,12 @@
 // execution order and thread count cannot change any bit of the output (see
 // runner/run_grid.h and the runner determinism test).  The task-set stream
 // is keyed by the *set index* — (source, replicate, utilization) only — so
-// cells that differ purely in the core-count, partitioner, sigma or
-// workload-seed axes draw bit-identical task sets and those axes compare
-// paired, not across a seed lottery.
+// cells that differ purely in the core-count, partitioner, scenario, sigma
+// or workload-seed axes draw bit-identical task sets and those axes compare
+// paired, not across a seed lottery.  The scenario axis additionally shares
+// the workload-seed derivation: scenarios compare on identical task sets
+// AND identical seed labels, differing only in how the stream is
+// transformed into per-job cycles (paired-draw seeding).
 #ifndef ACS_RUNNER_EXPERIMENT_GRID_H
 #define ACS_RUNNER_EXPERIMENT_GRID_H
 
@@ -35,6 +38,7 @@
 #include "mp/partitioner.h"
 #include "stats/rng.h"
 #include "workload/random_taskset.h"
+#include "workload/scenario.h"
 
 namespace dvs::runner {
 
@@ -63,6 +67,7 @@ struct CellCoord {
   std::size_t util_index = 0; // index into utilizations (0 when empty)
   std::size_t core_index = 0; // index into core_counts
   std::size_t partitioner_index = 0;  // index into partitioners
+  std::size_t scenario_index = 0;     // index into scenarios
   std::size_t sigma_index = 0;
   std::size_t seed_index = 0; // index into workload_seeds
 };
@@ -92,6 +97,17 @@ struct ExperimentGrid {
   model::IdlePower idle_power;
   /// Voltage-transition overhead charged in every cell's simulation.
   model::TransitionOverhead transition;
+  /// Execution-time scenario axis (workload::ScenarioRegistry names).  The
+  /// default single "iid-normal" entry keeps every grid bit-identical to
+  /// the pre-scenario runner.  Cells differing only on this axis share both
+  /// their task-set draw and their workload-seed label (see the header
+  /// comment), so scenarios compare paired.
+  std::vector<std::string> scenarios = {"iid-normal"};
+  /// Registry the scenario names resolve against; null selects
+  /// workload::ScenarioRegistry::Builtin().  Non-owning (like `dvs` and
+  /// `partitioner_registry`): point it at a custom registry to sweep
+  /// experiment-specific processes, e.g. a LoadTraceScenario recording.
+  const workload::ScenarioRegistry* scenario_registry = nullptr;
   std::vector<double> sigma_divisors = {6.0};
   /// Workload-stream labels: each entry yields an independent realisation
   /// stream per cell (replaying fixed sets under `k` streams = `k` entries).
@@ -128,6 +144,10 @@ struct ExperimentGrid {
   /// built-ins).
   const mp::PartitionerRegistry& Partitioners() const;
 
+  /// The effective scenario registry (`scenario_registry` or the
+  /// built-ins).
+  const workload::ScenarioRegistry& Scenarios() const;
+
   /// Validates axes, resolves every method name against `registry` and
   /// every partitioner name against Partitioners(); throws
   /// InvalidArgumentError with the offending field on failure.
@@ -139,8 +159,8 @@ struct ExperimentGrid {
 
   /// Flattened index of the cell's task-set draw: (source, replicate,
   /// util_index) only.  Cells equal on those coordinates — however they
-  /// differ on the core/partitioner/sigma/workload-seed axes — share it,
-  /// and with it their task set.
+  /// differ on the core/partitioner/scenario/sigma/workload-seed axes —
+  /// share it, and with it their task set.
   std::size_t SetIndex(const CellCoord& coord) const;
 
   /// The two streams one cell consumes, both keyed by SetIndex (the

@@ -24,6 +24,10 @@ CellResult RunCell(const ExperimentGrid& grid,
     options.sigma_divisor = grid.sigma_divisors[cell.coord.sigma_index];
     options.seed = streams.workload_seed;
     options.transition = grid.transition;
+    // The cell's execution-time process; the registry entry outlives the
+    // grid run, and mp's per-core option copies carry the pointer along.
+    options.scenario =
+        &grid.Scenarios().Get(grid.scenarios[cell.coord.scenario_index]);
     options.scheduler = grid.scheduler;
 
     if (!grid.MultiCore()) {

@@ -6,7 +6,12 @@
 // execution slice comes from the pluggable DvsPolicy.  Actual per-instance
 // workloads are drawn from a WorkloadSampler at release time, so the same
 // engine measures the average-case scenario, the adversarial all-WCEC
-// scenario and the paper's truncated-normal experiments.
+// scenario and any registered execution-time process
+// (workload::ScenarioRegistry).  The job-draw path has a fixed contract:
+// releases activate in global release order and each consumes the sampler
+// exactly once against the engine's rng stream, so stateful samplers
+// (Markov phases, AR(1) memory, trace cursors) see a deterministic job
+// sequence — one sampler per simulation run, per model/workload.h.
 //
 // Sub-instance bookkeeping: every active instance walks the sub-instance
 // list of its parent (from the fully preemptive expansion); a sub-instance

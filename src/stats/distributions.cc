@@ -19,8 +19,13 @@ double NormalCdf(double x) { return 0.5 * std::erfc(-x * kInvSqrt2); }
 TruncatedNormal::TruncatedNormal(double mean, double sigma, double lo,
                                  double hi)
     : mean_(mean), sigma_(sigma), lo_(lo), hi_(hi) {
-  ACS_REQUIRE(lo < hi, "TruncatedNormal requires lo < hi");
-  ACS_REQUIRE(sigma > 0.0, "TruncatedNormal requires sigma > 0");
+  ACS_REQUIRE(lo <= hi, "TruncatedNormal requires lo <= hi");
+  ACS_REQUIRE(sigma >= 0.0, "TruncatedNormal requires sigma >= 0");
+  if (lo_ == hi_ || sigma_ == 0.0) {
+    degenerate_ = true;
+    point_ = std::min(std::max(mean_, lo_), hi_);
+    return;
+  }
   alpha_ = (lo_ - mean_) / sigma_;
   beta_ = (hi_ - mean_) / sigma_;
   z_ = NormalCdf(beta_) - NormalCdf(alpha_);
@@ -29,6 +34,9 @@ TruncatedNormal::TruncatedNormal(double mean, double sigma, double lo,
 }
 
 double TruncatedNormal::Sample(Rng& rng) const {
+  if (degenerate_) {
+    return point_;
+  }
   // Rejection from the parent normal.  The paper's settings put >= ~2/3 of
   // the mass inside [lo, hi]; guard with an inverse-CDF-free fallback via
   // uniform resampling of the window for pathological parameters.
@@ -44,16 +52,54 @@ double TruncatedNormal::Sample(Rng& rng) const {
 }
 
 double TruncatedNormal::Mean() const {
+  if (degenerate_) {
+    return point_;
+  }
   return mean_ + sigma_ * (NormalPdf(alpha_) - NormalPdf(beta_)) / z_;
 }
 
 double TruncatedNormal::Variance() const {
+  if (degenerate_) {
+    return 0.0;
+  }
   const double phi_a = NormalPdf(alpha_);
   const double phi_b = NormalPdf(beta_);
   const double a_term = (std::isinf(alpha_) ? 0.0 : alpha_ * phi_a);
   const double b_term = (std::isinf(beta_) ? 0.0 : beta_ * phi_b);
   const double ratio = (phi_a - phi_b) / z_;
   return sigma_ * sigma_ * (1.0 + (a_term - b_term) / z_ - ratio * ratio);
+}
+
+TruncatedPareto::TruncatedPareto(double shape, double lo, double hi)
+    : shape_(shape), lo_(lo), hi_(hi), cap_(1.0 + (hi - lo)) {
+  ACS_REQUIRE(shape > 0.0, "TruncatedPareto requires shape > 0");
+  ACS_REQUIRE(lo <= hi, "TruncatedPareto requires lo <= hi");
+  mass_ = 1.0 - std::pow(cap_, -shape_);
+}
+
+double TruncatedPareto::Sample(Rng& rng) const {
+  if (mass_ <= 0.0) {
+    return hi_;  // collapsed window: the single admissible value
+  }
+  // Inverse CDF of the truncated law: F(y) = (1 - y^-a) / mass on [1, cap].
+  const double u = rng.NextDouble();
+  const double y = std::pow(1.0 - u * mass_, -1.0 / shape_);
+  // Clamp against FP round-off at the cap end.
+  return std::min(hi_, lo_ + (y - 1.0));
+}
+
+double TruncatedPareto::Mean() const {
+  if (mass_ <= 0.0) {
+    return hi_;
+  }
+  // E[y] on the truncated support [1, cap]:
+  //   a/(a-1) * (1 - cap^{1-a}) / mass          for a != 1
+  //   ln(cap) / mass                            for a == 1
+  const double a = shape_;
+  const double ey =
+      a == 1.0 ? std::log(cap_) / mass_
+               : a / (a - 1.0) * (1.0 - std::pow(cap_, 1.0 - a)) / mass_;
+  return lo_ + (ey - 1.0);
 }
 
 }  // namespace dvs::stats

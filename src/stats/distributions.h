@@ -19,8 +19,13 @@ double NormalCdf(double x);
 /// Normal law truncated to [lo, hi].
 class TruncatedNormal {
  public:
-  /// Requires lo < hi and sigma > 0; mean may lie anywhere (the truncation
+  /// Requires lo <= hi and sigma >= 0; mean may lie anywhere (the truncation
   /// window does not need to contain it, although in the paper it does).
+  /// Degenerate parameters collapse to a point mass instead of throwing —
+  /// lo == hi (a BCEC == WCEC task) yields the single admissible value, and
+  /// sigma == 0 yields the parent mean clamped into the window — so callers
+  /// need not special-case collapsed workload windows.  Non-degenerate
+  /// windows must still carry probability mass (no 40-sigma-away windows).
   TruncatedNormal(double mean, double sigma, double lo, double hi);
 
   double Sample(Rng& rng) const;
@@ -36,14 +41,49 @@ class TruncatedNormal {
   double parent_mean() const { return mean_; }
   double parent_sigma() const { return sigma_; }
 
+  /// True when the law collapsed to a point mass (lo == hi or sigma == 0).
+  bool IsDegenerate() const { return degenerate_; }
+
  private:
   double mean_;
   double sigma_;
   double lo_;
   double hi_;
-  double alpha_;  // standardised lower bound
-  double beta_;   // standardised upper bound
-  double z_;      // CDF(beta) - CDF(alpha), probability mass in the window
+  double alpha_ = 0.0;  // standardised lower bound
+  double beta_ = 0.0;   // standardised upper bound
+  double z_ = 1.0;      // CDF(beta) - CDF(alpha), probability mass in window
+  bool degenerate_ = false;
+  double point_ = 0.0;  // the value when degenerate_
+};
+
+/// Pareto law with scale 1 shifted onto [lo, hi] and truncated there: the
+/// sampled variate is lo + (y - 1) for y Pareto(shape, x_m = 1) conditioned
+/// on y <= 1 + (hi - lo).  The shift tolerates lo == 0 (a BCEC of zero),
+/// which the classical Pareto support (x >= x_m > 0) would reject, and the
+/// truncation keeps every draw inside the workload window.  A collapsed
+/// window (lo == hi) degenerates to a point mass.  Smaller shapes put more
+/// mass near hi's tail; the workload scenarios use shape ~1 so a few jobs
+/// land near the WCEC while the bulk stays near BCEC.
+class TruncatedPareto {
+ public:
+  /// Requires shape > 0 and lo <= hi.
+  TruncatedPareto(double shape, double lo, double hi);
+
+  double Sample(Rng& rng) const;
+
+  /// Analytic mean of the truncated law.
+  double Mean() const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double shape() const { return shape_; }
+
+ private:
+  double shape_;
+  double lo_;
+  double hi_;
+  double cap_;   // 1 + (hi - lo): upper support of the unshifted law
+  double mass_;  // 1 - cap^{-shape}: probability mass below the cap
 };
 
 /// Degenerate distribution (always `value`); models fixed workloads

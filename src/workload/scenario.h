@@ -1,0 +1,99 @@
+// Named execution-time scenarios and their registry (third client of
+// util::NamedRegistry, after core::MethodRegistry and
+// mp::PartitionerRegistry).
+//
+// The paper's experiments draw every job's actual execution cycles i.i.d.
+// from one truncated normal, but the advantage of average-case-aware DVS
+// depends on *how* actual times vary under the WCEC — burstiness, modality
+// and job-to-job correlation each change how much reclaimable slack the
+// online phase sees and how well the offline ACEC plan matches reality
+// (Berten et al., "Managing Varying Worst Case Execution Times on DVS
+// Platforms").  A Scenario names one such stochastic process; experiment
+// grids sweep scenarios exactly like methods and partitioners.
+//
+// Clamping contract: every sampler draws within task i's [BCEC_i, WCEC_i],
+// so feasibility analysis (VerifyWorstCase, the RM admission test, the NLP
+// budget constraints) is untouched by the scenario axis — scenarios change
+// the *realisation* of work, never its worst-case envelope.  The engine
+// asserts the safety-relevant upper bound (<= WCEC) per draw; the lower
+// bound is this subsystem's contract, exercised per built-in by
+// workload_scenario_test.
+//
+// sigma_divisor: the normal-based scenarios (iid-normal, bimodal, bursty,
+// correlated) scale their dispersion from it; heavy-tail's tail index and
+// trace's replay are properties of the process and ignore it — those two
+// report model::WorkloadScenario::UsesSigmaDivisor() == false, and sweep
+// drivers (bench_scenario_sweep) use the flag to skip the duplicate sigma
+// cells such scenarios would otherwise compute.
+//
+// Built-ins (see ScenarioRegistry::Builtin):
+//
+//   iid-normal  the paper's process: i.i.d. truncated normal, mean ACEC,
+//               sigma = span / sigma_divisor — byte-compatible with the
+//               pre-scenario TruncatedNormalWorkload default
+//   bimodal     cache-hit/miss mixture: 3/4 of jobs from a narrow mode near
+//               BCEC + 0.2 span, 1/4 from a narrow mode near WCEC
+//   bursty      two-state Markov-modulated process: a light phase drawing
+//               near BCEC alternates with sticky heavy phases near WCEC
+//               (mean sojourns of 10 and 5 jobs per task)
+//   heavy-tail  truncated Pareto (shape 1.1) in normalised fraction space
+//               (scale-free over the window): most jobs near BCEC,
+//               occasional near-WCEC stragglers
+//   correlated  AR(1) across successive jobs of one task (rho = 0.8) with
+//               the i.i.d. scenario's stationary dispersion
+//   trace       deterministic replay of recorded per-job workload fractions
+//               (this entry replays a built-in synthetic trace; load a real
+//               one from CSV with LoadTraceScenario)
+//
+// All scenarios derive every draw from the engine-supplied rng stream and
+// per-task state reset at sampler construction, so paired-seed runs remain
+// bit-reproducible per (task set, scenario, seed).
+#ifndef ACS_WORKLOAD_SCENARIO_H
+#define ACS_WORKLOAD_SCENARIO_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/workload.h"
+#include "util/named_registry.h"
+
+namespace dvs::workload {
+
+/// Name -> scenario map: util::NamedRegistry with this domain's error
+/// wording; same contract as the method/partitioner registries (populate
+/// before sharing across threads, const lookups after).
+class ScenarioRegistry : public util::NamedRegistry<model::WorkloadScenario> {
+ public:
+  /// The immutable registry of the built-ins listed above.
+  static const ScenarioRegistry& Builtin();
+
+  ScenarioRegistry() : NamedRegistry("scenario", "workload scenario",
+                                     "scenarios") {}
+};
+
+/// Populates `registry` with the built-ins of ScenarioRegistry::Builtin.
+/// Experiment drivers that add custom processes (a loaded trace, a plugged
+/// distribution) start from this and Register() on top.
+void RegisterBuiltinScenarios(ScenarioRegistry& registry);
+
+/// Trace-replay scenario over normalised per-job workload *fractions*:
+/// job j of task i executes BCEC_i + f * (WCEC_i - BCEC_i) cycles, where f
+/// walks `fractions` cyclically from a per-task phase offset (task index),
+/// so equal-window tasks do not run in lockstep.  Fractions are clamped to
+/// [0, 1]; normalisation is what lets one recorded trace replay against any
+/// task set, including the random-set grid axes.  Requires a non-empty
+/// fraction list.
+std::unique_ptr<model::WorkloadScenario> MakeTraceScenario(
+    std::vector<double> fractions);
+
+/// Loads MakeTraceScenario input from a CSV file: one fraction per row
+/// (first column; further columns ignored), '#' comments and blank lines
+/// skipped, an optional non-numeric header row skipped.  Throws util::Error
+/// when the file cannot be read or yields no fractions.
+std::unique_ptr<model::WorkloadScenario> LoadTraceScenario(
+    const std::string& path);
+
+}  // namespace dvs::workload
+
+#endif  // ACS_WORKLOAD_SCENARIO_H

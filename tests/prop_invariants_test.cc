@@ -1,0 +1,167 @@
+// Property-based invariant harness: randomized task sets x every registered
+// schedule method x every registered execution-time scenario.
+//
+// Three invariant families, checked on deterministic seeded draws (so a
+// violation is an exact regression, not a flaky statistical event):
+//
+//   (a) safety     — every method's offline schedule passes the independent
+//                    VerifyWorstCase audit, and its simulation under every
+//                    scenario finishes with zero deadline misses (the
+//                    [BCEC, WCEC] clamp keeps the worst-case envelope, so
+//                    no stochastic process may create a miss);
+//   (b) dominance  — on paired draws (identical task set, scenario and
+//                    seed), the partitioned-ACS fleet consumes no more
+//                    energy than the partitioned-WCS fleet;
+//   (c) bounds     — measured energy sits between the physical floor
+//                    (every instance executes at least BCEC cycles, and no
+//                    cycle is cheaper than one at Vmin) and the paired
+//                    static-vmax ceiling (the same realised cycles all at
+//                    Vmax, which convex DVS energy can only beat).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "mp/fleet.h"
+#include "mp/partitioner.h"
+#include "sim/static_schedule.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+#include "workload/scenario.h"
+
+namespace dvs {
+namespace {
+
+/// Small randomized sets keep the per-method NLP solves test-sized while
+/// still varying task count, flexibility ratio and the drawn periods.
+std::vector<model::TaskSet> PropertySets(const model::DvsModel& dvs) {
+  std::vector<model::TaskSet> sets;
+  const struct {
+    int tasks;
+    double ratio;
+    std::uint64_t seed;
+  } specs[] = {{3, 0.1, 101}, {4, 0.3, 202}, {4, 0.5, 303}};
+  for (const auto& spec : specs) {
+    workload::RandomTaskSetOptions gen;
+    gen.num_tasks = spec.tasks;
+    gen.bcec_wcec_ratio = spec.ratio;
+    gen.max_sub_instances = 60;
+    stats::Rng rng(spec.seed);
+    sets.push_back(workload::GenerateRandomTaskSet(gen, dvs, rng));
+  }
+  return sets;
+}
+
+core::ExperimentOptions PropertyOptions() {
+  core::ExperimentOptions options;
+  options.hyper_periods = 20;
+  options.seed = 77;
+  return options;
+}
+
+/// Energy floor: every instance executes at least its BCEC cycles, and no
+/// cycle costs less than one cycle at Vmin.
+double VminBcecFloor(const model::TaskSet& set, const model::DvsModel& dvs) {
+  double bcec_cycles = 0.0;
+  for (model::TaskIndex i = 0; i < set.size(); ++i) {
+    bcec_cycles +=
+        static_cast<double>(set.InstanceCount(i)) * set.task(i).bcec;
+  }
+  return dvs.Energy(dvs.vmin(), bcec_cycles);
+}
+
+// (a) + (c): schedule safety and energy bounds, per method x scenario.
+TEST(PropInvariants, EveryMethodEveryScenarioSafeAndBounded) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const core::MethodRegistry& methods = core::MethodRegistry::Builtin();
+  const workload::ScenarioRegistry& scenarios =
+      workload::ScenarioRegistry::Builtin();
+
+  const core::ExperimentOptions base = PropertyOptions();
+  for (const model::TaskSet& set : PropertySets(cpu)) {
+    const fps::FullyPreemptiveSchedule fps(set);
+    // `base` outlives the context: MethodContext keeps a pointer to the
+    // scheduler options.
+    core::MethodContext context(fps, cpu, base.scheduler);
+    const double floor = VminBcecFloor(set, cpu);
+
+    for (const std::string& scenario_name : scenarios.Names()) {
+      core::ExperimentOptions options = PropertyOptions();
+      options.scenario = &scenarios.Get(scenario_name);
+
+      // The paired ceiling: the identical realised cycles, all at Vmax.
+      const core::MethodOutcome ceiling =
+          EvaluateMethod(methods.Get("static-vmax"), context, options);
+      EXPECT_EQ(ceiling.deadline_misses, 0)
+          << "static-vmax under " << scenario_name;
+
+      for (const std::string& method_name : methods.Names()) {
+        const core::ScheduleMethod& method = methods.Get(method_name);
+
+        // (a) the offline product passes the independent worst-case audit.
+        const core::MethodPlan plan = method.Plan(context);
+        const sim::FeasibilityReport audit =
+            sim::VerifyWorstCase(fps, plan.schedule, cpu);
+        ASSERT_TRUE(audit.feasible)
+            << method_name << " on " << set.Describe() << ": "
+            << audit.detail;
+
+        // (a) zero deadline misses under every stochastic process.
+        const core::MethodOutcome outcome =
+            EvaluateMethod(method, context, options);
+        EXPECT_EQ(outcome.deadline_misses, 0)
+            << method_name << " under " << scenario_name;
+
+        // (c) floor <= measured <= paired static-vmax ceiling.
+        EXPECT_GE(outcome.measured_energy, floor * (1.0 - 1e-9))
+            << method_name << " under " << scenario_name;
+        EXPECT_LE(outcome.measured_energy,
+                  ceiling.measured_energy * (1.0 + 1e-9))
+            << method_name << " under " << scenario_name;
+      }
+    }
+  }
+}
+
+// (b): partitioned-ACS never consumes more fleet energy than
+// partitioned-WCS on paired draws, for every scenario.
+//
+// Scope note: unlike (a) and (c) this is not a theorem — a process whose
+// realised load sits well above the ACEC plan could legitimately make
+// ACS's slow prefix plus catch-up cost more than WCS on some draw.  On
+// the pinned PropertySets seeds and the current built-ins (all of whose
+// realised means sit at or below the window's ACEC region) the dominance
+// holds exactly, so this is a deterministic regression check in the
+// spirit of mp_fleet_test.  If you register a heavier-than-ACEC built-in
+// and this fires, re-scope the assertion to mean-<=-ACEC scenarios rather
+// than weakening the paper's headline inequality for the existing ones.
+TEST(PropInvariants, AcsFleetNeverAboveWcsFleetUnderAnyScenario) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const core::MethodRegistry& methods = core::MethodRegistry::Builtin();
+  const std::vector<const core::ScheduleMethod*> arms = {
+      &methods.Get("acs"), &methods.Get("wcs")};
+  const mp::Partitioner& ffd =
+      mp::PartitionerRegistry::Builtin().Get("ffd");
+
+  for (const model::TaskSet& set : PropertySets(cpu)) {
+    for (const std::string& scenario_name :
+         workload::ScenarioRegistry::Builtin().Names()) {
+      core::ExperimentOptions options = PropertyOptions();
+      options.scenario =
+          &workload::ScenarioRegistry::Builtin().Get(scenario_name);
+
+      const mp::FleetResult fleet =
+          mp::EvaluateFleet(set, cpu, ffd, 2, arms, options);
+      const core::MethodOutcome& acs = fleet.outcomes[0].fleet;
+      const core::MethodOutcome& wcs = fleet.outcomes[1].fleet;
+      EXPECT_LE(acs.measured_energy, wcs.measured_energy)
+          << scenario_name << " on " << set.Describe();
+      EXPECT_EQ(acs.deadline_misses, 0) << scenario_name;
+      EXPECT_EQ(wcs.deadline_misses, 0) << scenario_name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvs

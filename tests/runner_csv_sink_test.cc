@@ -96,5 +96,45 @@ TEST(CsvSink, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvSink("/nonexistent-dir/cells.csv"), util::Error);
 }
 
+TEST(CsvSink, ScenarioColumnCarriesTheAxisValue) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 2;
+  gen.bcec_wcec_ratio = 0.5;
+  gen.max_sub_instances = 24;
+  ExperimentGrid grid = TinyGrid(cpu, gen);
+  grid.sources = {RandomSource("random-2", gen, 1)};
+  grid.scenarios = {"iid-normal", "heavy-tail"};
+
+  const std::string path = testing::TempDir() + "/scenario_cells.csv";
+  {
+    CsvSink sink(path, /*scenario_column=*/true);
+    RunOptions options;
+    options.threads = 1;
+    options.sink = &sink;
+    const GridResult result = RunGrid(grid, options);
+    ASSERT_EQ(result.failed_cells, 0u);
+  }
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u + grid.CellCount() * grid.methods.size());
+  EXPECT_EQ(lines[0], util::Join(CsvSink::HeaderWithScenario(), ","));
+  const std::size_t columns = CsvSink::HeaderWithScenario().size();
+  EXPECT_EQ(columns, CsvSink::Header().size() + 1);
+  std::size_t scenario_col = 0;
+  for (std::size_t c = 0; c < columns; ++c) {
+    if (CsvSink::HeaderWithScenario()[c] == "scenario") {
+      scenario_col = c;
+    }
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> fields = util::Split(lines[i], ',');
+    ASSERT_EQ(fields.size(), columns) << lines[i];
+    EXPECT_TRUE(fields[scenario_col] == "iid-normal" ||
+                fields[scenario_col] == "heavy-tail")
+        << lines[i];
+  }
+}
+
 }  // namespace
 }  // namespace dvs::runner

@@ -380,6 +380,171 @@ TEST(RunGrid, MultiCoreGridFourThreadsBitIdenticalToOneThread) {
   EXPECT_GT(succeeded, 0u);
 }
 
+ExperimentGrid ScenarioGrid(const model::DvsModel& dvs) {
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 2;
+  gen.bcec_wcec_ratio = 0.3;
+  gen.max_sub_instances = 24;
+
+  ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = {RandomSource("random-2", gen, 1),
+                  FixedSource("tiny-fixed", TinyFixedSet(dvs))};
+  grid.scenarios = workload::ScenarioRegistry::Builtin().Names();
+  grid.methods = {"acs", "wcs"};
+  grid.hyper_periods = 5;
+  grid.master_seed = 19;
+  return grid;
+}
+
+TEST(ExperimentGrid, ScenarioAxisRoundTripsAndSharesStreams) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = ScenarioGrid(cpu);
+  // 2 sources x 6 scenarios.
+  ASSERT_EQ(grid.CellCount(), 12u);
+  for (std::size_t i = 0; i < grid.CellCount(); ++i) {
+    const CellCoord coord = grid.Coord(i);
+    EXPECT_EQ(coord.cell_index, i);
+    EXPECT_LT(coord.scenario_index, grid.scenarios.size());
+  }
+  // Cells differing only on the scenario axis share the set index — and
+  // through it both the task-set draw and the workload-seed label (the
+  // paired-draw seeding contract).
+  const CellCoord first = grid.Coord(0);
+  const ExperimentGrid::CellStreams reference = grid.Streams(first);
+  for (std::size_t i = 1; i < grid.scenarios.size(); ++i) {
+    const CellCoord coord = grid.Coord(i);
+    EXPECT_EQ(coord.scenario_index, i);
+    EXPECT_EQ(grid.SetIndex(coord), grid.SetIndex(first));
+    EXPECT_EQ(grid.Streams(coord).workload_seed, reference.workload_seed);
+  }
+}
+
+TEST(ExperimentGrid, ValidateChecksScenarioAxis) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const core::MethodRegistry& registry = core::MethodRegistry::Builtin();
+
+  ExperimentGrid grid = ScenarioGrid(cpu);
+  grid.Validate(registry);
+
+  ExperimentGrid unknown = ScenarioGrid(cpu);
+  unknown.scenarios = {"iid-normal", "definitely-not-a-scenario"};
+  EXPECT_THROW(unknown.Validate(registry), util::InvalidArgumentError);
+
+  ExperimentGrid empty = ScenarioGrid(cpu);
+  empty.scenarios = {};
+  EXPECT_THROW(empty.Validate(registry), util::InvalidArgumentError);
+
+  // A custom registry resolves names the built-ins lack.
+  workload::ScenarioRegistry custom;
+  workload::RegisterBuiltinScenarios(custom);
+  custom.Register("my-trace", "test trace",
+                  workload::MakeTraceScenario({0.5}));
+  ExperimentGrid with_custom = ScenarioGrid(cpu);
+  with_custom.scenario_registry = &custom;
+  with_custom.scenarios = {"iid-normal", "my-trace"};
+  with_custom.Validate(registry);
+}
+
+// The determinism guarantee on the scenarios axis: every scenario's cells
+// are bit-identical between a 4-thread and a 1-thread run, and between a
+// fresh-workspace and a reused-workspace run.
+TEST(RunGrid, ScenarioAxisBitIdenticalAcrossThreadsAndWorkspaces) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = ScenarioGrid(cpu);
+
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+  // Reused workspaces: the same vector serves two consecutive runs, so the
+  // second run hits every per-set solve cache warm.
+  std::vector<core::EvalWorkspace> workspaces;
+  RunOptions reused;
+  reused.threads = 1;
+  reused.workspaces = &workspaces;
+
+  const GridResult a = RunGrid(grid, serial);
+  const GridResult b = RunGrid(grid, parallel);
+  RunGrid(grid, reused);  // warm the workspaces
+  const GridResult c = RunGrid(grid, reused);
+
+  ASSERT_EQ(a.cells.size(), grid.CellCount());
+  EXPECT_EQ(a.failed_cells, 0u);
+  for (const GridResult* other : {&b, &c}) {
+    ASSERT_EQ(other->cells.size(), a.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+      const CellResult& ca = a.cells[i];
+      const CellResult& cb = other->cells[i];
+      const std::string& scenario =
+          grid.scenarios[ca.coord.scenario_index];
+      ASSERT_EQ(ca.outcomes.size(), cb.outcomes.size())
+          << "cell " << i << " (" << scenario << ")";
+      for (std::size_t m = 0; m < ca.outcomes.size(); ++m) {
+        EXPECT_EQ(ca.outcomes[m].measured_energy,
+                  cb.outcomes[m].measured_energy)
+            << "cell " << i << " (" << scenario << ") method "
+            << grid.methods[m];
+        EXPECT_EQ(ca.outcomes[m].predicted_energy,
+                  cb.outcomes[m].predicted_energy)
+            << "cell " << i << " (" << scenario << ") method "
+            << grid.methods[m];
+        EXPECT_EQ(ca.outcomes[m].deadline_misses,
+                  cb.outcomes[m].deadline_misses)
+            << "cell " << i << " (" << scenario << ") method "
+            << grid.methods[m];
+      }
+    }
+  }
+
+  // Scenarios genuinely differ: on the shared task set and seed, at least
+  // one scenario's ACS energy departs from the iid-normal cell's.
+  bool any_difference = false;
+  for (std::size_t i = 1; i < grid.scenarios.size(); ++i) {
+    if (a.cells[i].outcomes[0].measured_energy !=
+        a.cells[0].outcomes[0].measured_energy) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// The registry's iid-normal scenario is byte-identical to the
+// null-scenario fallback (the pre-scenario pipeline): RunGrid always
+// resolves a registry entry, so the guarantee that matters is at the
+// EvaluateMethod level, where options.scenario == nullptr takes the
+// legacy TruncatedNormalWorkload path directly.
+TEST(RunGrid, IidNormalScenarioMatchesDefaultPipeline) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const model::TaskSet set = TinyFixedSet(cpu);
+  const fps::FullyPreemptiveSchedule fps(set);
+  const core::MethodRegistry& methods = core::MethodRegistry::Builtin();
+
+  core::ExperimentOptions options;  // outlives both contexts below
+  options.hyper_periods = 10;
+  options.seed = 5;
+
+  for (const char* name : {"acs", "wcs", "greedy-reclaim"}) {
+    const core::ScheduleMethod& method = methods.Get(name);
+
+    core::MethodContext legacy_context(fps, cpu, options.scheduler);
+    options.scenario = nullptr;  // the pre-scenario pipeline
+    const core::MethodOutcome legacy =
+        EvaluateMethod(method, legacy_context, options);
+
+    core::MethodContext scenario_context(fps, cpu, options.scheduler);
+    options.scenario =
+        &workload::ScenarioRegistry::Builtin().Get("iid-normal");
+    const core::MethodOutcome via_registry =
+        EvaluateMethod(method, scenario_context, options);
+
+    EXPECT_EQ(legacy.measured_energy, via_registry.measured_energy) << name;
+    EXPECT_EQ(legacy.predicted_energy, via_registry.predicted_energy)
+        << name;
+    EXPECT_EQ(legacy.deadline_misses, via_registry.deadline_misses) << name;
+  }
+}
+
 TEST(RunGrid, UtilizationAxisAppliesToRandomSources) {
   const model::LinearDvsModel cpu = workload::DefaultModel();
   workload::RandomTaskSetOptions gen;

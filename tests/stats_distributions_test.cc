@@ -75,13 +75,102 @@ TEST(TruncatedNormal, VarianceShrinksUnderTruncation) {
 }
 
 TEST(TruncatedNormal, RejectsBadWindows) {
-  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 1.0, 1.0),
+  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 2.0, 1.0),  // lo > hi
                util::InvalidArgumentError);
-  EXPECT_THROW(TruncatedNormal(0.0, 0.0, 0.0, 1.0),
+  EXPECT_THROW(TruncatedNormal(0.0, -1.0, 0.0, 1.0),  // negative sigma
                util::InvalidArgumentError);
   // Window 40 sigma away from the mean carries no mass.
   EXPECT_THROW(TruncatedNormal(0.0, 1.0, 40.0, 41.0),
                util::InvalidArgumentError);
+}
+
+// The degenerate edges callers used to have to avoid: a collapsed window
+// (BCEC == WCEC) and a zero sigma both collapse to a point mass instead of
+// throwing.
+TEST(TruncatedNormal, CollapsedWindowIsPointMass) {
+  TruncatedNormal dist(0.0, 1.0, 5.0, 5.0);
+  EXPECT_TRUE(dist.IsDegenerate());
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(dist.Sample(rng), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Variance(), 0.0);
+}
+
+TEST(TruncatedNormal, ZeroSigmaClampsMeanIntoWindow) {
+  TruncatedNormal inside(3.0, 0.0, 1.0, 5.0);
+  EXPECT_TRUE(inside.IsDegenerate());
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(inside.Sample(rng), 3.0);
+  EXPECT_DOUBLE_EQ(inside.Variance(), 0.0);
+
+  // A parent mean outside the window clamps to the nearest edge: the limit
+  // of the truncated law as sigma -> 0.
+  TruncatedNormal below(-2.0, 0.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(below.Sample(rng), 1.0);
+  TruncatedNormal above(9.0, 0.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(above.Sample(rng), 5.0);
+}
+
+TEST(TruncatedNormal, NonDegenerateWindowStaysStochastic) {
+  TruncatedNormal dist(10.0, 3.0, 4.0, 16.0);
+  EXPECT_FALSE(dist.IsDegenerate());
+}
+
+TEST(TruncatedPareto, SamplesStayInWindow) {
+  TruncatedPareto dist(1.1, 100.0, 1000.0);
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_GE(x, 100.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(TruncatedPareto, ToleratesZeroLowerBound) {
+  // BCEC = 0 tasks: the classical Pareto support (x >= x_m > 0) would
+  // reject lo = 0; the shifted law must not.
+  TruncatedPareto dist(1.5, 0.0, 10.0);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist.Sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 10.0);
+  }
+}
+
+TEST(TruncatedPareto, EmpiricalMeanMatchesAnalytic) {
+  TruncatedPareto dist(1.1, 2.0, 50.0);
+  Rng rng(11);
+  OnlineStats acc;
+  for (int i = 0; i < 200000; ++i) {
+    acc.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(acc.mean(), dist.Mean(), 0.1);
+  // Heavy tail: the mass concentrates near lo, so the mean sits well below
+  // the window midpoint.
+  EXPECT_LT(dist.Mean(), 0.5 * (2.0 + 50.0));
+}
+
+TEST(TruncatedPareto, UnitShapeUsesLogMean) {
+  TruncatedPareto dist(1.0, 1.0, 21.0);
+  Rng rng(13);
+  OnlineStats acc;
+  for (int i = 0; i < 200000; ++i) {
+    acc.Add(dist.Sample(rng));
+  }
+  EXPECT_NEAR(acc.mean(), dist.Mean(), 0.1);
+}
+
+TEST(TruncatedPareto, CollapsedWindowIsPointMass) {
+  TruncatedPareto dist(1.1, 5.0, 5.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(dist.Sample(rng), 5.0);
+  EXPECT_DOUBLE_EQ(dist.Mean(), 5.0);
+}
+
+TEST(TruncatedPareto, RejectsBadParameters) {
+  EXPECT_THROW(TruncatedPareto(0.0, 1.0, 2.0), util::InvalidArgumentError);
+  EXPECT_THROW(TruncatedPareto(1.0, 3.0, 2.0), util::InvalidArgumentError);
 }
 
 TEST(PointMass, AlwaysSameValue) {
