@@ -32,6 +32,13 @@ void SweepConfig::Register(util::ArgParser& parser) {
                    "registry method the improvement is measured against");
   parser.AddString("scenarios", &scenarios,
                    "comma-separated execution-time scenarios to sweep");
+  parser.AddDouble("plan-quantile", &planning.quantile,
+                   "per-task planning quantile of the acs-quantile arm");
+  parser.AddInt("mixture-samples", &planning.mixture_samples,
+                "calibrated sample vectors the acs-mixture objective "
+                "averages over");
+  parser.AddInt("calibration-samples", &planning.calibration_samples,
+                "offline calibration draws per task for the planning arms");
   parser.AddFlag("paper", &paper,
                  "paper scale: 100 task sets, 1000 hyper-periods");
   parser.AddString("csv", &csv, "write results to this CSV file");
@@ -101,6 +108,7 @@ runner::ExperimentGrid SweepConfig::MakeGrid(
   grid.baseline = baseline;
   grid.scenarios = ScenarioList();
   grid.hyper_periods = hyper_periods;
+  grid.planning = planning;
   // Decorrelate grid points sharing one config seed (e.g. fig6a's task-count
   // x ratio sweep runs one grid per point).
   grid.master_seed = stats::Rng(seed).ForkWith(grid_label).NextU64();

@@ -71,6 +71,10 @@ struct SweepConfig {
   /// the pre-scenario tree; any other value adds a "scenario" column to
   /// --cell-csv output (see runner::CsvSink).
   std::string scenarios = "iid-normal";
+  /// Scenario-conditioned planning knobs (--plan-quantile,
+  /// --mixture-samples, --calibration-samples), read only by the
+  /// acs-scenario / acs-quantile / acs-mixture arms.
+  core::PlanningOptions planning;
   bool paper = false;               // restore the paper's full scale
   std::string csv;                  // optional CSV output path (aggregates)
   std::string cell_csv;             // optional per-cell streaming CSV path

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/error.h"
 
@@ -48,16 +49,66 @@ struct LinearKernel {
 
 }  // namespace
 
+double PlanningPoint::ResolveFor(const std::vector<double>& cycles,
+                                 const model::TaskSet& set,
+                                 std::size_t task) {
+  const model::Task& spec = set.task(task);
+  if (cycles.empty()) {
+    return spec.acec;
+  }
+  ACS_REQUIRE(task < cycles.size(),
+              "planning point is missing an entry for task " +
+                  std::to_string(task));
+  return std::clamp(cycles[task], spec.bcec, spec.wcec);
+}
+
+std::uint64_t PlanningPoint::Fingerprint() const {
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 1099511628211ULL;
+  };
+  const auto mix_double = [&mix](double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  };
+  mix(1);  // shape tag: point block
+  mix(static_cast<std::uint64_t>(cycles.size()));
+  for (double value : cycles) {
+    mix_double(value);
+  }
+  mix(2);  // shape tag: mixture block
+  mix(static_cast<std::uint64_t>(mixture.size()));
+  for (const std::vector<double>& row : mixture) {
+    mix(static_cast<std::uint64_t>(row.size()));
+    for (double value : row) {
+      mix_double(value);
+    }
+  }
+  return hash;
+}
+
 EnergyObjective::EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
                                  const model::DvsModel& dvs,
-                                 Scenario scenario, ObjectiveScratch* scratch)
+                                 Scenario scenario, ObjectiveScratch* scratch,
+                                 const PlanningPoint* planning)
     : fps_(&fps),
       dvs_(&dvs),
       scenario_(scenario),
       scratch_(scratch != nullptr ? scratch : &own_scratch_) {
   n_ = fps.sub_count();
   records_.resize(n_);
+  plan_by_sub_.resize(n_);
   const model::TaskSet& set = fps.task_set();
+
+  static const PlanningPoint kAcecPoint;
+  const PlanningPoint& plan = planning != nullptr ? *planning : kAcecPoint;
+  ACS_REQUIRE(plan.cycles.empty() || plan.mixture.empty(),
+              "a planning point carries either a point or a mixture, "
+              "not both");
+  ACS_REQUIRE(plan.IsAcec() || scenario == Scenario::kAverage,
+              "planning points apply to average-scenario solves only");
 
   std::size_t next_var = n_;
   // Assign budget variables parent by parent so each instance's variables
@@ -72,7 +123,8 @@ EnergyObjective::EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
       r.parent = p;
       r.k = sub.k;
       r.release = sub.release();
-      r.acec = set.task(sub.task).acec;
+      plan_by_sub_[order] =
+          PlanningPoint::ResolveFor(plan.cycles, set, sub.task);
       r.wcec = set.task(sub.task).wcec;
       r.has_budget_var = multi;
       if (multi) {
@@ -81,6 +133,17 @@ EnergyObjective::EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
     }
   }
   dim_ = next_var;
+
+  mixture_rows_ = plan.mixture.size();
+  if (mixture_rows_ > 0) {
+    mixture_by_sub_.resize(mixture_rows_ * n_);
+    for (std::size_t row = 0; row < mixture_rows_; ++row) {
+      for (std::size_t u = 0; u < n_; ++u) {
+        mixture_by_sub_[row * n_ + u] =
+            PlanningPoint::ResolveFor(plan.mixture[row], set, fps.sub(u).task);
+      }
+    }
+  }
   ct_vmax_ = dvs.CycleTime(dvs.vmax());
   max_speed_ = dvs.MaxSpeed();
 
@@ -136,23 +199,102 @@ ForwardDetail EnergyObjective::Replay(const opt::Vector& x) const {
   return detail;
 }
 
-double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
-                                 ForwardDetail* detail) const {
+double EnergyObjective::EvaluateOnce(const double* plan, const opt::Vector& x,
+                                     opt::Vector* grad,
+                                     ForwardDetail* detail) const {
   if (linear_model_) {
     const LinearKernel kernel{linear_k_};
     return scenario_ == Scenario::kAverage
-               ? EvaluateImpl<LinearKernel, true>(x, grad, detail, kernel)
-               : EvaluateImpl<LinearKernel, false>(x, grad, detail, kernel);
+               ? EvaluateImpl<LinearKernel, true>(plan, x, grad, detail,
+                                                  kernel)
+               : EvaluateImpl<LinearKernel, false>(plan, x, grad, detail,
+                                                   kernel);
   }
   const VirtualKernel kernel{dvs_};
   return scenario_ == Scenario::kAverage
-             ? EvaluateImpl<VirtualKernel, true>(x, grad, detail, kernel)
-             : EvaluateImpl<VirtualKernel, false>(x, grad, detail, kernel);
+             ? EvaluateImpl<VirtualKernel, true>(plan, x, grad, detail,
+                                                 kernel)
+             : EvaluateImpl<VirtualKernel, false>(plan, x, grad, detail,
+                                                  kernel);
+}
+
+double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
+                                 ForwardDetail* detail) const {
+  if (mixture_rows_ == 0) {
+    return EvaluateOnce(plan_by_sub_.data(), x, grad, detail);
+  }
+
+  // Mixture planning: the objective is the *mean* replay over the K
+  // calibrated sample vectors, so value and gradient average row results
+  // (d/dx of a mean is the mean of the gradients — the replays share x).
+  // Detail rows average too: Replay then reports expected start / finish /
+  // voltage / energy under the calibrated law.
+  const double inv_rows = 1.0 / static_cast<double>(mixture_rows_);
+  double total = 0.0;
+  if (grad != nullptr) {
+    grad->assign(dim_, 0.0);
+  }
+  ForwardDetail row_detail;
+  if (detail != nullptr) {
+    row_detail.start.resize(n_);
+    row_detail.avg_cycles.resize(n_);
+    row_detail.voltage.resize(n_);
+    row_detail.finish.resize(n_);
+    row_detail.energy.resize(n_);
+    std::fill(detail->start.begin(), detail->start.end(), 0.0);
+    std::fill(detail->avg_cycles.begin(), detail->avg_cycles.end(), 0.0);
+    std::fill(detail->voltage.begin(), detail->voltage.end(), 0.0);
+    std::fill(detail->finish.begin(), detail->finish.end(), 0.0);
+    std::fill(detail->energy.begin(), detail->energy.end(), 0.0);
+  }
+
+  std::vector<double>& row_grad = scratch_->mix_grad;
+  for (std::size_t row = 0; row < mixture_rows_; ++row) {
+    const double* plan = mixture_by_sub_.data() + row * n_;
+    opt::Vector* row_grad_ptr = nullptr;
+    if (grad != nullptr) {
+      row_grad.resize(dim_);
+      row_grad_ptr = &row_grad;
+    }
+    total += EvaluateOnce(plan, x, row_grad_ptr,
+                          detail != nullptr ? &row_detail : nullptr);
+    if (grad != nullptr) {
+      for (std::size_t i = 0; i < dim_; ++i) {
+        (*grad)[i] += row_grad[i];
+      }
+    }
+    if (detail != nullptr) {
+      for (std::size_t u = 0; u < n_; ++u) {
+        detail->start[u] += row_detail.start[u];
+        detail->avg_cycles[u] += row_detail.avg_cycles[u];
+        detail->voltage[u] += row_detail.voltage[u];
+        detail->finish[u] += row_detail.finish[u];
+        detail->energy[u] += row_detail.energy[u];
+      }
+    }
+  }
+
+  total *= inv_rows;
+  if (grad != nullptr) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      (*grad)[i] *= inv_rows;
+    }
+  }
+  if (detail != nullptr) {
+    for (std::size_t u = 0; u < n_; ++u) {
+      detail->start[u] *= inv_rows;
+      detail->avg_cycles[u] *= inv_rows;
+      detail->voltage[u] *= inv_rows;
+      detail->finish[u] *= inv_rows;
+      detail->energy[u] *= inv_rows;
+    }
+  }
+  return total;
 }
 
 template <typename Kernel, bool kAverageScenario>
-double EnergyObjective::EvaluateImpl(const opt::Vector& x, opt::Vector* grad,
-                                     ForwardDetail* detail,
+double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
+                                     opt::Vector* grad, ForwardDetail* detail,
                                      const Kernel& kernel) const {
   ACS_REQUIRE(x.size() == dim_, "point dimension mismatch");
   using Node = ObjectiveScratch::Node;
@@ -190,7 +332,7 @@ double EnergyObjective::EvaluateImpl(const opt::Vector& x, opt::Vector* grad,
 
     nd.w = std::max(0.0, BudgetOf(x, u));
     if constexpr (kAverageScenario) {
-      const double left = r.acec - cum[r.parent];
+      const double left = plan[u] - cum[r.parent];
       if (left >= nd.w) {
         nd.avg = nd.w;
         nd.avg_case = AvgCase::kFull;

@@ -25,6 +25,7 @@
 #ifndef ACS_CORE_FORMULATION_H
 #define ACS_CORE_FORMULATION_H
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,52 @@ namespace dvs::core {
 enum class Scenario {
   kAverage,  // ACS: plan for ACEC (the paper's contribution)
   kWorst,    // WCS: plan for WCEC (the paper's baseline)
+};
+
+/// The per-task workload point an average-scenario solve optimises for.
+///
+/// The paper's ACS plans at ACEC; scenario-conditioned arms plan at the
+/// calibrated realised mean, a per-task quantile, or a distribution-weighted
+/// mixture of calibrated sample vectors (workload/calibrator.h).  The
+/// objective clamps every entry into the task's [BCEC, WCEC] window, so a
+/// planning point can never widen the worst-case envelope — feasibility
+/// analysis is untouched by the planning axis.
+///
+/// Exactly one shape is active:
+///   - cycles.empty() && mixture.empty(): the ACEC point (the
+///     byte-compatible default — solves are bit-identical to the
+///     pre-planning tree);
+///   - cycles (per model::TaskIndex): a single planning point;
+///   - mixture (K per-task vectors): the objective becomes the *mean* of
+///     the K forward replays — an expectation over the calibrated law
+///     rather than a point plan.  `cycles` must then be empty.
+struct PlanningPoint {
+  std::vector<double> cycles;
+  std::vector<std::vector<double>> mixture;
+
+  bool IsAcec() const { return cycles.empty() && mixture.empty(); }
+
+  /// Per-task planning workload of `cycles` resolved against `set`: the
+  /// task's ACEC when `cycles` is empty, otherwise the entry clamped into
+  /// [BCEC, WCEC].  The single resolution rule shared by the reduced
+  /// objective and the full NLP, so the two formulations can never drift
+  /// onto different points.
+  static double ResolveFor(const std::vector<double>& cycles,
+                           const model::TaskSet& set, std::size_t task);
+
+  /// FNV-1a over the exact double bit patterns (shape-tagged, so a point
+  /// and a 1-vector mixture never collide).  Cache key material for
+  /// SolveCache's planned-solve entries; a hit additionally verifies
+  /// operator== so a hash collision degrades to a re-solve, never a wrong
+  /// reuse.
+  std::uint64_t Fingerprint() const;
+
+  friend bool operator==(const PlanningPoint& a, const PlanningPoint& b) {
+    return a.cycles == b.cycles && a.mixture == b.mixture;
+  }
+  friend bool operator!=(const PlanningPoint& a, const PlanningPoint& b) {
+    return !(a == b);
+  }
 };
 
 /// Per-sub-instance quantities of one forward replay — exposed for tests,
@@ -84,6 +131,7 @@ struct ObjectiveScratch {
   std::vector<double> cum;     // per parent: worst-case budget before sub
   std::vector<double> g_f;     // per sub: adjoint of the finish time
   std::vector<double> carry;   // per parent: partial-case avg adjoints
+  std::vector<double> mix_grad;  // mixture planning: per-replay gradient
 };
 
 class EnergyObjective final : public opt::Objective {
@@ -91,10 +139,15 @@ class EnergyObjective final : public opt::Objective {
   /// `fps` and `dvs` must outlive the objective.  `scratch` (optional)
   /// shares evaluation buffers across objectives — pass one per thread from
   /// core::EvalWorkspace to make repeated solves allocation-free; results
-  /// are bit-identical either way.
+  /// are bit-identical either way.  `planning` (optional, average scenario
+  /// only) replaces the ACEC planning point: entries are clamped into each
+  /// task's [BCEC, WCEC] window and copied at construction, so the pointee
+  /// need not outlive the objective.  Null or an IsAcec() point keeps the
+  /// paper's objective bit-for-bit.
   EnergyObjective(const fps::FullyPreemptiveSchedule& fps,
                   const model::DvsModel& dvs, Scenario scenario,
-                  ObjectiveScratch* scratch = nullptr);
+                  ObjectiveScratch* scratch = nullptr,
+                  const PlanningPoint* planning = nullptr);
 
   // scratch_ may point at the objective's own owned scratch, so copies and
   // moves would leave the new object writing through the source's buffers
@@ -145,22 +198,30 @@ class EnergyObjective final : public opt::Objective {
     std::size_t parent = 0;
     int k = 0;
     double release = 0.0;
-    double acec = 0.0;   // parent task ACEC
     double wcec = 0.0;   // parent task WCEC (fixed budget when single-sub)
     bool has_budget_var = false;
     std::size_t budget_var = 0;  // index into x when has_budget_var
   };
 
-  /// Forward + optional reverse pass; grad may be nullptr.
+  /// Forward + optional reverse pass; grad may be nullptr.  Dispatches to
+  /// one replay per the kernel x scenario template grid, or — under mixture
+  /// planning — averages value/gradient/detail over the K replays.
   double Evaluate(const opt::Vector& x, opt::Vector* grad,
                   ForwardDetail* detail) const;
+
+  /// One replay at the per-sub planning workloads `plan` (never null;
+  /// points at plan_by_sub_ or one mixture row), after kernel/scenario
+  /// dispatch.
+  double EvaluateOnce(const double* plan, const opt::Vector& x,
+                      opt::Vector* grad, ForwardDetail* detail) const;
 
   /// The pass itself, templated on the voltage-model kernel (so the linear
   /// model runs devirtualized) and on the scenario (so the WCS solve skips
   /// the average-case bookkeeping entirely); see formulation.cc.
   template <typename Kernel, bool kAverageScenario>
-  double EvaluateImpl(const opt::Vector& x, opt::Vector* grad,
-                      ForwardDetail* detail, const Kernel& kernel) const;
+  double EvaluateImpl(const double* plan, const opt::Vector& x,
+                      opt::Vector* grad, ForwardDetail* detail,
+                      const Kernel& kernel) const;
 
   const fps::FullyPreemptiveSchedule* fps_;
   const model::DvsModel* dvs_;
@@ -168,6 +229,15 @@ class EnergyObjective final : public opt::Objective {
   std::size_t n_ = 0;    // sub-instance count
   std::size_t dim_ = 0;  // n_ + number of budget variables
   std::vector<SubRecord> records_;
+  /// Per-sub planning workload: the parent task's ACEC by default, or the
+  /// (clamped) PlanningPoint entry.  Same value bits as the historical
+  /// SubRecord::acec read in the default case, so the replay stays
+  /// bit-identical.
+  std::vector<double> plan_by_sub_;
+  /// Mixture planning rows, flattened row-major (mixture_rows_ x n_);
+  /// empty outside the acs-mixture arm.
+  std::vector<double> mixture_by_sub_;
+  std::size_t mixture_rows_ = 0;
   double ct_vmax_ = 0.0;
   double max_speed_ = 0.0;
   /// Devirtualized fast path: set when `dvs` is a LinearDvsModel, whose

@@ -252,13 +252,28 @@ opt::AlmOptions FullNlpOptions::DefaultAlmOptions() {
 
 FullNlp::FullNlp(const fps::FullyPreemptiveSchedule& fps,
                  const model::DvsModel& dvs, const FullNlpOptions& options)
-    : fps_(&fps), dvs_(&dvs), options_(options), n_(fps.sub_count()) {}
+    : fps_(&fps), dvs_(&dvs), options_(options), n_(fps.sub_count()) {
+  ACS_REQUIRE(options_.planning.mixture.empty(),
+              "the full NLP supports point planning only — the paper's "
+              "constraint set has no mixture counterpart");
+}
+
+/// The per-task planning workload of constraints (12)-(14): the shared
+/// PlanningPoint resolution rule (ACEC by default, clamped entry
+/// otherwise), so the full and reduced formulations plan at literally the
+/// same point.
+double FullNlp::PlannedCycles(model::TaskIndex task) const {
+  return PlanningPoint::ResolveFor(options_.planning.cycles,
+                                   fps_->task_set(), task);
+}
 
 opt::Vector FullNlp::InitialPoint(
     const sim::StaticSchedule& warm_start) const {
   // Replay the warm start under the average scenario to seed every derived
-  // variable consistently.
-  EnergyObjective reduced(*fps_, *dvs_, Scenario::kAverage);
+  // variable consistently — at the same planning point the constraints
+  // below will enforce.
+  EnergyObjective reduced(*fps_, *dvs_, Scenario::kAverage, nullptr,
+                          &options_.planning);
   const opt::Vector packed = reduced.PackSchedule(warm_start);
   const ForwardDetail detail = reduced.Replay(packed);
 
@@ -313,13 +328,14 @@ FullNlpResult FullNlp::Solve(const sim::StaticSchedule& warm_start) const {
 
   for (const fps::InstanceRecord& rec : fps_->instances()) {
     const model::Task& task = set.task(rec.info.task);
+    const double planned = PlannedCycles(rec.info.task);
 
     opt::LinearConstraint worst_sum;
     worst_sum.kind = opt::ConstraintKind::kEqZero;
     worst_sum.constant = -task.wcec;
     opt::LinearConstraint avg_sum;
     avg_sum.kind = opt::ConstraintKind::kEqZero;
-    avg_sum.constant = -task.acec;
+    avg_sum.constant = -planned;
 
     std::vector<std::size_t> earlier;
     for (std::size_t order : rec.subs) {
@@ -335,7 +351,7 @@ FullNlpResult FullNlp::Solve(const sim::StaticSchedule& warm_start) const {
       linear.push_back(std::move(dominate));
 
       owned.push_back(std::make_unique<CaseSelectConstraint>(
-          n_, order, earlier, task.acec, options_.min_smoothing));
+          n_, order, earlier, planned, options_.min_smoothing));
       earlier.push_back(order);
     }
     worst_sum.name = "wcec-sum";

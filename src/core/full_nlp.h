@@ -38,6 +38,14 @@ namespace dvs::core {
 struct FullNlpOptions {
   opt::AlmOptions alm = DefaultAlmOptions();
   double min_smoothing = 1e-3;  // epsilon of the smoothed min() in (13)-(14)
+  /// Per-task planning point replacing ACEC in the workload-conservation
+  /// constraint (12) and the case selection (13)-(14) — the full-model twin
+  /// of the reduced objective's PlanningPoint threading, so the two
+  /// formulations stay comparable per arm.  Point shape only (`cycles`);
+  /// the K-vector mixture has no counterpart in the paper's constraint
+  /// set and is rejected at construction.  Default: the ACEC point,
+  /// bit-identical to the pre-planning model.
+  PlanningPoint planning;
 
   static opt::AlmOptions DefaultAlmOptions();
 };
@@ -69,6 +77,7 @@ class FullNlp {
 
  private:
   opt::Vector InitialPoint(const sim::StaticSchedule& warm_start) const;
+  double PlannedCycles(model::TaskIndex task) const;
 
   const fps::FullyPreemptiveSchedule* fps_;
   const model::DvsModel* dvs_;

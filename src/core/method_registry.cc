@@ -6,6 +6,7 @@
 #include "core/formulation.h"
 #include "sim/engine.h"
 #include "util/error.h"
+#include "workload/calibrator.h"
 
 namespace dvs::core {
 namespace {
@@ -85,6 +86,77 @@ class StaticVmaxMethod final : public ScheduleMethod {
   }
 };
 
+/// Shared skeleton of the scenario-conditioned arms: calibrate the cell's
+/// scenario offline (paired CalibrationSeed stream), derive the arm's
+/// PlanningPoint from the calibration, solve through the value-keyed
+/// planned-solve cache, dispatch greedily online like "acs".
+class ScenarioPlannedMethod : public ScheduleMethod {
+ public:
+  explicit ScenarioPlannedMethod(std::string name) : name_(std::move(name)) {}
+
+  MethodPlan Plan(MethodContext& context) const override {
+    const ExperimentOptions* experiment = context.experiment();
+    ACS_REQUIRE(experiment != nullptr,
+                "method \"" + name_ +
+                    "\" needs experiment options on the context — evaluate "
+                    "through EvaluateMethod or call AttachExperiment first");
+
+    const workload::Calibration& calibration =
+        context.ScenarioCalibration(*experiment);
+    const ScheduleResult& planned =
+        context.Planned(BuildPoint(calibration, experiment->planning));
+    MethodPlan plan{planned.schedule, sim::GreedyReclaimPolicy(context.dvs()),
+                    planned.predicted_energy, planned.used_fallback};
+    return plan;
+  }
+
+ protected:
+  virtual PlanningPoint BuildPoint(const workload::Calibration& calibration,
+                                   const PlanningOptions& options) const = 0;
+
+ private:
+  std::string name_;
+};
+
+class AcsScenarioMethod final : public ScenarioPlannedMethod {
+ public:
+  AcsScenarioMethod() : ScenarioPlannedMethod("acs-scenario") {}
+
+ protected:
+  PlanningPoint BuildPoint(const workload::Calibration& calibration,
+                           const PlanningOptions&) const override {
+    PlanningPoint point;
+    point.cycles = calibration.mean;
+    return point;
+  }
+};
+
+class AcsQuantileMethod final : public ScenarioPlannedMethod {
+ public:
+  AcsQuantileMethod() : ScenarioPlannedMethod("acs-quantile") {}
+
+ protected:
+  PlanningPoint BuildPoint(const workload::Calibration& calibration,
+                           const PlanningOptions& options) const override {
+    PlanningPoint point;
+    point.cycles = calibration.QuantileVector(options.quantile);
+    return point;
+  }
+};
+
+class AcsMixtureMethod final : public ScenarioPlannedMethod {
+ public:
+  AcsMixtureMethod() : ScenarioPlannedMethod("acs-mixture") {}
+
+ protected:
+  PlanningPoint BuildPoint(const workload::Calibration& calibration,
+                           const PlanningOptions& options) const override {
+    PlanningPoint point;
+    point.mixture = calibration.SampleVectors(options.mixture_samples);
+    return point;
+  }
+};
+
 }  // namespace
 
 const ScheduleResult& MethodContext::Wcs() {
@@ -111,6 +183,48 @@ const sim::StaticSchedule& MethodContext::VmaxAsap() {
   return *cache_->vmax_asap;
 }
 
+const workload::Calibration& MethodContext::ScenarioCalibration(
+    const ExperimentOptions& options) {
+  const std::uint64_t seed = CalibrationSeed(options);
+  const bool hit = calibration_.has_value() &&
+                   calibration_->scenario == options.scenario &&
+                   calibration_->sigma_divisor == options.sigma_divisor &&
+                   calibration_->seed == seed &&
+                   calibration_->samples ==
+                       options.planning.calibration_samples;
+  if (!hit) {
+    workload::CalibratorOptions copts;
+    copts.samples_per_task = options.planning.calibration_samples;
+    const workload::ScenarioCalibrator calibrator(
+        options.scenario, options.sigma_divisor, copts);
+    calibration_.emplace(CalibrationMemo{
+        options.scenario, options.sigma_divisor, seed,
+        options.planning.calibration_samples,
+        calibrator.Calibrate(fps_->task_set(), seed)});
+  }
+  return calibration_->calibration;
+}
+
+const ScheduleResult& MethodContext::Planned(const PlanningPoint& planning) {
+  const std::uint64_t key = planning.Fingerprint();
+  for (const std::unique_ptr<SolveCache::PlannedSolve>& entry :
+       cache_->planned) {
+    // Fingerprint is a fast reject; the full value comparison is the hit
+    // condition, so colliding hashes re-solve instead of cross-reusing.
+    if (entry->key == key && entry->planning == planning) {
+      return entry->result;
+    }
+  }
+  std::optional<sim::StaticSchedule> warm;
+  if (scheduler_->warm_start_acs_with_wcs) {
+    warm = Wcs().schedule;
+  }
+  cache_->planned.push_back(std::make_unique<SolveCache::PlannedSolve>(
+      key, planning,
+      SolvePlanned(*fps_, *dvs_, planning, *scheduler_, warm, workspace_)));
+  return cache_->planned.back()->result;
+}
+
 const MethodRegistry& MethodRegistry::Builtin() {
   static const MethodRegistry registry = [] {
     MethodRegistry built;
@@ -133,11 +247,27 @@ void RegisterBuiltins(MethodRegistry& registry) {
                     std::make_unique<GreedyReclaimMethod>());
   registry.Register("static-vmax", "Vmax throughout (the no-DVS ceiling)",
                     std::make_unique<StaticVmaxMethod>());
+  registry.Register("acs-scenario",
+                    "ACS planned at the scenario's calibrated per-task mean",
+                    std::make_unique<AcsScenarioMethod>());
+  registry.Register("acs-quantile",
+                    "ACS planned at a per-task quantile of the calibrated "
+                    "law (--plan-quantile)",
+                    std::make_unique<AcsQuantileMethod>());
+  registry.Register("acs-mixture",
+                    "ACS whose objective averages K calibrated sample "
+                    "vectors",
+                    std::make_unique<AcsMixtureMethod>());
 }
 
 MethodOutcome EvaluateMethod(const ScheduleMethod& method,
                              MethodContext& context,
                              const ExperimentOptions& options) {
+  // Scenario-conditioned arms read the experiment (scenario, seed,
+  // planning knobs) at Plan() time; attaching here makes every evaluation
+  // funnel — runner cells, mp per-core fan-out, the CompareAcsWcs shim —
+  // planning-capable without call-site changes.
+  context.AttachExperiment(options);
   const MethodPlan plan = method.Plan(context);
   // A fresh sampler per evaluation (MakeRunSampler): stateful scenarios
   // (Markov phases, AR(1) memory, trace cursors) restart per run, so every

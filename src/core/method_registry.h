@@ -22,6 +22,18 @@
 //                  slack reclamation with no offline optimisation
 //   static-vmax    Vmax-ASAP schedule at Vmax throughout — the no-DVS
 //                  energy ceiling
+//   acs-scenario   ACS NLP planned at the scenario's calibrated per-task
+//                  realised mean instead of the ACEC point
+//   acs-quantile   ACS NLP planned at a per-task quantile of the calibrated
+//                  law (ExperimentOptions::planning.quantile, default p50)
+//   acs-mixture    ACS NLP whose objective averages the energy replay over
+//                  K calibrated sample vectors (distribution-weighted plan)
+//
+// The three scenario-conditioned arms calibrate the cell's scenario offline
+// (workload::ScenarioCalibrator, seeded by core::CalibrationSeed) and solve
+// through SolvePlanned; they require experiment options on the context —
+// EvaluateMethod attaches them automatically, direct Plan() callers use
+// MethodContext::AttachExperiment first.
 #ifndef ACS_CORE_METHOD_REGISTRY_H
 #define ACS_CORE_METHOD_REGISTRY_H
 
@@ -37,6 +49,7 @@
 #include "sim/policy.h"
 #include "sim/static_schedule.h"
 #include "util/named_registry.h"
+#include "workload/calibrator.h"
 
 namespace dvs::core {
 
@@ -82,6 +95,17 @@ class MethodContext {
   /// The attached workspace, or nullptr for a self-contained context.
   EvalWorkspace* workspace() const { return workspace_; }
 
+  /// Attaches the experiment options the scenario-conditioned arms read
+  /// (scenario, sigma divisor, seed, planning knobs).  EvaluateMethod does
+  /// this on entry; only direct Plan() callers need to call it themselves.
+  /// Non-owning — the options must outlive the planning calls.
+  void AttachExperiment(const ExperimentOptions& options) {
+    experiment_ = &options;
+  }
+
+  /// The attached experiment options, or nullptr before AttachExperiment.
+  const ExperimentOptions* experiment() const { return experiment_; }
+
   /// Solves (once) and returns the WCS schedule.
   const ScheduleResult& Wcs();
 
@@ -94,13 +118,47 @@ class MethodContext {
   /// InfeasibleError when the set is not RM-schedulable at Vmax.
   const sim::StaticSchedule& VmaxAsap();
 
+  /// Calibrates (once per distinct configuration) the context's task set
+  /// under `options`' scenario, sigma divisor, calibration sample count
+  /// and CalibrationSeed-derived stream.  The three planning arms of one
+  /// cell share identical configurations, so they share one calibration
+  /// run instead of each re-sampling the scenario; a context re-used with
+  /// different options (tests, custom drivers) recalibrates on the key
+  /// change.  The reference is invalidated by the next key-changing call.
+  const workload::Calibration& ScenarioCalibration(
+      const ExperimentOptions& options);
+
+  /// Solves (once per distinct point) and returns the scenario-conditioned
+  /// schedule for `planning`, warm-started like Acs().  Solves are cached
+  /// in the SolveCache keyed by the point's exact values — never by the
+  /// arm or scenario name alone — so cells sharing a cache but differing
+  /// in scenario, arm or planning knobs can never reuse each other's
+  /// solve, while cells whose calibrations coincide exactly may (which is
+  /// sound: the solve is a pure function of the point).  The returned
+  /// reference stays valid for the cache's lifetime.
+  const ScheduleResult& Planned(const PlanningPoint& planning);
+
  private:
+  /// ScenarioCalibration's single-slot memo: the calibration plus the
+  /// configuration that produced it (scenario by identity — registry
+  /// entries outlive the run — and the derived seed, so two options
+  /// objects with equal fields share the slot).
+  struct CalibrationMemo {
+    const model::WorkloadScenario* scenario;
+    double sigma_divisor;
+    std::uint64_t seed;
+    std::int64_t samples;
+    workload::Calibration calibration;
+  };
+
   const fps::FullyPreemptiveSchedule* fps_;
   const model::DvsModel* dvs_;
   const SchedulerOptions* scheduler_;
   EvalWorkspace* workspace_ = nullptr;
+  const ExperimentOptions* experiment_ = nullptr;
   SolveCache* cache_;
   SolveCache own_cache_;
+  std::optional<CalibrationMemo> calibration_;
 };
 
 /// The offline product of one method: a feasible static schedule plus the

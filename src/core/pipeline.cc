@@ -6,6 +6,14 @@
 
 namespace dvs::core {
 
+std::uint64_t CalibrationSeed(const ExperimentOptions& options) {
+  // A fixed fork label (any constant distinct from the per-core fork labels
+  // 0..cores-1 and the workload-seed labels) re-seeds an independent stream
+  // from the cell's workload seed; see the header contract.
+  constexpr std::uint64_t kCalibrationLabel = 0xCA11B2A7E0FF51DEULL;
+  return stats::Rng(options.seed).ForkWith(kCalibrationLabel).NextU64();
+}
+
 std::unique_ptr<model::WorkloadSampler> MakeRunSampler(
     const ExperimentOptions& options, const model::TaskSet& set) {
   if (options.scenario != nullptr) {

@@ -20,6 +20,20 @@
 
 namespace dvs::core {
 
+/// Knobs of the scenario-conditioned planning arms (acs-scenario /
+/// acs-quantile / acs-mixture): how the offline calibration samples the
+/// cell's scenario and which point of the calibrated law the NLP plans at.
+/// Ignored by every other method, so legacy grids are unaffected.
+struct PlanningOptions {
+  /// Per-task planning quantile of the acs-quantile arm (p50 by default:
+  /// plan at the realised median).
+  double quantile = 0.5;
+  /// Sample vectors the acs-mixture objective averages over.
+  std::int64_t mixture_samples = 8;
+  /// Calibration draws per task (workload::ScenarioCalibrator::Options).
+  std::int64_t calibration_samples = 2048;
+};
+
 struct ExperimentOptions {
   std::int64_t hyper_periods = 200;  // paper: 1000 (set via --paper)
   double sigma_divisor = 6.0;        // workload sigma = (WCEC-BCEC)/divisor
@@ -35,8 +49,18 @@ struct ExperimentOptions {
   /// fan-out copies these options, so the pointee must outlive the whole
   /// fleet evaluation.
   const model::WorkloadScenario* scenario = nullptr;
+  /// Scenario-conditioned planning knobs (see PlanningOptions).
+  PlanningOptions planning;
   SchedulerOptions scheduler;
 };
+
+/// The calibration stream of one evaluation: a fixed-label fork of the
+/// cell's workload seed.  Deriving from `options.seed` pairs calibration
+/// with the cell it plans for (runner cells key that seed by SetIndex, and
+/// mp::EvaluateFleet forks it per core, so per-core calibration pairs with
+/// per-core evaluation); the distinct label keeps calibration draws
+/// statistically independent of the evaluation realisations.
+std::uint64_t CalibrationSeed(const ExperimentOptions& options);
 
 struct MethodOutcome {
   double predicted_energy = 0.0;      // NLP objective (per hyper-period)

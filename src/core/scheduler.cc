@@ -111,9 +111,15 @@ std::optional<sim::StaticSchedule> RepairSchedule(
   return repaired;
 }
 
-ScheduleResult SolveSchedule(
+namespace {
+
+/// Shared solve body: `planning` is null for the paper's ACEC/WCEC solves
+/// (exactly the historical construction, bit-for-bit) and a
+/// scenario-conditioned point for SolvePlanned.
+ScheduleResult SolveWith(
     const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
-    Scenario scenario, const SchedulerOptions& options,
+    Scenario scenario, const PlanningPoint* planning,
+    const SchedulerOptions& options,
     const std::optional<sim::StaticSchedule>& warm_start,
     EvalWorkspace* workspace) {
   const sim::StaticSchedule start_schedule =
@@ -122,7 +128,8 @@ ScheduleResult SolveSchedule(
 
   EnergyObjective objective(
       fps, dvs, scenario,
-      workspace != nullptr ? &workspace->objective_scratch() : nullptr);
+      workspace != nullptr ? &workspace->objective_scratch() : nullptr,
+      planning);
   const auto feasible_set = objective.BuildFeasibleSet();
   const std::vector<opt::LinearConstraint> chain =
       objective.BuildChainConstraints();
@@ -160,6 +167,26 @@ ScheduleResult SolveSchedule(
   }
   result.used_fallback = true;
   return result;
+}
+
+}  // namespace
+
+ScheduleResult SolveSchedule(
+    const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
+    Scenario scenario, const SchedulerOptions& options,
+    const std::optional<sim::StaticSchedule>& warm_start,
+    EvalWorkspace* workspace) {
+  return SolveWith(fps, dvs, scenario, nullptr, options, warm_start,
+                   workspace);
+}
+
+ScheduleResult SolvePlanned(
+    const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
+    const PlanningPoint& planning, const SchedulerOptions& options,
+    const std::optional<sim::StaticSchedule>& warm_start,
+    EvalWorkspace* workspace) {
+  return SolveWith(fps, dvs, Scenario::kAverage, &planning, options,
+                   warm_start, workspace);
 }
 
 ScheduleResult SolveWcs(const fps::FullyPreemptiveSchedule& fps,

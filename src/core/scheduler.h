@@ -10,7 +10,10 @@
 #ifndef ACS_CORE_SCHEDULER_H
 #define ACS_CORE_SCHEDULER_H
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/formulation.h"
 #include "fps/expansion.h"
@@ -44,10 +47,38 @@ struct ScheduleResult {
 /// arm, and the Vmax-ASAP schedule seeds two baselines.  MethodContext owns
 /// one per cell by default; core::EvalWorkspace keeps one per *task set* so
 /// grid cells that share a set reuse the solves outright.
+///
+/// The wcs / acs / vmax_asap slots are *planning-invariant*: they depend on
+/// the task set, model and scheduler options alone (plain ACS plans at the
+/// ACEC point whatever the cell's scenario), so sharing them across
+/// scenario / planning-arm cells is sound.  Scenario-conditioned solves are
+/// NOT — their schedule is a function of the calibrated PlanningPoint — so
+/// they live in `planned`, keyed by the point's exact values: two cells
+/// sharing a SetIndex but differing in scenario, planning arm, quantile,
+/// sigma or calibration seed produce different points and therefore
+/// different keys, which is the cache-hazard guarantee the planning
+/// regression test pins down (a colliding fingerprint still verifies the
+/// full point before reuse, degrading to a re-solve).
 struct SolveCache {
   std::optional<ScheduleResult> wcs;
   std::optional<ScheduleResult> acs;
   std::optional<sim::StaticSchedule> vmax_asap;
+
+  /// One scenario-conditioned solve; unique_ptr for reference stability
+  /// (MethodContext::Planned returns references that must survive later
+  /// insertions).
+  struct PlannedSolve {
+    PlannedSolve(std::uint64_t key, PlanningPoint planning,
+                 ScheduleResult result)
+        : key(key),
+          planning(std::move(planning)),
+          result(std::move(result)) {}
+
+    std::uint64_t key;       // PlanningPoint::Fingerprint()
+    PlanningPoint planning;  // exact-value verification on hit
+    ScheduleResult result;
+  };
+  std::vector<std::unique_ptr<PlannedSolve>> planned;
 };
 
 /// Solves for one scenario.  `warm_start` must be worst-case feasible; when
@@ -72,6 +103,17 @@ ScheduleResult SolveAcs(const fps::FullyPreemptiveSchedule& fps,
                         const model::DvsModel& dvs,
                         const SchedulerOptions& options = {},
                         EvalWorkspace* workspace = nullptr);
+
+/// Scenario-conditioned ACS: the average-scenario pipeline with the NLP
+/// objective replaying at `planning` instead of the ACEC point (calibrated
+/// mean, per-task quantile, or the K-vector mixture expectation — see
+/// core::PlanningPoint and workload/calibrator.h).  An IsAcec() point is
+/// bit-identical to SolveSchedule(kAverage, ...) with the same warm start.
+ScheduleResult SolvePlanned(
+    const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
+    const PlanningPoint& planning, const SchedulerOptions& options = {},
+    const std::optional<sim::StaticSchedule>& warm_start = std::nullopt,
+    EvalWorkspace* workspace = nullptr);
 
 /// Repairs an epsilon-feasible (end-times, budgets) pair into a strictly
 /// feasible StaticSchedule: exact per-instance budget simplex projection,

@@ -109,6 +109,13 @@ struct ExperimentGrid {
   /// experiment-specific processes, e.g. a LoadTraceScenario recording.
   const workload::ScenarioRegistry* scenario_registry = nullptr;
   std::vector<double> sigma_divisors = {6.0};
+  /// Scenario-conditioned planning knobs (quantile, mixture size,
+  /// calibration samples), applied to every cell; only the acs-scenario /
+  /// acs-quantile / acs-mixture arms read them.  Not a grid axis: sweeping
+  /// planning configurations is done by running sibling grids (the same
+  /// master seed keeps their cells paired), exactly like the bench sweeps
+  /// sigma-insensitive scenarios.
+  core::PlanningOptions planning;
   /// Workload-stream labels: each entry yields an independent realisation
   /// stream per cell (replaying fixed sets under `k` streams = `k` entries).
   std::vector<std::uint64_t> workload_seeds = {0};

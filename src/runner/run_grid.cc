@@ -28,6 +28,7 @@ CellResult RunCell(const ExperimentGrid& grid,
     // grid run, and mp's per-core option copies carry the pointer along.
     options.scenario =
         &grid.Scenarios().Get(grid.scenarios[cell.coord.scenario_index]);
+    options.planning = grid.planning;
     options.scheduler = grid.scheduler;
 
     if (!grid.MultiCore()) {

@@ -1,0 +1,148 @@
+#include "workload/calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "stats/rng.h"
+#include "util/error.h"
+
+namespace dvs::workload {
+
+double Calibration::Quantile(model::TaskIndex task, double p) const {
+  ACS_REQUIRE(task < sorted.size(), "task index out of range");
+  ACS_REQUIRE(p >= 0.0 && p <= 1.0, "quantile must lie in [0, 1]");
+  const std::vector<double>& samples = sorted[task];
+  ACS_REQUIRE(!samples.empty(), "calibration holds no samples");
+  // Nearest-rank: the smallest sample with empirical CDF >= p.  Exact on
+  // stored doubles (no interpolation), so quantile planning points are
+  // always values the scenario actually produced.
+  const double rank = std::ceil(p * static_cast<double>(samples.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0,
+                 static_cast<double>(samples.size() - 1)));
+  return samples[index];
+}
+
+std::vector<double> Calibration::QuantileVector(double p) const {
+  std::vector<double> point;
+  point.reserve(sorted.size());
+  for (model::TaskIndex i = 0; i < sorted.size(); ++i) {
+    point.push_back(Quantile(i, p));
+  }
+  return point;
+}
+
+std::vector<std::vector<double>> Calibration::SampleVectors(
+    std::int64_t k) const {
+  ACS_REQUIRE(k >= 1, "mixture needs at least one sample vector");
+  ACS_REQUIRE(k <= samples_per_task,
+              "mixture size exceeds the calibration sample count");
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t j = 0; j < k; ++j) {
+    // Midpoint-strided draw indices: (2j+1) * N / (2k) spreads the k joint
+    // draws evenly through the run, so sticky processes (bursty phases,
+    // AR(1) excursions) contribute both their regimes.
+    const std::size_t index =
+        static_cast<std::size_t>(((2 * j + 1) * samples_per_task) / (2 * k));
+    std::vector<double> vec;
+    vec.reserve(draws.size());
+    for (const std::vector<double>& task_draws : draws) {
+      vec.push_back(task_draws[index]);
+    }
+    vectors.push_back(std::move(vec));
+  }
+  return vectors;
+}
+
+ScenarioCalibrator::ScenarioCalibrator(const model::WorkloadScenario* scenario,
+                                       double sigma_divisor,
+                                       const CalibratorOptions& options)
+    : scenario_(scenario), sigma_divisor_(sigma_divisor), options_(options) {
+  ACS_REQUIRE(options_.samples_per_task >= 2,
+              "calibration needs at least two samples per task");
+  ACS_REQUIRE(options_.threads >= 1,
+              "calibration thread count must be at least 1");
+}
+
+Calibration ScenarioCalibrator::Calibrate(const model::TaskSet& set,
+                                          std::uint64_t seed) const {
+  const std::size_t tasks = set.size();
+  const std::int64_t n = options_.samples_per_task;
+
+  Calibration cal;
+  cal.samples_per_task = n;
+  cal.mean.assign(tasks, 0.0);
+  cal.stddev.assign(tasks, 0.0);
+  cal.draws.assign(tasks, {});
+  cal.sorted.assign(tasks, {});
+
+  // One task's calibration is a pure function of (scenario, sigma, set,
+  // seed, task): its own sampler instance (so stateful per-task samplers
+  // start from their reset state and never interleave with other tasks'
+  // queries) and its own ForkWith(task)-derived stream.  That independence
+  // is the whole thread-invariance argument — the loop body below runs
+  // identically wherever it is scheduled.
+  const auto calibrate_task = [&](model::TaskIndex task) {
+    std::unique_ptr<model::WorkloadSampler> sampler =
+        scenario_ != nullptr
+            ? scenario_->MakeSampler(set, sigma_divisor_)
+            : std::make_unique<model::TruncatedNormalWorkload>(
+                  set, sigma_divisor_);
+    stats::Rng rng =
+        stats::Rng(seed).ForkWith(static_cast<std::uint64_t>(task));
+    const model::Task& spec = set.task(task);
+
+    std::vector<double>& draws = cal.draws[task];
+    draws.resize(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double cycles = std::clamp(sampler->SampleCycles(task, rng),
+                                       spec.bcec, spec.wcec);
+      draws[static_cast<std::size_t>(j)] = cycles;
+      sum += cycles;
+    }
+    const double mean = sum / static_cast<double>(n);
+    double sq = 0.0;
+    for (double cycles : draws) {
+      const double d = cycles - mean;
+      sq += d * d;
+    }
+    cal.mean[task] = mean;
+    cal.stddev[task] = std::sqrt(sq / static_cast<double>(n - 1));
+    cal.sorted[task] = draws;
+    std::sort(cal.sorted[task].begin(), cal.sorted[task].end());
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(options_.threads), std::max<std::size_t>(
+              tasks, 1)));
+  if (workers <= 1 || tasks <= 1) {
+    for (model::TaskIndex task = 0; task < tasks; ++task) {
+      calibrate_task(task);
+    }
+    return cal;
+  }
+
+  // Static round-robin split of the task axis; each worker writes only its
+  // own tasks' slots, so no synchronisation is needed and the result is the
+  // serial one by construction.
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w]() {
+      for (std::size_t task = static_cast<std::size_t>(w); task < tasks;
+           task += static_cast<std::size_t>(workers)) {
+        calibrate_task(task);
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  return cal;
+}
+
+}  // namespace dvs::workload

@@ -5,6 +5,7 @@
 
 #include "core/formulation.h"
 #include "core/scheduler.h"
+#include "util/error.h"
 #include "fps/expansion.h"
 #include "sim/engine.h"
 #include "workload/motivation.h"
@@ -76,6 +77,39 @@ TEST(FullNlp, SmallPreemptiveSystemAgreesWithReduced) {
   const double full_energy =
       avg.Value(avg.PackSchedule(result.schedule));
   EXPECT_LE(full_energy, reduced.predicted_energy * 1.10);
+}
+
+TEST(FullNlp, PlanningPointThreadsThroughConstraints) {
+  // The full-model twin of the reduced objective's planning threading: a
+  // point well below ACEC must (a) stay worst-case feasible (planning
+  // points never touch the WCEC envelope) and (b) reach a lower planned
+  // objective than the ACEC solve — it optimises a lighter replay.  The
+  // mixture shape has no paper-constraint counterpart and is rejected.
+  const model::TaskSet set = workload::MotivationTaskSet();
+  const model::LinearDvsModel cpu = workload::MotivationModel();
+  const fps::FullyPreemptiveSchedule fps(set);
+
+  FullNlpOptions planned_options;
+  for (model::TaskIndex i = 0; i < set.size(); ++i) {
+    const model::Task& t = set.task(i);
+    planned_options.planning.cycles.push_back(t.bcec +
+                                              0.25 * (t.acec - t.bcec));
+  }
+  const FullNlp planned(fps, cpu, planned_options);
+  const FullNlpResult result =
+      planned.Solve(sim::BuildVmaxAsapSchedule(fps, cpu));
+  const sim::FeasibilityReport report =
+      sim::VerifyWorstCase(fps, result.schedule, cpu);
+  EXPECT_TRUE(report.feasible) << report.detail;
+
+  const FullNlp acec(fps, cpu);
+  const FullNlpResult baseline =
+      acec.Solve(sim::BuildVmaxAsapSchedule(fps, cpu));
+  EXPECT_LT(result.objective, baseline.objective);
+
+  FullNlpOptions mixture_options;
+  mixture_options.planning.mixture = {{1.0, 1.0, 1.0}};
+  EXPECT_THROW(FullNlp(fps, cpu, mixture_options), util::Error);
 }
 
 TEST(FullNlp, VariableLayoutIndices) {

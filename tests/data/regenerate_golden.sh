@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Deliberate regeneration of the golden CSV files in this directory.
+#
+# The golden tests (tests/runner_golden_csv_test.cc) byte-compare serially
+# produced grid CSVs against:
+#
+#   golden_smoke_grid.csv     the legacy default-pipeline grid — its bytes
+#                             date back to the pre-scenario tree and prove
+#                             the old arms stay untouched; regenerate it
+#                             ONLY when a default-pipeline output change is
+#                             intended, and say so in the commit message;
+#   golden_planning_grid.csv  the scenario-conditioned planning-arm grid
+#                             (scenario column + acs-scenario/quantile/
+#                             mixture rows).
+#
+# Usage (from the repo root, after building):
+#
+#   tests/data/regenerate_golden.sh [build-dir] [gtest-filter]
+#
+# Defaults: build-dir "build", filter the planning golden only.  To also
+# regenerate the legacy golden, pass '*GoldenCsv*' as the filter.
+set -euo pipefail
+
+build_dir="${1:-build}"
+filter="${2:-*SerialPlanningGridByteMatchesCheckedInFile*}"
+
+if [[ ! -x "${build_dir}/runner_golden_csv_test" ]]; then
+  echo "error: ${build_dir}/runner_golden_csv_test not built" >&2
+  exit 1
+fi
+
+ACS_REGENERATE_GOLDEN=1 "${build_dir}/runner_golden_csv_test" \
+  --gtest_filter="${filter}"
+echo "done; review the diff under tests/data/ before committing"

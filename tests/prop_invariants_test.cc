@@ -57,6 +57,10 @@ core::ExperimentOptions PropertyOptions() {
   core::ExperimentOptions options;
   options.hyper_periods = 20;
   options.seed = 77;
+  // Test-sized calibration for the scenario-conditioned planning arms; the
+  // invariants below are exact whatever the sample count.
+  options.planning.calibration_samples = 512;
+  options.planning.mixture_samples = 4;
   return options;
 }
 
@@ -100,6 +104,13 @@ TEST(PropInvariants, EveryMethodEveryScenarioSafeAndBounded) {
         const core::ScheduleMethod& method = methods.Get(method_name);
 
         // (a) the offline product passes the independent worst-case audit.
+        // The scenario-conditioned arms (acs-scenario / acs-quantile /
+        // acs-mixture) read the scenario and planning knobs at Plan()
+        // time, so the direct Plan() call needs the experiment attached —
+        // and their schedules must pass the same audit: planning points
+        // are clamped to [BCEC, WCEC], so no calibration can widen the
+        // worst-case envelope.
+        context.AttachExperiment(options);
         const core::MethodPlan plan = method.Plan(context);
         const sim::FeasibilityReport audit =
             sim::VerifyWorstCase(fps, plan.schedule, cpu);
@@ -159,6 +170,43 @@ TEST(PropInvariants, AcsFleetNeverAboveWcsFleetUnderAnyScenario) {
           << scenario_name << " on " << set.Describe();
       EXPECT_EQ(acs.deadline_misses, 0) << scenario_name;
       EXPECT_EQ(wcs.deadline_misses, 0) << scenario_name;
+    }
+  }
+}
+
+// (b) extended to the scenario-conditioned plan: on paired draws the
+// acs-scenario fleet never consumes more energy than the wcs fleet, per
+// scenario x core count.  Same scope note as above — not a theorem, but a
+// deterministic regression on the pinned seeds: planning at the calibrated
+// realised mean is at least as slack-aware as planning at ACEC, and both
+// dominate the WCEC plan under every built-in process (whose realised
+// means all sit at or below the ACEC region).
+TEST(PropInvariants, AcsScenarioFleetNeverAboveWcsFleetPerScenarioAndCores) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const core::MethodRegistry& methods = core::MethodRegistry::Builtin();
+  const std::vector<const core::ScheduleMethod*> arms = {
+      &methods.Get("acs-scenario"), &methods.Get("wcs")};
+  const mp::Partitioner& ffd =
+      mp::PartitionerRegistry::Builtin().Get("ffd");
+
+  for (const model::TaskSet& set : PropertySets(cpu)) {
+    for (const std::string& scenario_name :
+         workload::ScenarioRegistry::Builtin().Names()) {
+      core::ExperimentOptions options = PropertyOptions();
+      options.scenario =
+          &workload::ScenarioRegistry::Builtin().Get(scenario_name);
+
+      for (int cores : {1, 2}) {
+        const mp::FleetResult fleet =
+            mp::EvaluateFleet(set, cpu, ffd, cores, arms, options);
+        const core::MethodOutcome& planned = fleet.outcomes[0].fleet;
+        const core::MethodOutcome& wcs = fleet.outcomes[1].fleet;
+        EXPECT_LE(planned.measured_energy, wcs.measured_energy)
+            << scenario_name << " m=" << cores << " on " << set.Describe();
+        EXPECT_EQ(planned.deadline_misses, 0)
+            << scenario_name << " m=" << cores;
+        EXPECT_EQ(wcs.deadline_misses, 0) << scenario_name << " m=" << cores;
+      }
     }
   }
 }

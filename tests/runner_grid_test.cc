@@ -391,7 +391,11 @@ ExperimentGrid ScenarioGrid(const model::DvsModel& dvs) {
   grid.sources = {RandomSource("random-2", gen, 1),
                   FixedSource("tiny-fixed", TinyFixedSet(dvs))};
   grid.scenarios = workload::ScenarioRegistry::Builtin().Names();
-  grid.methods = {"acs", "wcs"};
+  // A scenario-conditioned arm rides along so the thread/workspace
+  // bit-equality below also covers calibration + the value-keyed planned
+  // solve cache (whose hits depend on which worker ran the sibling cell).
+  grid.methods = {"acs", "wcs", "acs-scenario"};
+  grid.planning.calibration_samples = 128;
   grid.hyper_periods = 5;
   grid.master_seed = 19;
   return grid;

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the planning-critical layers (src/core +
+# src/workload): builds with gcov instrumentation, runs the test suite, and
+# prints/fails on the aggregate line coverage.
+#
+# Usage:
+#   tools/coverage.sh [build-dir] [min-percent]
+#
+# Defaults: build-dir "build-cov", min-percent 0 (report only).  CI calls
+# it with the checked-in floor — see .github/workflows/ci.yml — and an
+# `html` third argument to additionally emit a gcovr HTML report when
+# gcovr is installed (the numeric gate itself needs only gcov + awk, so the
+# script runs identically on bare dev boxes).
+set -euo pipefail
+
+build_dir="${1:-build-cov}"
+min_percent="${2:-0}"
+html="${3:-}"
+
+cmake -B "${build_dir}" -S . -DACS_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug \
+  > /dev/null
+cmake --build "${build_dir}" -j "$(nproc)" > /dev/null
+(cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)" > /dev/null)
+
+# Aggregate executed/total lines over src/core + src/workload from gcov
+# intermediate JSON-free stdout: "File .../src/core/foo.cc" followed by
+# "Lines executed:NN.NN% of MMM".
+percent=$(
+  cd "${build_dir}" &&
+  find . -name '*.gcno' -path '*CMakeFiles/acs.dir*' |
+  xargs gcov -n 2>/dev/null |
+  awk '
+    /^File / {
+      file = $0
+      keep = (file ~ /src\/core\// || file ~ /src\/workload\//)
+    }
+    keep && /^Lines executed:/ {
+      split($0, a, ":"); split(a[2], b, "% of ")
+      covered += b[1] / 100.0 * b[2]; total += b[2]; keep = 0
+    }
+    END {
+      if (total == 0) { print "0.0"; exit }
+      printf "%.2f", 100.0 * covered / total
+    }'
+)
+echo "line coverage (src/core + src/workload): ${percent}%"
+
+if [[ -n "${html}" ]] && command -v gcovr > /dev/null; then
+  gcovr --root . --object-directory "${build_dir}" \
+    --filter 'src/core/' --filter 'src/workload/' \
+    --html-details "${build_dir}/coverage.html" > /dev/null
+  echo "html report: ${build_dir}/coverage.html"
+fi
+
+awk -v p="${percent}" -v m="${min_percent}" 'BEGIN { exit !(p >= m) }' || {
+  echo "error: coverage ${percent}% is below the ${min_percent}% floor" >&2
+  exit 1
+}
