@@ -39,6 +39,12 @@ void SweepConfig::Register(util::ArgParser& parser) {
                 "averages over");
   parser.AddInt("calibration-samples", &planning.calibration_samples,
                 "offline calibration draws per task for the planning arms");
+  parser.AddString("warm-start", &warm_start,
+                   "sigma-axis warm-start policy for the planning arms: "
+                   "off | neighbor");
+  parser.AddFlag("csv-solver-stats", &csv_solver_stats,
+                 "append solver iteration/evaluation columns to --cell-csv "
+                 "rows");
   parser.AddFlag("paper", &paper,
                  "paper scale: 100 task sets, 1000 hyper-periods");
   parser.AddString("csv", &csv, "write results to this CSV file");
@@ -55,8 +61,8 @@ std::unique_ptr<runner::CsvSink> SweepConfig::OpenCellSink() {
   if (cell_csv.empty()) {
     return nullptr;
   }
-  auto cell_sink =
-      std::make_unique<runner::CsvSink>(cell_csv, SweepsScenarios());
+  auto cell_sink = std::make_unique<runner::CsvSink>(
+      cell_csv, SweepsScenarios(), csv_solver_stats);
   sink = cell_sink.get();
   return cell_sink;
 }
@@ -98,6 +104,17 @@ bool SweepConfig::SweepsScenarios() const {
   return list.size() != 1 || list.front() != "iid-normal";
 }
 
+core::WarmStartPolicy SweepConfig::WarmStartPolicy() const {
+  if (warm_start == "off") {
+    return core::WarmStartPolicy::kOff;
+  }
+  if (warm_start == "neighbor") {
+    return core::WarmStartPolicy::kNeighbor;
+  }
+  throw util::InvalidArgumentError(
+      "--warm-start must be off or neighbor, got \"" + warm_start + "\"");
+}
+
 runner::ExperimentGrid SweepConfig::MakeGrid(
     const model::DvsModel& dvs, std::vector<runner::TaskSetSource> sources,
     std::uint64_t grid_label) const {
@@ -109,6 +126,7 @@ runner::ExperimentGrid SweepConfig::MakeGrid(
   grid.scenarios = ScenarioList();
   grid.hyper_periods = hyper_periods;
   grid.planning = planning;
+  grid.warm_start = WarmStartPolicy();
   // Decorrelate grid points sharing one config seed (e.g. fig6a's task-count
   // x ratio sweep runs one grid per point).
   grid.master_seed = stats::Rng(seed).ForkWith(grid_label).NextU64();

@@ -75,6 +75,14 @@ struct SweepConfig {
   /// --mixture-samples, --calibration-samples), read only by the
   /// acs-scenario / acs-quantile / acs-mixture arms.
   core::PlanningOptions planning;
+  /// Sigma-axis warm-start policy of the planning arms (--warm-start):
+  /// "off" keeps the pre-warm-start byte-identical solves, "neighbor"
+  /// chains each cell's solve along the sigma-axis prefix (continuation —
+  /// see runner::ExperimentGrid::warm_start).
+  std::string warm_start = "off";
+  /// Appends the opt-in solver iteration/evaluation columns to --cell-csv
+  /// rows (--csv-solver-stats); the legacy schema is untouched without it.
+  bool csv_solver_stats = false;
   bool paper = false;               // restore the paper's full scale
   std::string csv;                  // optional CSV output path (aggregates)
   std::string cell_csv;             // optional per-cell streaming CSV path
@@ -120,6 +128,9 @@ struct SweepConfig {
   /// True when ScenarioList() is anything but the default {"iid-normal"} —
   /// the trigger for the --cell-csv scenario column.
   bool SweepsScenarios() const;
+
+  /// `warm_start` parsed; throws InvalidArgumentError on unknown text.
+  core::WarmStartPolicy WarmStartPolicy() const;
 
   /// Worker count after resolving 0 to the hardware thread count.
   std::int64_t ResolvedThreads() const;

@@ -4,7 +4,12 @@
 #include <cmath>
 #include <cstring>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
 #include "util/error.h"
+#include "util/simd.h"
 
 namespace dvs::core {
 namespace {
@@ -249,7 +254,19 @@ double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
   }
 
   std::vector<double>& row_grad = scratch_->mix_grad;
-  for (std::size_t row = 0; row < mixture_rows_; ++row) {
+  std::size_t row = 0;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // K planned points are a natural vector width: four complete replays run
+  // in the four AVX2 lanes when the fast-path preconditions hold (linear
+  // voltage model, average scenario, no per-sub detail requested).
+  if (linear_model_ && scenario_ == Scenario::kAverage && detail == nullptr &&
+      util::simd::Active() == util::simd::Level::kAvx2) {
+    for (; row + 4 <= mixture_rows_; row += 4) {
+      total += MixtureBlock4Avx2(row, x, grad);
+    }
+  }
+#endif
+  for (; row < mixture_rows_; ++row) {
     const double* plan = mixture_by_sub_.data() + row * n_;
     opt::Vector* row_grad_ptr = nullptr;
     if (grad != nullptr) {
@@ -259,35 +276,28 @@ double EnergyObjective::Evaluate(const opt::Vector& x, opt::Vector* grad,
     total += EvaluateOnce(plan, x, row_grad_ptr,
                           detail != nullptr ? &row_detail : nullptr);
     if (grad != nullptr) {
-      for (std::size_t i = 0; i < dim_; ++i) {
-        (*grad)[i] += row_grad[i];
-      }
+      util::simd::Add(row_grad.data(), grad->data(), dim_);
     }
     if (detail != nullptr) {
-      for (std::size_t u = 0; u < n_; ++u) {
-        detail->start[u] += row_detail.start[u];
-        detail->avg_cycles[u] += row_detail.avg_cycles[u];
-        detail->voltage[u] += row_detail.voltage[u];
-        detail->finish[u] += row_detail.finish[u];
-        detail->energy[u] += row_detail.energy[u];
-      }
+      util::simd::Add(row_detail.start.data(), detail->start.data(), n_);
+      util::simd::Add(row_detail.avg_cycles.data(),
+                      detail->avg_cycles.data(), n_);
+      util::simd::Add(row_detail.voltage.data(), detail->voltage.data(), n_);
+      util::simd::Add(row_detail.finish.data(), detail->finish.data(), n_);
+      util::simd::Add(row_detail.energy.data(), detail->energy.data(), n_);
     }
   }
 
   total *= inv_rows;
   if (grad != nullptr) {
-    for (std::size_t i = 0; i < dim_; ++i) {
-      (*grad)[i] *= inv_rows;
-    }
+    util::simd::Scale(inv_rows, grad->data(), dim_);
   }
   if (detail != nullptr) {
-    for (std::size_t u = 0; u < n_; ++u) {
-      detail->start[u] *= inv_rows;
-      detail->avg_cycles[u] *= inv_rows;
-      detail->voltage[u] *= inv_rows;
-      detail->finish[u] *= inv_rows;
-      detail->energy[u] *= inv_rows;
-    }
+    util::simd::Scale(inv_rows, detail->start.data(), n_);
+    util::simd::Scale(inv_rows, detail->avg_cycles.data(), n_);
+    util::simd::Scale(inv_rows, detail->voltage.data(), n_);
+    util::simd::Scale(inv_rows, detail->finish.data(), n_);
+    util::simd::Scale(inv_rows, detail->energy.data(), n_);
   }
   return total;
 }
@@ -297,24 +307,40 @@ double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
                                      opt::Vector* grad, ForwardDetail* detail,
                                      const Kernel& kernel) const {
   ACS_REQUIRE(x.size() == dim_, "point dimension mismatch");
-  using Node = ObjectiveScratch::Node;
   using Clamp = ObjectiveScratch::Clamp;
   const model::DvsModel& dvs = *dvs_;
   const double ceff = dvs.ceff();
   const double vmin = dvs.vmin();
   const double vmax = dvs.vmax();
   // Cycle times at the clamp rails, hoisted: a clamped dispatch runs at
-  // exactly vmin/vmax, so CycleTime(nd.v) is one of these two constants.
+  // exactly vmin/vmax, so CycleTime(v) is one of these two constants.
   const double ct_vmin = kernel.CycleTime(vmin);
   const double ct_vmax = kernel.CycleTime(vmax);
 
   // ---- Forward pass --------------------------------------------------------
-  // All per-sub state lives in the scratch; every field read below is
+  // All per-sub state lives in the scratch (SoA); every slot read below is
   // written by this pass first, so stale values from earlier evaluations
   // cannot leak through.
   ObjectiveScratch& scratch = *scratch_;
-  scratch.nodes.resize(n_);
-  Node* const nodes = scratch.nodes.data();
+  scratch.ResizeSubs(n_);
+  double* const w = scratch.w.data();
+  double* const avg = scratch.avg.data();
+  double* const s = scratch.s.data();
+  double* const d = scratch.d.data();
+  double* const v = scratch.v.data();
+  double* const ct = scratch.ct.data();
+  double* const f = scratch.f.data();
+  double* const energy = scratch.energy.data();
+  AvgCase* const avg_case = scratch.avg_case.data();
+  Clamp* const clamp = scratch.clamp.data();
+  unsigned char* const s_from_finish = scratch.s_from_finish.data();
+  unsigned char* const executes = scratch.executes.data();
+
+  // Phase one — worst-case budgets, separable per sub.
+  for (std::size_t u = 0; u < n_; ++u) {
+    w[u] = std::max(0.0, BudgetOf(x, u));
+    executes[u] = w[u] > kCycleEps ? 1 : 0;
+  }
 
   // Cumulative worst-case budget per parent (before the current sub) —
   // only the average-case analysis consumes it.
@@ -324,81 +350,85 @@ double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
     cum = scratch.cum.data();
   }
 
-  double total = 0.0;
+  // Phase two — the scenario chain (sequential: s_u depends on f_{u-1}).
   double f_prev = 0.0;
   for (std::size_t u = 0; u < n_; ++u) {
     const SubRecord& r = records_[u];
-    Node& nd = nodes[u];
 
-    nd.w = std::max(0.0, BudgetOf(x, u));
     if constexpr (kAverageScenario) {
       const double left = plan[u] - cum[r.parent];
-      if (left >= nd.w) {
-        nd.avg = nd.w;
-        nd.avg_case = AvgCase::kFull;
+      if (left >= w[u]) {
+        avg[u] = w[u];
+        avg_case[u] = AvgCase::kFull;
       } else if (left > 0.0) {
-        nd.avg = left;
-        nd.avg_case = AvgCase::kPartial;
+        avg[u] = left;
+        avg_case[u] = AvgCase::kPartial;
       } else {
-        nd.avg = 0.0;
-        nd.avg_case = AvgCase::kEmpty;
+        avg[u] = 0.0;
+        avg_case[u] = AvgCase::kEmpty;
       }
-      cum[r.parent] += nd.w;
+      cum[r.parent] += w[u];
     } else {
-      nd.avg = nd.w;
-      nd.avg_case = AvgCase::kFull;
+      avg[u] = w[u];
+      avg_case[u] = AvgCase::kFull;
     }
 
-    nd.s_from_finish = f_prev >= r.release;
-    nd.s = nd.s_from_finish ? f_prev : r.release;
-    nd.d = x[u] - nd.s;
-    nd.executes = nd.w > kCycleEps;
+    s_from_finish[u] = f_prev >= r.release ? 1 : 0;
+    s[u] = s_from_finish[u] ? f_prev : r.release;
+    d[u] = x[u] - s[u];
 
-    if (nd.executes) {
+    if (executes[u]) {
       // Clamp classification is deliberately *exclusive* at the boundaries:
       // a dispatch sitting exactly at Vmax/Vmin keeps the interior one-sided
       // derivative, so the solver can still pull end-times off the Vmax-tight
       // warm start (whose chain constraints are all exactly active).
       // (The w / d speed is only read when d is non-degenerate, exactly as
       // the short-circuit evaluated it.)
-      const double speed = nd.w / nd.d;
-      if (nd.d <= kWindowEps || speed > max_speed_) {
-        nd.v = vmax;
-        nd.clamp = Clamp::kAboveMax;
-        nd.ct = ct_vmax;
+      const double speed = w[u] / d[u];
+      if (d[u] <= kWindowEps || speed > max_speed_) {
+        v[u] = vmax;
+        clamp[u] = Clamp::kAboveMax;
+        ct[u] = ct_vmax;
       } else {
         const double v_raw = kernel.VoltageForSpeed(speed);
         if (v_raw < vmin) {
-          nd.v = vmin;
-          nd.clamp = Clamp::kBelowMin;
-          nd.ct = ct_vmin;
+          v[u] = vmin;
+          clamp[u] = Clamp::kBelowMin;
+          ct[u] = ct_vmin;
         } else if (v_raw > vmax) {
-          nd.v = vmax;
-          nd.clamp = Clamp::kAboveMax;
-          nd.ct = ct_vmax;
+          v[u] = vmax;
+          clamp[u] = Clamp::kAboveMax;
+          ct[u] = ct_vmax;
         } else {
-          nd.v = v_raw;
-          nd.clamp = Clamp::kInside;
-          nd.ct = kernel.CycleTime(nd.v);
+          v[u] = v_raw;
+          clamp[u] = Clamp::kInside;
+          ct[u] = kernel.CycleTime(v[u]);
         }
       }
-      nd.f = nd.s + nd.avg * nd.ct;
-      total += ceff * nd.v * nd.v * nd.avg;
+      f[u] = s[u] + avg[u] * ct[u];
+      energy[u] = ceff * v[u] * v[u] * avg[u];
     } else {
-      nd.v = vmin;
-      nd.clamp = Clamp::kBelowMin;
-      nd.ct = ct_vmin;
-      nd.f = nd.s;  // executes nothing
+      v[u] = vmin;
+      clamp[u] = Clamp::kBelowMin;
+      ct[u] = ct_vmin;
+      f[u] = s[u];  // executes nothing
+      energy[u] = 0.0;
     }
-    f_prev = nd.f;
+    f_prev = f[u];
+  }
 
-    if (detail != nullptr) {
-      detail->start[u] = nd.s;
-      detail->avg_cycles[u] = nd.avg;
-      detail->voltage[u] = nd.v;
-      detail->finish[u] = nd.f;
-      detail->energy[u] = nd.executes ? ceff * nd.v * nd.v * nd.avg : 0.0;
-    }
+  // Phase three — energy reduction over the per-sub array.  At scalar
+  // dispatch this adds the same executing terms in the same order as the
+  // historical in-loop accumulation (non-executing slots contribute an
+  // exact +0.0), so the value is bit-identical.
+  const double total = util::simd::Sum(energy, n_);
+
+  if (detail != nullptr) {
+    std::copy(s, s + n_, detail->start.begin());
+    std::copy(avg, avg + n_, detail->avg_cycles.begin());
+    std::copy(v, v + n_, detail->voltage.begin());
+    std::copy(f, f + n_, detail->finish.begin());
+    std::copy(energy, energy + n_, detail->energy.begin());
   }
 
   if (grad == nullptr) {
@@ -421,7 +451,6 @@ double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
 
   for (std::size_t u = n_; u-- > 0;) {
     const SubRecord& r = records_[u];
-    const Node& nd = nodes[u];
 
     double d_avg = 0.0;   // dO / d avg_u
     double d_volt = 0.0;  // dO / d V_u
@@ -429,20 +458,20 @@ double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
     double d_e = 0.0;     // dO / d e_u
     double d_w = 0.0;     // dO / d w_u
 
-    if (nd.executes) {
-      d_avg = ceff * nd.v * nd.v + g_f[u] * nd.ct;
-      if (nd.clamp == Clamp::kInside) {
+    if (executes[u]) {
+      d_avg = ceff * v[u] * v[u] + g_f[u] * ct[u];
+      if (clamp[u] == Clamp::kInside) {
         // dct/dV = -speed'(V) / speed(V)^2 = -speed'(V) * ct^2
-        const double dct_dv = -kernel.SpeedSlope(nd.v) * nd.ct * nd.ct;
-        d_volt = 2.0 * ceff * nd.v * nd.avg + g_f[u] * nd.avg * dct_dv;
+        const double dct_dv = -kernel.SpeedSlope(v[u]) * ct[u] * ct[u];
+        d_volt = 2.0 * ceff * v[u] * avg[u] + g_f[u] * avg[u] * dct_dv;
         // V = V(speed = w/d); the shared d_volt * slope factor and the
         // w / d^2 term are hoisted (multiplication is left-associative, so
         // the groupings below are the ones the spelled-out products used).
         const double slope =
-            kernel.VoltageSlopeForRatio(nd.w, nd.d);  // dV/dspeed
-        const double inv_d = 1.0 / nd.d;
+            kernel.VoltageSlopeForRatio(w[u], d[u]);  // dV/dspeed
+        const double inv_d = 1.0 / d[u];
         const double ds = d_volt * slope;
-        const double w_inv_d2 = nd.w * inv_d * inv_d;
+        const double w_inv_d2 = w[u] * inv_d * inv_d;
         d_e += ds * (-w_inv_d2);
         d_s += ds * w_inv_d2;
         d_w += ds * inv_d;
@@ -455,12 +484,12 @@ double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
     if constexpr (kAverageScenario) {
       if (r.has_budget_var) {
         double d_w_total = d_w - carry[r.parent];
-        if (nd.avg_case == AvgCase::kFull) {
+        if (avg_case[u] == AvgCase::kFull) {
           d_w_total += d_avg;
         }
         (*grad)[r.budget_var] = d_w_total;
       }
-      if (nd.avg_case == AvgCase::kPartial) {
+      if (avg_case[u] == AvgCase::kPartial) {
         carry[r.parent] += d_avg;
       }
     } else {
@@ -470,7 +499,7 @@ double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
     }
 
     // Start-time routing through the max() branch.
-    if (nd.s_from_finish && u > 0) {
+    if (s_from_finish[u] && u > 0) {
       g_f[u - 1] += d_s;
     }
     (*grad)[u] = d_e;
@@ -478,6 +507,217 @@ double EnergyObjective::EvaluateImpl(const double* plan, const opt::Vector& x,
 
   return total;
 }
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+
+namespace {
+
+/// Folds the four lanes of `v` in the fixed order ((l0 + l1) + l2) + l3.
+__attribute__((target("avx2"))) inline double HsumLanes(__m256d v) {
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, v);
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) double EnergyObjective::MixtureBlock4Avx2(
+    std::size_t first_row, const opt::Vector& x, opt::Vector* grad) const {
+  // Four mixture rows ride the four lanes through one complete replay.  The
+  // worst-case budgets w_u — and therefore the cum prefix sums — are
+  // plan-independent, so they stay scalar and shared across lanes;
+  // everything the planned point touches (avg, start, window, voltage,
+  // finish) is per-lane.  Branches in the scalar replay become compare
+  // masks: values are selected with blendv, adjoint terms are neutralised
+  // with a bitwise AND against the mask (which also scrubs the inf/NaN
+  // intermediates clamped lanes produce from 1 / d on degenerate windows).
+  ObjectiveScratch& scratch = *scratch_;
+  scratch.ResizeSubs(n_);
+  scratch.mix4_avg.resize(4 * n_);
+  scratch.mix4_d.resize(4 * n_);
+  scratch.mix4_v.resize(4 * n_);
+  scratch.mix4_ct.resize(4 * n_);
+  scratch.mix4_inside.resize(4 * n_);
+  scratch.mix4_full.resize(4 * n_);
+  scratch.mix4_partial.resize(4 * n_);
+  scratch.mix4_sff.resize(4 * n_);
+  double* const w = scratch.w.data();
+  unsigned char* const executes = scratch.executes.data();
+
+  const model::DvsModel& dvs = *dvs_;
+  const double ceff = dvs.ceff();
+  const double vmin = dvs.vmin();
+  const double vmax = dvs.vmax();
+  const double k = linear_k_;
+  const double inv_k = 1.0 / k;
+  const double ct_vmin = 1.0 / (k * vmin);
+
+  for (std::size_t u = 0; u < n_; ++u) {
+    w[u] = std::max(0.0, BudgetOf(x, u));
+    executes[u] = w[u] > kCycleEps ? 1 : 0;
+  }
+  scratch.cum.assign(fps_->instance_count(), 0.0);
+  double* const cum = scratch.cum.data();
+
+  const double* const mix = mixture_by_sub_.data();
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  const __m256d vvmin = _mm256_set1_pd(vmin);
+  const __m256d vvmax = _mm256_set1_pd(vmax);
+  const __m256d vk = _mm256_set1_pd(k);
+  const __m256d vinv_k = _mm256_set1_pd(inv_k);
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vceff = _mm256_set1_pd(ceff);
+  const __m256d veps = _mm256_set1_pd(kWindowEps);
+  const __m256d vmax_speed = _mm256_set1_pd(max_speed_);
+
+  // ---- Forward pass, four lanes wide ---------------------------------------
+  __m256d total4 = zero;
+  __m256d f_prev = zero;
+  for (std::size_t u = 0; u < n_; ++u) {
+    const SubRecord& r = records_[u];
+    const double wu = w[u];
+    const __m256d vw = _mm256_set1_pd(wu);
+    const __m256d plan_lane = _mm256_set_pd(
+        mix[(first_row + 3) * n_ + u], mix[(first_row + 2) * n_ + u],
+        mix[(first_row + 1) * n_ + u], mix[first_row * n_ + u]);
+    const __m256d left =
+        _mm256_sub_pd(plan_lane, _mm256_set1_pd(cum[r.parent]));
+    // avg = clamp(left, 0, w); the case masks replicate the scalar branch
+    // order (left >= w -> full; else left > 0 -> partial; else empty).
+    const __m256d avg = _mm256_min_pd(_mm256_max_pd(left, zero), vw);
+    const __m256d m_full = _mm256_cmp_pd(left, vw, _CMP_GE_OQ);
+    const __m256d m_partial =
+        _mm256_andnot_pd(m_full, _mm256_cmp_pd(left, zero, _CMP_GT_OQ));
+    cum[r.parent] += wu;
+
+    const __m256d release = _mm256_set1_pd(r.release);
+    const __m256d m_sff = _mm256_cmp_pd(f_prev, release, _CMP_GE_OQ);
+    const __m256d sv = _mm256_max_pd(f_prev, release);
+    const __m256d dv = _mm256_sub_pd(_mm256_set1_pd(x[u]), sv);
+
+    __m256d volt;
+    __m256d ct;
+    __m256d m_inside;
+    __m256d fin;
+    if (executes[u]) {
+      const __m256d speed = _mm256_div_pd(vw, dv);
+      const __m256d v_raw = _mm256_mul_pd(speed, vinv_k);
+      // Degenerate windows (d <= eps) produce huge/inf speeds; the ordered
+      // compares route those lanes to the Vmax rail exactly like the scalar
+      // short-circuit does.
+      const __m256d m_above = _mm256_or_pd(
+          _mm256_or_pd(_mm256_cmp_pd(dv, veps, _CMP_LE_OQ),
+                       _mm256_cmp_pd(speed, vmax_speed, _CMP_GT_OQ)),
+          _mm256_cmp_pd(v_raw, vvmax, _CMP_GT_OQ));
+      const __m256d m_low =
+          _mm256_andnot_pd(m_above, _mm256_cmp_pd(v_raw, vvmin, _CMP_LT_OQ));
+      volt = _mm256_blendv_pd(_mm256_blendv_pd(v_raw, vvmax, m_above), vvmin,
+                              m_low);
+      ct = _mm256_div_pd(vone, _mm256_mul_pd(vk, volt));
+      m_inside = _mm256_andnot_pd(_mm256_or_pd(m_above, m_low), ones);
+      fin = _mm256_add_pd(sv, _mm256_mul_pd(avg, ct));
+      total4 = _mm256_add_pd(
+          total4,
+          _mm256_mul_pd(_mm256_mul_pd(_mm256_mul_pd(vceff, volt), volt), avg));
+    } else {
+      volt = vvmin;
+      ct = _mm256_set1_pd(ct_vmin);
+      m_inside = zero;
+      fin = sv;
+    }
+
+    _mm256_storeu_pd(scratch.mix4_avg.data() + 4 * u, avg);
+    _mm256_storeu_pd(scratch.mix4_d.data() + 4 * u, dv);
+    _mm256_storeu_pd(scratch.mix4_v.data() + 4 * u, volt);
+    _mm256_storeu_pd(scratch.mix4_ct.data() + 4 * u, ct);
+    _mm256_storeu_pd(scratch.mix4_inside.data() + 4 * u, m_inside);
+    _mm256_storeu_pd(scratch.mix4_full.data() + 4 * u, m_full);
+    _mm256_storeu_pd(scratch.mix4_partial.data() + 4 * u, m_partial);
+    _mm256_storeu_pd(scratch.mix4_sff.data() + 4 * u, m_sff);
+    f_prev = fin;
+  }
+
+  const double total = HsumLanes(total4);
+  if (grad == nullptr) {
+    return total;
+  }
+
+  // ---- Reverse pass, four lanes wide ---------------------------------------
+  // Lane gradients accumulate into mix4_grad (every entry written exactly
+  // once, mirroring the scalar reverse pass) and fold into *grad at the end.
+  scratch.mix4_gf.assign(4 * n_, 0.0);
+  scratch.mix4_carry.assign(4 * fps_->instance_count(), 0.0);
+  scratch.mix4_grad.resize(4 * dim_);
+  double* const gf4 = scratch.mix4_gf.data();
+  double* const carry4 = scratch.mix4_carry.data();
+  double* const grad4 = scratch.mix4_grad.data();
+  const __m256d two_ceff = _mm256_set1_pd(2.0 * ceff);
+
+  for (std::size_t u = n_; u-- > 0;) {
+    const SubRecord& r = records_[u];
+    const __m256d gf = _mm256_loadu_pd(gf4 + 4 * u);
+    __m256d d_avg = zero;
+    __m256d d_s = gf;
+    __m256d d_e = zero;
+    __m256d d_w = zero;
+
+    if (executes[u]) {
+      const __m256d avg = _mm256_loadu_pd(scratch.mix4_avg.data() + 4 * u);
+      const __m256d dv = _mm256_loadu_pd(scratch.mix4_d.data() + 4 * u);
+      const __m256d volt = _mm256_loadu_pd(scratch.mix4_v.data() + 4 * u);
+      const __m256d ct = _mm256_loadu_pd(scratch.mix4_ct.data() + 4 * u);
+      const __m256d m_inside =
+          _mm256_loadu_pd(scratch.mix4_inside.data() + 4 * u);
+      d_avg = _mm256_add_pd(_mm256_mul_pd(_mm256_mul_pd(vceff, volt), volt),
+                            _mm256_mul_pd(gf, ct));
+      // Interior lanes: dct/dV = -k ct^2, dV/dspeed = 1/k, speed = w/d.
+      const __m256d dct_dv =
+          _mm256_sub_pd(zero, _mm256_mul_pd(_mm256_mul_pd(vk, ct), ct));
+      const __m256d d_volt =
+          _mm256_add_pd(_mm256_mul_pd(_mm256_mul_pd(two_ceff, volt), avg),
+                        _mm256_mul_pd(_mm256_mul_pd(gf, avg), dct_dv));
+      const __m256d inv_d = _mm256_div_pd(vone, dv);
+      const __m256d ds = _mm256_mul_pd(d_volt, vinv_k);
+      const __m256d w_inv_d2 =
+          _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(w[u]), inv_d), inv_d);
+      d_e = _mm256_and_pd(m_inside,
+                          _mm256_mul_pd(ds, _mm256_sub_pd(zero, w_inv_d2)));
+      d_s = _mm256_add_pd(d_s,
+                          _mm256_and_pd(m_inside, _mm256_mul_pd(ds, w_inv_d2)));
+      d_w = _mm256_and_pd(m_inside, _mm256_mul_pd(ds, inv_d));
+    }
+
+    const __m256d m_full = _mm256_loadu_pd(scratch.mix4_full.data() + 4 * u);
+    const __m256d m_partial =
+        _mm256_loadu_pd(scratch.mix4_partial.data() + 4 * u);
+    __m256d carry = _mm256_loadu_pd(carry4 + 4 * r.parent);
+    if (r.has_budget_var) {
+      const __m256d d_w_total = _mm256_add_pd(_mm256_sub_pd(d_w, carry),
+                                              _mm256_and_pd(m_full, d_avg));
+      _mm256_storeu_pd(grad4 + 4 * r.budget_var, d_w_total);
+    }
+    carry = _mm256_add_pd(carry, _mm256_and_pd(m_partial, d_avg));
+    _mm256_storeu_pd(carry4 + 4 * r.parent, carry);
+
+    if (u > 0) {
+      const __m256d m_sff = _mm256_loadu_pd(scratch.mix4_sff.data() + 4 * u);
+      const __m256d prev = _mm256_loadu_pd(gf4 + 4 * (u - 1));
+      _mm256_storeu_pd(gf4 + 4 * (u - 1),
+                       _mm256_add_pd(prev, _mm256_and_pd(m_sff, d_s)));
+    }
+    _mm256_storeu_pd(grad4 + 4 * u, d_e);
+  }
+
+  double* const g = grad->data();
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const double* lane = grad4 + 4 * j;
+    g[j] += ((lane[0] + lane[1]) + lane[2]) + lane[3];
+  }
+  return total;
+}
+
+#endif  // x86-64 && (GCC || Clang)
 
 std::shared_ptr<opt::BoxSimplexSet> EnergyObjective::BuildFeasibleSet() const {
   auto set = std::make_shared<opt::BoxSimplexSet>(dim_);

@@ -110,28 +110,59 @@ struct ForwardDetail {
 struct ObjectiveScratch {
   enum class Clamp : unsigned char { kBelowMin, kInside, kAboveMax };
 
-  /// Forward-pass state of one sub-instance.  Doubles first, flag bytes
-  /// packed last: the array is the inner loop's working set, so padding is
-  /// pure wasted bandwidth.
-  struct Node {
-    double w = 0.0;       // worst-case budget
-    double avg = 0.0;     // scenario workload executed here
-    double s = 0.0;       // start (scenario chain)
-    double d = 0.0;       // window e - s
-    double v = 0.0;       // dispatch voltage (clamped)
-    double ct = 0.0;      // cycle time at v
-    double f = 0.0;       // finish under the scenario
-    AvgCase avg_case = AvgCase::kEmpty;
-    Clamp clamp = Clamp::kInside;
-    bool s_from_finish = false;  // max() branch: true -> depends on f_{u-1}
-    bool executes = false;       // w > eps
-  };
+  // Forward-pass state, structure-of-arrays: one slot per sub-instance in
+  // each array.  The SoA layout keeps every field contiguous so the
+  // vectorized phases (budget clamp, energy reduction, the 4-lane mixture
+  // replay) stream whole cache lines of one quantity; the scalar walk reads
+  // the same values in the same order as the historical per-node struct.
+  std::vector<double> w;       // worst-case budget
+  std::vector<double> avg;     // scenario workload executed here
+  std::vector<double> s;       // start (scenario chain)
+  std::vector<double> d;       // window e - s
+  std::vector<double> v;       // dispatch voltage (clamped)
+  std::vector<double> ct;      // cycle time at v
+  std::vector<double> f;       // finish under the scenario
+  std::vector<double> energy;  // per-sub energy (0 when not executing)
+  std::vector<AvgCase> avg_case;
+  std::vector<Clamp> clamp;
+  std::vector<unsigned char> s_from_finish;  // max() branch: depends on f_{u-1}
+  std::vector<unsigned char> executes;       // w > eps
 
-  std::vector<Node> nodes;     // per sub-instance
   std::vector<double> cum;     // per parent: worst-case budget before sub
   std::vector<double> g_f;     // per sub: adjoint of the finish time
   std::vector<double> carry;   // per parent: partial-case avg adjoints
   std::vector<double> mix_grad;  // mixture planning: per-replay gradient
+
+  // Lane-major state of the AVX2 mixture replay (four mixture rows per
+  // pass): 4 doubles per sub-instance / variable / parent.  Mask arrays
+  // store all-ones/all-zeros bit patterns.  Unused at scalar dispatch.
+  std::vector<double> mix4_avg;
+  std::vector<double> mix4_d;
+  std::vector<double> mix4_v;
+  std::vector<double> mix4_ct;
+  std::vector<double> mix4_inside;
+  std::vector<double> mix4_full;
+  std::vector<double> mix4_partial;
+  std::vector<double> mix4_sff;
+  std::vector<double> mix4_gf;     // 4 * n lane adjoints
+  std::vector<double> mix4_grad;   // 4 * dim lane gradients
+  std::vector<double> mix4_carry;  // 4 * instance_count lane carries
+
+  /// Grows the per-sub SoA arrays to `n` slots.
+  void ResizeSubs(std::size_t n) {
+    w.resize(n);
+    avg.resize(n);
+    s.resize(n);
+    d.resize(n);
+    v.resize(n);
+    ct.resize(n);
+    f.resize(n);
+    energy.resize(n);
+    avg_case.resize(n);
+    clamp.resize(n);
+    s_from_finish.resize(n);
+    executes.resize(n);
+  }
 };
 
 class EnergyObjective final : public opt::Objective {
@@ -222,6 +253,16 @@ class EnergyObjective final : public opt::Objective {
   double EvaluateImpl(const double* plan, const opt::Vector& x,
                       opt::Vector* grad, ForwardDetail* detail,
                       const Kernel& kernel) const;
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  /// Four complete mixture replays in the four AVX2 lanes (linear kernel,
+  /// average scenario, no detail).  Returns the sum of the four row values
+  /// and, when `grad` is non-null, adds the four rows' gradients into it.
+  /// Only called at AVX2 dispatch; folds lanes in a fixed order, so results
+  /// are deterministic but associate differently than the scalar row loop.
+  __attribute__((target("avx2"))) double MixtureBlock4Avx2(
+      std::size_t first_row, const opt::Vector& x, opt::Vector* grad) const;
+#endif
 
   const fps::FullyPreemptiveSchedule* fps_;
   const model::DvsModel* dvs_;

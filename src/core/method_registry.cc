@@ -41,6 +41,7 @@ class AcsMethod final : public ScheduleMethod {
     const ScheduleResult& acs = context.Acs();
     MethodPlan plan{acs.schedule, sim::GreedyReclaimPolicy(context.dvs()),
                     acs.predicted_energy, acs.used_fallback};
+    plan.ChargeSolver(acs.alm);
     return plan;
   }
 };
@@ -51,6 +52,7 @@ class WcsMethod final : public ScheduleMethod {
     const ScheduleResult& wcs = context.Wcs();
     MethodPlan plan{wcs.schedule, sim::GreedyReclaimPolicy(context.dvs()),
                     wcs.predicted_energy, wcs.used_fallback};
+    plan.ChargeSolver(wcs.alm);
     return plan;
   }
 };
@@ -63,6 +65,7 @@ class WcsStaticMethod final : public ScheduleMethod {
                     sim::StaticOnlyPolicy(context.fps(), wcs.schedule,
                                           context.dvs()),
                     wcs.predicted_energy, wcs.used_fallback};
+    plan.ChargeSolver(wcs.alm);
     return plan;
   }
 };
@@ -101,12 +104,17 @@ class ScenarioPlannedMethod : public ScheduleMethod {
                     "\" needs experiment options on the context — evaluate "
                     "through EvaluateMethod or call AttachExperiment first");
 
+    if (experiment->warm_start == WarmStartPolicy::kNeighbor &&
+        experiment->sigma_chain.size() > 1) {
+      return PlanChained(context, *experiment);
+    }
     const workload::Calibration& calibration =
         context.ScenarioCalibration(*experiment);
     const ScheduleResult& planned =
         context.Planned(BuildPoint(calibration, experiment->planning));
     MethodPlan plan{planned.schedule, sim::GreedyReclaimPolicy(context.dvs()),
                     planned.predicted_energy, planned.used_fallback};
+    plan.ChargeSolver(planned.alm);
     return plan;
   }
 
@@ -115,6 +123,44 @@ class ScenarioPlannedMethod : public ScheduleMethod {
                                    const PlanningOptions& options) const = 0;
 
  private:
+  /// Sigma-axis continuation (WarmStartPolicy::kNeighbor): solve the cell's
+  /// prefix chain of sigma divisors in axis order, each link seeded from
+  /// the previous converged schedule (the base link seeds from WCS exactly
+  /// like the unchained path).  The chain is a pure function of the cell's
+  /// grid coordinates, so results are thread-count independent; links land
+  /// in the per-task-set SolveCache, where sibling cells at deeper sigma
+  /// indices extend the chain instead of re-solving its prefix.  Counters
+  /// charge every link's report — deterministic whether this cell solved
+  /// the link or a cache served it.
+  MethodPlan PlanChained(MethodContext& context,
+                         const ExperimentOptions& experiment) const {
+    ACS_REQUIRE(experiment.sigma_chain.back() == experiment.sigma_divisor,
+                "sigma_chain must end at the cell's own sigma divisor");
+    ExperimentOptions step = experiment;
+    std::vector<PlanningPoint> ancestry;
+    ancestry.reserve(experiment.sigma_chain.size());
+    std::vector<const ScheduleResult*> links;
+    links.reserve(experiment.sigma_chain.size());
+    const ScheduleResult* prev = nullptr;
+    for (const double sigma : experiment.sigma_chain) {
+      step.sigma_divisor = sigma;
+      const workload::Calibration& calibration =
+          context.ScenarioCalibration(step);
+      PlanningPoint point = BuildPoint(calibration, step.planning);
+      const ScheduleResult& solved =
+          context.PlannedChained(point, ancestry, prev);
+      links.push_back(&solved);
+      prev = &solved;
+      ancestry.push_back(std::move(point));
+    }
+    MethodPlan plan{prev->schedule, sim::GreedyReclaimPolicy(context.dvs()),
+                    prev->predicted_energy, prev->used_fallback};
+    for (const ScheduleResult* link : links) {
+      plan.ChargeSolver(link->alm);
+    }
+    return plan;
+  }
+
   std::string name_;
 };
 
@@ -186,42 +232,61 @@ const sim::StaticSchedule& MethodContext::VmaxAsap() {
 const workload::Calibration& MethodContext::ScenarioCalibration(
     const ExperimentOptions& options) {
   const std::uint64_t seed = CalibrationSeed(options);
-  const bool hit = calibration_.has_value() &&
-                   calibration_->scenario == options.scenario &&
-                   calibration_->sigma_divisor == options.sigma_divisor &&
-                   calibration_->seed == seed &&
-                   calibration_->samples ==
-                       options.planning.calibration_samples;
-  if (!hit) {
-    workload::CalibratorOptions copts;
-    copts.samples_per_task = options.planning.calibration_samples;
-    const workload::ScenarioCalibrator calibrator(
-        options.scenario, options.sigma_divisor, copts);
-    calibration_.emplace(CalibrationMemo{
-        options.scenario, options.sigma_divisor, seed,
-        options.planning.calibration_samples,
-        calibrator.Calibrate(fps_->task_set(), seed)});
+  const std::int64_t samples = options.planning.calibration_samples;
+  for (const std::unique_ptr<SolveCache::CalibrationEntry>& entry :
+       cache_->calibrations) {
+    if (entry->scenario == options.scenario &&
+        entry->sigma_divisor == options.sigma_divisor &&
+        entry->seed == seed && entry->samples == samples) {
+      return entry->calibration;
+    }
   }
-  return calibration_->calibration;
+  workload::CalibratorOptions copts;
+  copts.samples_per_task = samples;
+  const workload::ScenarioCalibrator calibrator(
+      options.scenario, options.sigma_divisor, copts);
+  cache_->calibrations.push_back(
+      std::make_unique<SolveCache::CalibrationEntry>(
+          SolveCache::CalibrationEntry{
+              options.scenario, options.sigma_divisor, seed, samples,
+              calibrator.Calibrate(fps_->task_set(), seed)}));
+  return cache_->calibrations.back()->calibration;
 }
 
 const ScheduleResult& MethodContext::Planned(const PlanningPoint& planning) {
+  return PlannedChained(planning, {}, nullptr);
+}
+
+const ScheduleResult& MethodContext::PlannedChained(
+    const PlanningPoint& planning, const std::vector<PlanningPoint>& chain,
+    const ScheduleResult* warm) {
   const std::uint64_t key = planning.Fingerprint();
   for (const std::unique_ptr<SolveCache::PlannedSolve>& entry :
        cache_->planned) {
-    // Fingerprint is a fast reject; the full value comparison is the hit
-    // condition, so colliding hashes re-solve instead of cross-reusing.
-    if (entry->key == key && entry->planning == planning) {
+    // Fingerprint is a fast reject; the full value comparison (point AND
+    // warm-start ancestry) is the hit condition, so colliding hashes — and
+    // chained-vs-unchained solves of one point — re-solve instead of
+    // cross-reusing.
+    if (entry->key == key && entry->planning == planning &&
+        entry->chain == chain) {
       return entry->result;
     }
   }
-  std::optional<sim::StaticSchedule> warm;
-  if (scheduler_->warm_start_acs_with_wcs) {
-    warm = Wcs().schedule;
+  std::optional<sim::StaticSchedule> warm_start;
+  const opt::AlmReport* dual_seed = nullptr;
+  if (warm != nullptr) {
+    // Chain continuation: the neighbor's converged schedule seeds the
+    // primal and its multipliers/penalty seed the ALM dual, so the link
+    // polishes instead of re-running the cold tolerance ramp.
+    warm_start = warm->schedule;
+    dual_seed = &warm->alm;
+  } else if (scheduler_->warm_start_acs_with_wcs) {
+    warm_start = Wcs().schedule;
   }
   cache_->planned.push_back(std::make_unique<SolveCache::PlannedSolve>(
-      key, planning,
-      SolvePlanned(*fps_, *dvs_, planning, *scheduler_, warm, workspace_)));
+      key, planning, chain,
+      SolvePlanned(*fps_, *dvs_, planning, *scheduler_, warm_start,
+                   workspace_, dual_seed)));
   return cache_->planned.back()->result;
 }
 
@@ -287,6 +352,9 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
     outcome.deadline_misses = sim.deadline_misses;
     outcome.voltage_switches = sim.voltage_switches;
     outcome.used_fallback = plan.used_fallback;
+    outcome.solver_outer_iterations = plan.solver_outer_iterations;
+    outcome.solver_inner_iterations = plan.solver_inner_iterations;
+    outcome.solver_evaluations = plan.solver_evaluations;
     return outcome;
   };
 

@@ -120,11 +120,12 @@ class MethodContext {
 
   /// Calibrates (once per distinct configuration) the context's task set
   /// under `options`' scenario, sigma divisor, calibration sample count
-  /// and CalibrationSeed-derived stream.  The three planning arms of one
-  /// cell share identical configurations, so they share one calibration
-  /// run instead of each re-sampling the scenario; a context re-used with
-  /// different options (tests, custom drivers) recalibrates on the key
-  /// change.  The reference is invalidated by the next key-changing call.
+  /// and CalibrationSeed-derived stream.  Calibrations are cached in the
+  /// SolveCache (task-set scope), so the three planning arms of one cell,
+  /// sigma-axis sibling cells sharing the cache, and warm-start chain
+  /// prefixes all share one calibration run instead of re-sampling the
+  /// scenario.  The returned reference stays valid for the cache's
+  /// lifetime.
   const workload::Calibration& ScenarioCalibration(
       const ExperimentOptions& options);
 
@@ -138,19 +139,20 @@ class MethodContext {
   /// reference stays valid for the cache's lifetime.
   const ScheduleResult& Planned(const PlanningPoint& planning);
 
- private:
-  /// ScenarioCalibration's single-slot memo: the calibration plus the
-  /// configuration that produced it (scenario by identity — registry
-  /// entries outlive the run — and the derived seed, so two options
-  /// objects with equal fields share the slot).
-  struct CalibrationMemo {
-    const model::WorkloadScenario* scenario;
-    double sigma_divisor;
-    std::uint64_t seed;
-    std::int64_t samples;
-    workload::Calibration calibration;
-  };
+  /// Continuation variant (WarmStartPolicy::kNeighbor): solves `planning`
+  /// seeded from `warm` — the previous chain link's converged result.  Its
+  /// schedule seeds the primal and its AlmReport multipliers/penalty seed
+  /// the dual (opt::AlmOptions::dual_seed), so the link polishes instead of
+  /// re-running the cold tolerance ramp.  Null seeds from WCS exactly like
+  /// Planned.  `chain` is the warm-start ancestry — the planning points
+  /// whose solves produced `warm`, in solve order — and is part of the
+  /// cache identity, so chained and unchained solves of the same point
+  /// never alias (see SolveCache::PlannedSolve).
+  const ScheduleResult& PlannedChained(const PlanningPoint& planning,
+                                       const std::vector<PlanningPoint>& chain,
+                                       const ScheduleResult* warm);
 
+ private:
   const fps::FullyPreemptiveSchedule* fps_;
   const model::DvsModel* dvs_;
   const SchedulerOptions* scheduler_;
@@ -158,7 +160,6 @@ class MethodContext {
   const ExperimentOptions* experiment_ = nullptr;
   SolveCache* cache_;
   SolveCache own_cache_;
-  std::optional<CalibrationMemo> calibration_;
 };
 
 /// The offline product of one method: a feasible static schedule plus the
@@ -171,6 +172,24 @@ struct MethodPlan {
   sim::AnyPolicy policy;
   double predicted_energy = 0.0;  // the method's own offline estimate
   bool used_fallback = false;     // an NLP repair fell back to its warm start
+  /// Offline solver effort behind this plan: zero for closed-form methods,
+  /// one AlmReport's counters for a single NLP solve, the sum over every
+  /// link of a warm-start chain.  Charged from the (possibly cached)
+  /// ScheduleResult reports — a report is a pure function of the solve
+  /// inputs, so the charge is identical whether this cell ran the solve or
+  /// a cache served it, keeping the CSV columns deterministic at any
+  /// thread count.
+  std::int64_t solver_outer_iterations = 0;
+  std::int64_t solver_inner_iterations = 0;
+  std::int64_t solver_evaluations = 0;
+
+  /// Adds one solve's counters.
+  void ChargeSolver(const opt::AlmReport& report) {
+    solver_outer_iterations += static_cast<std::int64_t>(report.outer_iterations);
+    solver_inner_iterations +=
+        static_cast<std::int64_t>(report.total_inner_iterations);
+    solver_evaluations += static_cast<std::int64_t>(report.evaluations);
+  }
 };
 
 /// One named strategy.  Implementations are stateless and const, so a single

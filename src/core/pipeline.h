@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/scheduler.h"
 #include "fps/expansion.h"
@@ -34,10 +35,30 @@ struct PlanningOptions {
   std::int64_t calibration_samples = 2048;
 };
 
+/// How the scenario-conditioned planning arms seed their NLP solve.
+enum class WarmStartPolicy {
+  /// Every planned solve seeds from the WCS incumbent (the legacy path —
+  /// byte-identical to the pre-warm-start pipeline).
+  kOff,
+  /// Continuation along the sigma axis: the cell solves the prefix chain of
+  /// sigma divisors in axis order, each solve seeded from the previous
+  /// converged schedule (the chain base still seeds from WCS).  The chain
+  /// is defined by grid coordinates alone — never by execution order — so
+  /// results stay a pure function of the grid at any thread count.
+  kNeighbor,
+};
+
 struct ExperimentOptions {
   std::int64_t hyper_periods = 200;  // paper: 1000 (set via --paper)
   double sigma_divisor = 6.0;        // workload sigma = (WCEC-BCEC)/divisor
   std::uint64_t seed = 1;            // workload sampling stream
+  /// Warm-start policy of the scenario-conditioned solves (see above).
+  WarmStartPolicy warm_start = WarmStartPolicy::kOff;
+  /// Continuation chain for kNeighbor: the sigma-divisor axis entries up to
+  /// and including this cell's own (runner::RunCell fills it from the grid;
+  /// the last entry must equal sigma_divisor).  Empty disables chaining
+  /// even under kNeighbor.
+  std::vector<double> sigma_chain;
   /// Charged by the simulator per voltage change; zero matches the paper's
   /// "transition overhead is negligible" assumption (ablation bench knob).
   model::TransitionOverhead transition;
@@ -68,6 +89,13 @@ struct MethodOutcome {
   std::int64_t deadline_misses = 0;
   std::int64_t voltage_switches = 0;  // across the whole simulated run
   bool used_fallback = false;         // scheduler kept its warm start
+  /// Offline solver effort behind the plan (the NLP arms' AlmReport; zero
+  /// for closed-form methods).  Multi-core cells sum per-core solves; a
+  /// warm-start chain charges every solve the chain actually ran.  Surfaced
+  /// by runner::CsvSink's opt-in solver-stats columns.
+  std::int64_t solver_outer_iterations = 0;
+  std::int64_t solver_inner_iterations = 0;
+  std::int64_t solver_evaluations = 0;
 };
 
 /// The paper's reported metric, shared by every result type that compares a

@@ -121,7 +121,7 @@ ScheduleResult SolveWith(
     Scenario scenario, const PlanningPoint* planning,
     const SchedulerOptions& options,
     const std::optional<sim::StaticSchedule>& warm_start,
-    EvalWorkspace* workspace) {
+    EvalWorkspace* workspace, const opt::AlmReport* dual_seed = nullptr) {
   const sim::StaticSchedule start_schedule =
       warm_start.has_value() ? *warm_start
                              : sim::BuildVmaxAsapSchedule(fps, dvs);
@@ -138,8 +138,13 @@ ScheduleResult SolveWith(
   const double start_energy = objective.Value(x);
 
   ScheduleResult result{start_schedule, start_energy, {}, false};
+  opt::AlmOptions alm_options = options.alm;
+  if (dual_seed != nullptr) {
+    alm_options.dual_seed = &dual_seed->multipliers;
+    alm_options.dual_penalty_seed = dual_seed->final_penalty;
+  }
   result.alm = opt::MinimizeAlm(
-      objective, *feasible_set, chain, x, options.alm,
+      objective, *feasible_set, chain, x, alm_options,
       workspace != nullptr ? &workspace->solver().alm : nullptr);
 
   std::vector<double> end_times(fps.sub_count());
@@ -184,9 +189,9 @@ ScheduleResult SolvePlanned(
     const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
     const PlanningPoint& planning, const SchedulerOptions& options,
     const std::optional<sim::StaticSchedule>& warm_start,
-    EvalWorkspace* workspace) {
+    EvalWorkspace* workspace, const opt::AlmReport* dual_seed) {
   return SolveWith(fps, dvs, Scenario::kAverage, &planning, options,
-                   warm_start, workspace);
+                   warm_start, workspace, dual_seed);
 }
 
 ScheduleResult SolveWcs(const fps::FullyPreemptiveSchedule& fps,

@@ -20,6 +20,7 @@
 #include "model/power_model.h"
 #include "opt/augmented_lagrangian.h"
 #include "sim/static_schedule.h"
+#include "workload/calibrator.h"
 
 namespace dvs::core {
 
@@ -66,19 +67,41 @@ struct SolveCache {
 
   /// One scenario-conditioned solve; unique_ptr for reference stability
   /// (MethodContext::Planned returns references that must survive later
-  /// insertions).
+  /// insertions).  `chain` records the warm-start ancestry of a
+  /// continuation solve (the planning points whose schedules seeded this
+  /// one, in solve order) — empty for the legacy WCS-seeded path.  A hit
+  /// requires the ancestry to match exactly as well as the point, so a
+  /// chained and an unchained solve of the same point can never alias (the
+  /// solver trajectory, and therefore the schedule, depends on the seed).
   struct PlannedSolve {
     PlannedSolve(std::uint64_t key, PlanningPoint planning,
-                 ScheduleResult result)
+                 std::vector<PlanningPoint> chain, ScheduleResult result)
         : key(key),
           planning(std::move(planning)),
+          chain(std::move(chain)),
           result(std::move(result)) {}
 
     std::uint64_t key;       // PlanningPoint::Fingerprint()
     PlanningPoint planning;  // exact-value verification on hit
+    std::vector<PlanningPoint> chain;  // warm-start ancestry (may be empty)
     ScheduleResult result;
   };
   std::vector<std::unique_ptr<PlannedSolve>> planned;
+
+  /// One scenario calibration, cached at task-set scope so sigma-axis
+  /// siblings and warm-start chain prefixes share the sampling work.
+  /// Keyed like MethodContext's old single-slot memo: scenario by identity
+  /// (registry entries outlive the run), sigma divisor, the
+  /// CalibrationSeed-derived stream and the sample count.  unique_ptr for
+  /// reference stability across later insertions.
+  struct CalibrationEntry {
+    const model::WorkloadScenario* scenario;
+    double sigma_divisor;
+    std::uint64_t seed;
+    std::int64_t samples;
+    workload::Calibration calibration;
+  };
+  std::vector<std::unique_ptr<CalibrationEntry>> calibrations;
 };
 
 /// Solves for one scenario.  `warm_start` must be worst-case feasible; when
@@ -109,11 +132,18 @@ ScheduleResult SolveAcs(const fps::FullyPreemptiveSchedule& fps,
 /// mean, per-task quantile, or the K-vector mixture expectation — see
 /// core::PlanningPoint and workload/calibrator.h).  An IsAcec() point is
 /// bit-identical to SolveSchedule(kAverage, ...) with the same warm start.
+///
+/// `dual_seed` (optional) is the AlmReport of a previous converged solve of
+/// the SAME task set at a nearby planning point — a warm-start chain
+/// neighbor.  Its multipliers and final penalty continue the ALM dual state
+/// so the chained solve polishes instead of re-running the cold tolerance
+/// ramp (opt::AlmOptions::dual_seed).  Null keeps the cold solve untouched.
 ScheduleResult SolvePlanned(
     const fps::FullyPreemptiveSchedule& fps, const model::DvsModel& dvs,
     const PlanningPoint& planning, const SchedulerOptions& options = {},
     const std::optional<sim::StaticSchedule>& warm_start = std::nullopt,
-    EvalWorkspace* workspace = nullptr);
+    EvalWorkspace* workspace = nullptr,
+    const opt::AlmReport* dual_seed = nullptr);
 
 /// Repairs an epsilon-feasible (end-times, budgets) pair into a strictly
 /// feasible StaticSchedule: exact per-instance budget simplex projection,

@@ -95,6 +95,9 @@ FleetResult EvaluateFleet(
       fleet.fleet.deadline_misses += outcome.deadline_misses;
       fleet.fleet.voltage_switches += outcome.voltage_switches;
       fleet.fleet.used_fallback |= outcome.used_fallback;
+      fleet.fleet.solver_outer_iterations += outcome.solver_outer_iterations;
+      fleet.fleet.solver_inner_iterations += outcome.solver_inner_iterations;
+      fleet.fleet.solver_evaluations += outcome.solver_evaluations;
     }
   }
   return result;

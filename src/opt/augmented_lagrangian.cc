@@ -17,6 +17,7 @@ namespace {
 //   size()                                  — number of rows
 //   Kind(c)                                 — row sense
 //   Evaluate(c, x)                          — row value
+//   EvaluateAll(x, out)                     — every row value, in row order
 //   Violation(c, x)                         — row violation
 //   AccumulateGradient(c, x, weight, grad)  — grad += weight * d row / d x
 
@@ -31,6 +32,12 @@ class PointerSystem {
   ConstraintKind Kind(std::size_t c) const { return (*constraints_)[c]->kind(); }
   double Evaluate(std::size_t c, const Vector& x) const {
     return (*constraints_)[c]->Evaluate(x);
+  }
+  void EvaluateAll(const Vector& x, std::vector<double>& out) const {
+    out.resize(size());
+    for (std::size_t c = 0; c < size(); ++c) {
+      out[c] = Evaluate(c, x);
+    }
   }
   double Violation(std::size_t c, const Vector& x) const {
     return (*constraints_)[c]->Violation(x);
@@ -53,6 +60,9 @@ class FlatSystem {
   ConstraintKind Kind(std::size_t c) const { return flat_->kind[c]; }
   double Evaluate(std::size_t c, const Vector& x) const {
     return flat_->Evaluate(c, x);
+  }
+  void EvaluateAll(const Vector& x, std::vector<double>& out) const {
+    flat_->EvaluateAll(x, out);
   }
   double Violation(std::size_t c, const Vector& x) const {
     return flat_->Violation(c, x);
@@ -80,13 +90,15 @@ class AugmentedObjective final : public Objective {
   AugmentedObjective(const Objective& base, const System& system,
                      const std::vector<double>& multipliers, double penalty,
                      std::vector<double>& ratio_scratch,
-                     std::vector<double>& shift_scratch)
+                     std::vector<double>& shift_scratch,
+                     std::vector<double>& row_scratch)
       : base_(base),
         system_(system),
         multipliers_(multipliers),
         penalty_(penalty),
         ratio_(ratio_scratch),
-        shift_(shift_scratch) {
+        shift_(shift_scratch),
+        row_values_(row_scratch) {
     ratio_.assign(system.size(), 0.0);
     shift_.assign(system.size(), 0.0);
     for (std::size_t c = 0; c < system.size(); ++c) {
@@ -116,8 +128,13 @@ class AugmentedObjective final : public Objective {
   double Evaluate(const Vector& x, Vector* grad) const {
     double value = grad != nullptr ? base_.ValueAndGradient(x, *grad)
                                    : base_.Value(x);
+    // Two phases: batch every row value first (vectorizable — four gathered
+    // rows per step on the flat system at AVX2 dispatch), then the hinge
+    // algebra and the scatter-indexed gradient accumulation walk the rows
+    // in the same order as before, so scalar dispatch is bit-identical.
+    system_.EvaluateAll(x, row_values_);
     for (std::size_t c = 0; c < system_.size(); ++c) {
-      const double cv = system_.Evaluate(c, x);
+      const double cv = row_values_[c];
       if (system_.Kind(c) == ConstraintKind::kGeZero) {
         // Treat as g(x) = -c(x) <= 0.
         const double active = std::max(0.0, ratio_[c] - cv);
@@ -142,13 +159,20 @@ class AugmentedObjective final : public Objective {
   double penalty_;
   std::vector<double>& ratio_;  // per >=-row: lambda / rho
   std::vector<double>& shift_;  // per >=-row: (0.5 * lambda * lambda) / rho
+  std::vector<double>& row_values_;  // batched row values (phase one)
 };
 
 template <typename System>
-double MaxViolation(const System& system, const Vector& x) {
+double MaxViolation(const System& system, const Vector& x,
+                    std::vector<double>& row_scratch) {
+  system.EvaluateAll(x, row_scratch);
   double worst = 0.0;
   for (std::size_t c = 0; c < system.size(); ++c) {
-    worst = std::max(worst, system.Violation(c, x));
+    const double value = row_scratch[c];
+    const double violation = system.Kind(c) == ConstraintKind::kGeZero
+                                 ? (value < 0.0 ? -value : 0.0)
+                                 : (value < 0.0 ? -value : value);
+    worst = std::max(worst, violation);
   }
   return worst;
 }
@@ -172,10 +196,22 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
     return report;
   }
 
+  // Dual continuation: a size-matched seed restores the previous solve's
+  // multipliers and penalty and skips the loose-to-tight tolerance ramp; a
+  // null or mismatched seed is the historical cold start, bit-for-bit.
+  const bool warm_dual = options.dual_seed != nullptr &&
+                         options.dual_seed->size() == system.size();
   std::vector<double>& multipliers = ws.multipliers;
-  multipliers.assign(system.size(), 0.0);
-  double penalty = options.initial_penalty;
-  double inner_tol = options.inner_tol_start;
+  if (warm_dual) {
+    multipliers = *options.dual_seed;
+  } else {
+    multipliers.assign(system.size(), 0.0);
+  }
+  double penalty =
+      warm_dual ? std::max(options.initial_penalty, options.dual_penalty_seed)
+                : options.initial_penalty;
+  double inner_tol =
+      warm_dual ? options.inner.tolerance : options.inner_tol_start;
   double previous_violation = std::numeric_limits<double>::infinity();
 
   set.Project(x, ws.spg.projection);
@@ -185,7 +221,7 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
 
     AugmentedObjective<System> augmented(objective, system, multipliers,
                                          penalty, ws.penalty_ratio,
-                                         ws.penalty_shift);
+                                         ws.penalty_shift, ws.row_values);
     SpgOptions inner_options = options.inner;
     inner_options.tolerance = std::max(options.inner.tolerance, inner_tol);
     const SpgReport inner =
@@ -194,7 +230,7 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
     report.total_inner_iterations += inner.iterations;
     report.evaluations += inner.evaluations;
 
-    const double violation = MaxViolation(system, x);
+    const double violation = MaxViolation(system, x, ws.row_values);
     report.max_violation = violation;
     report.final_penalty = penalty;
     ACS_LOG_DEBUG << "ALM outer " << outer << ": viol=" << violation
@@ -207,9 +243,10 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
       break;
     }
 
-    // First-order multiplier updates.
+    // First-order multiplier updates (batched row values, same row order).
+    system.EvaluateAll(x, ws.row_values);
     for (std::size_t c = 0; c < system.size(); ++c) {
-      const double cv = system.Evaluate(c, x);
+      const double cv = ws.row_values[c];
       if (system.Kind(c) == ConstraintKind::kGeZero) {
         multipliers[c] = std::max(0.0, multipliers[c] - penalty * cv);
       } else {
@@ -228,9 +265,10 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
   }
 
   report.final_value = objective.Value(x);
-  report.max_violation = MaxViolation(system, x);
+  report.max_violation = MaxViolation(system, x, ws.row_values);
   report.feasible = report.max_violation <= options.feasibility_tol;
   ++report.evaluations;
+  report.multipliers = multipliers;
   return report;
 }
 
@@ -255,6 +293,40 @@ void FlatLinearSystem::Assign(const std::vector<LinearConstraint>& constraints) 
     }
   }
   row_begin.push_back(term_index.size());
+
+  // Slot-major padded mirror for the batched evaluation; bail out when a
+  // row exceeds three terms (never happens for the ACS chain system) or an
+  // index does not fit the 32-bit gather lanes.
+  const std::size_t n_rows = rows();
+  packed3 = true;
+  for (std::size_t r = 0; r < n_rows && packed3; ++r) {
+    if (row_begin[r + 1] - row_begin[r] > 3) {
+      packed3 = false;
+    }
+  }
+  for (std::size_t t = 0; t < term_index.size() && packed3; ++t) {
+    if (term_index[t] >
+        static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+      packed3 = false;
+    }
+  }
+  if (packed3) {
+    packed_coeff.assign(3 * n_rows, 0.0);
+    packed_idx.assign(3 * n_rows, 0);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      const std::size_t b = row_begin[r];
+      const std::size_t e = row_begin[r + 1];
+      for (std::size_t t = b; t < e; ++t) {
+        const std::size_t slot = t - b;
+        packed_coeff[slot * n_rows + r] = term_coeff[t];
+        packed_idx[slot * n_rows + r] =
+            static_cast<std::int32_t>(term_index[t]);
+      }
+    }
+  } else {
+    packed_coeff.clear();
+    packed_idx.clear();
+  }
 }
 
 AlmReport MinimizeAlm(const Objective& objective, const FeasibleSet& set,

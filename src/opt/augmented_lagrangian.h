@@ -30,6 +30,18 @@ struct AlmOptions {
   double violation_shrink = 0.25;  // required per-outer improvement factor
   SpgOptions inner;                // inner SPG settings (final tolerance)
   double inner_tol_start = 1e-4;   // loose early, tightens geometrically
+
+  /// Dual warm start (continuation along a solve chain).  Non-null seeds
+  /// the multiplier vector from a previous converged solve of a nearby
+  /// problem with the SAME constraint system shape (the vector's size must
+  /// equal the system's row count — any mismatch falls back to the cold
+  /// path), starts the penalty at max(initial_penalty, dual_penalty_seed)
+  /// and collapses the loose-to-tight inner-tolerance continuation to the
+  /// final tolerance: a near-converged primal/dual pair needs polishing,
+  /// not the cold schedule.  Null (the default) keeps the historical cold
+  /// solve bit-for-bit.
+  const std::vector<double>* dual_seed = nullptr;
+  double dual_penalty_seed = 0.0;
 };
 
 struct AlmReport {
@@ -41,6 +53,11 @@ struct AlmReport {
   double final_value = 0.0;      // objective f (without penalty terms)
   double max_violation = 0.0;
   double final_penalty = 0.0;
+
+  /// Final multipliers in the constraint system's row order — the dual
+  /// state a follow-up solve can pass back in as AlmOptions::dual_seed.
+  /// Empty when the system has no rows.
+  std::vector<double> multipliers;
 };
 
 /// Minimises over `x` in place (projected onto `set` first).  Constraints

@@ -6,6 +6,7 @@
 #include "opt/workspace.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace dvs::opt {
 
@@ -52,18 +53,15 @@ SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     report.iterations = iter + 1;
 
-    // Projected-gradient direction with the current spectral step.
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      trial[i] = x[i] - step * grad[i];
-    }
+    // Projected-gradient direction with the current spectral step
+    // (x + (-step) * grad is bit-identical to x - step * grad).
+    util::simd::AddScaled(x.data(), -step, grad.data(), trial.data(),
+                          x.size());
     set.Project(trial, ws.projection);
-    // Direction and its slope against the gradient in one pass (the sum
-    // accumulates in index order, exactly as Dot would).
-    double slope = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      direction[i] = trial[i] - x[i];
-      slope += grad[i] * direction[i];
-    }
+    // Direction and its slope against the gradient in one pass (at scalar
+    // dispatch the sum accumulates in index order, exactly as Dot would).
+    const double slope = util::simd::StepAndSlope(
+        x.data(), grad.data(), trial.data(), direction.data(), x.size());
 
     // Convergence: unit-step projected gradient displacement.  The set may
     // return early with a lower bound once it exceeds the tolerance (the
@@ -89,9 +87,8 @@ SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
     bool accepted = false;
     double f_new = f;
     for (std::size_t bt = 0; bt <= options.max_backtracks; ++bt) {
-      for (std::size_t i = 0; i < x.size(); ++i) {
-        trial[i] = x[i] + lambda * direction[i];
-      }
+      util::simd::AddScaled(x.data(), lambda, direction.data(), trial.data(),
+                            x.size());
       // Points on the chord between two feasible points stay feasible for
       // convex sets, so no re-projection is needed.
       f_new = objective.ValueAndGradient(trial, trial_grad);
@@ -113,12 +110,8 @@ SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
     // Barzilai-Borwein spectral step from the accepted move.
     double sts = 0.0;
     double sty = 0.0;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      const double s = lambda * direction[i];
-      const double y = trial_grad[i] - grad[i];
-      sts += s * s;
-      sty += s * y;
-    }
+    util::simd::SpectralPair(lambda, direction.data(), grad.data(),
+                             trial_grad.data(), x.size(), &sts, &sty);
     step = (sty > 0.0)
                ? std::clamp(sts / sty, options.step_min, options.step_max)
                : options.step_max;

@@ -4,56 +4,44 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/simd.h"
 
 namespace dvs::opt {
 
+// All kernels route through util::simd, which replicates these exact loops
+// at the scalar dispatch level and uses AVX2 when the level allows it.
+
 double Dot(const Vector& a, const Vector& b) {
   ACS_REQUIRE(a.size() == b.size(), "Dot: size mismatch");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    acc += a[i] * b[i];
-  }
-  return acc;
+  return util::simd::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
 
 double NormInf(const Vector& a) {
-  double best = 0.0;
-  for (double v : a) {
-    best = std::max(best, std::fabs(v));
-  }
-  return best;
+  return util::simd::NormInf(a.data(), a.size());
 }
 
 void Axpy(double alpha, const Vector& x, Vector& y) {
   ACS_REQUIRE(x.size() == y.size(), "Axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] += alpha * x[i];
-  }
+  util::simd::Axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(double alpha, Vector& x) {
-  for (double& v : x) {
-    v *= alpha;
-  }
+  util::simd::Scale(alpha, x.data(), x.size());
 }
 
 Vector Subtract(const Vector& a, const Vector& b) {
   ACS_REQUIRE(a.size() == b.size(), "Subtract: size mismatch");
   Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = a[i] - b[i];
-  }
+  util::simd::Subtract(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 
 Vector AddScaled(const Vector& a, double alpha, const Vector& b) {
   ACS_REQUIRE(a.size() == b.size(), "AddScaled: size mismatch");
   Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = a[i] + alpha * b[i];
-  }
+  util::simd::AddScaled(a.data(), alpha, b.data(), out.data(), a.size());
   return out;
 }
 

@@ -46,13 +46,28 @@ const std::vector<std::string>& CsvSink::HeaderWithScenario() {
   return header;
 }
 
-CsvSink::CsvSink(const std::string& path, bool scenario_column)
-    : out_(path), scenario_column_(scenario_column) {
+const std::vector<std::string>& CsvSink::SolverStatsColumns() {
+  static const std::vector<std::string> columns = {
+      "solver_outer_iterations", "solver_inner_iterations",
+      "solver_evaluations"};
+  return columns;
+}
+
+CsvSink::CsvSink(const std::string& path, bool scenario_column,
+                 bool solver_stats_columns)
+    : out_(path),
+      scenario_column_(scenario_column),
+      solver_stats_columns_(solver_stats_columns) {
   if (!out_) {
     throw util::Error("cannot open CSV sink file: " + path);
   }
-  const std::vector<std::string>& header =
+  std::vector<std::string> header =
       scenario_column_ ? HeaderWithScenario() : Header();
+  if (solver_stats_columns_) {
+    // Between used_fallback and error, per the documented schema.
+    header.insert(header.end() - 1, SolverStatsColumns().begin(),
+                  SolverStatsColumns().end());
+  }
   for (std::size_t i = 0; i < header.size(); ++i) {
     out_ << (i == 0 ? "" : ",") << util::CsvEscape(header[i]);
   }
@@ -89,7 +104,8 @@ void CsvSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (!cell.ok()) {
-    out_ << prefix << ",,,,,,,," << util::CsvEscape(cell.error) << '\n';
+    out_ << prefix << ",,,,,,,," << (solver_stats_columns_ ? ",,," : "")
+         << util::CsvEscape(cell.error) << '\n';
     ++rows_;
     out_.flush();
     return;
@@ -104,7 +120,13 @@ void CsvSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
       out_ << FormatG(100.0 * cell.ImprovementOver(m, baseline));
     }
     out_ << ',' << outcome.deadline_misses << ',' << outcome.voltage_switches
-         << ',' << (outcome.used_fallback ? 1 : 0) << ",\n";
+         << ',' << (outcome.used_fallback ? 1 : 0);
+    if (solver_stats_columns_) {
+      out_ << ',' << outcome.solver_outer_iterations << ','
+           << outcome.solver_inner_iterations << ','
+           << outcome.solver_evaluations;
+    }
+    out_ << ",\n";
     ++rows_;
   }
   out_.flush();

@@ -25,9 +25,13 @@ class CsvSink : public ResultSink {
   /// Opens `path` for writing and emits the header row immediately; throws
   /// util::Error when the file cannot be opened.  `scenario_column` adds a
   /// "scenario" column (after workload_seed) carrying each cell's
-  /// execution-time scenario name; the default omits it so sinks attached
-  /// to scenario-less grids keep the historical schema byte-for-byte.
-  explicit CsvSink(const std::string& path, bool scenario_column = false);
+  /// execution-time scenario name; `solver_stats_columns` adds the
+  /// per-method offline solver counters (solver_outer_iterations,
+  /// solver_inner_iterations, solver_evaluations — see core::MethodOutcome)
+  /// between used_fallback and error.  Both default off so existing sinks
+  /// keep the historical schema byte-for-byte.
+  explicit CsvSink(const std::string& path, bool scenario_column = false,
+                   bool solver_stats_columns = false);
 
   /// Thread-safe: rows are formatted and written under an internal mutex.
   void OnCell(const ExperimentGrid& grid, const CellResult& cell) override;
@@ -41,10 +45,14 @@ class CsvSink : public ResultSink {
   /// The header with the scenario column.
   static const std::vector<std::string>& HeaderWithScenario();
 
+  /// The opt-in solver-stats column names, in emission order.
+  static const std::vector<std::string>& SolverStatsColumns();
+
  private:
   mutable std::mutex mutex_;
   std::ofstream out_;
   bool scenario_column_ = false;
+  bool solver_stats_columns_ = false;
   std::size_t rows_ = 0;
 };
 

@@ -51,6 +51,15 @@ std::size_t ExperimentGrid::CellCount() const {
   return cells;
 }
 
+std::size_t ExperimentGrid::SetCount() const {
+  std::size_t count = 0;
+  for (const TaskSetSource& source : sources) {
+    count += static_cast<std::size_t>(source.Replicates()) *
+             UtilCells(*this, source);
+  }
+  return count;
+}
+
 CellCoord ExperimentGrid::Coord(std::size_t cell_index) const {
   ACS_REQUIRE(cell_index < CellCount(), "cell index out of range");
   CellCoord coord;

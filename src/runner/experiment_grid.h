@@ -109,6 +109,15 @@ struct ExperimentGrid {
   /// experiment-specific processes, e.g. a LoadTraceScenario recording.
   const workload::ScenarioRegistry* scenario_registry = nullptr;
   std::vector<double> sigma_divisors = {6.0};
+  /// Warm-start policy of the scenario-conditioned planning arms.  kOff
+  /// (default) keeps every cell byte-identical to the pre-warm-start
+  /// runner; kNeighbor makes a cell at sigma index k solve the sigma-axis
+  /// prefix chain [0..k] in order, each solve seeded from the previous
+  /// converged schedule (continuation).  The chain is defined by grid
+  /// coordinates alone, so determinism is unaffected; with a shared
+  /// workspace, sigma-sibling cells reuse chain prefixes from the solve
+  /// cache instead of re-solving them.
+  core::WarmStartPolicy warm_start = core::WarmStartPolicy::kOff;
   /// Scenario-conditioned planning knobs (quantile, mixture size,
   /// calibration samples), applied to every cell; only the acs-scenario /
   /// acs-quantile / acs-mixture arms read them.  Not a grid axis: sweeping
@@ -129,6 +138,12 @@ struct ExperimentGrid {
 
   std::size_t CellCount() const;
   CellCoord Coord(std::size_t cell_index) const;
+
+  /// Number of distinct task-set draws: SetIndex(coord) ranges over
+  /// [0, SetCount()).  Because (source, replicate, util) are the grid's
+  /// outermost axes, each SetIndex owns one contiguous run of cell indices
+  /// — the property the sharded runner splits on (runner::RunOptions).
+  std::size_t SetCount() const;
 
   /// Index of `baseline` within `methods`.
   std::size_t BaselineIndex() const;

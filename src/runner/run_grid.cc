@@ -30,6 +30,14 @@ CellResult RunCell(const ExperimentGrid& grid,
         &grid.Scenarios().Get(grid.scenarios[cell.coord.scenario_index]);
     options.planning = grid.planning;
     options.scheduler = grid.scheduler;
+    options.warm_start = grid.warm_start;
+    if (grid.warm_start == core::WarmStartPolicy::kNeighbor) {
+      // The cell's continuation chain: the sigma-axis prefix through its
+      // own divisor, in axis order (see core::WarmStartPolicy::kNeighbor).
+      options.sigma_chain.assign(
+          grid.sigma_divisors.begin(),
+          grid.sigma_divisors.begin() + cell.coord.sigma_index + 1);
+    }
 
     if (!grid.MultiCore()) {
       // Single-core grid: the original per-cell pipeline, bit-identical to
@@ -122,7 +130,7 @@ MethodAggregate GridResult::Aggregate(const ExperimentGrid& grid,
   const std::size_t baseline = grid.BaselineIndex();
   MethodAggregate aggregate;
   for (const CellResult& cell : cells) {
-    if (!cell.ok()) {
+    if (cell.skipped || !cell.ok()) {
       continue;
     }
     if (source_index >= 0 &&
@@ -144,6 +152,9 @@ GridResult RunGrid(const ExperimentGrid& grid,
                    const core::MethodRegistry& registry,
                    const RunOptions& options) {
   grid.Validate(registry);
+  ACS_REQUIRE(options.shard_count >= 1, "shard count must be at least 1");
+  ACS_REQUIRE(options.shard_index < options.shard_count,
+              "shard index must be below the shard count");
 
   std::vector<const core::ScheduleMethod*> methods;
   methods.reserve(grid.methods.size());
@@ -155,10 +166,21 @@ GridResult RunGrid(const ExperimentGrid& grid,
   GridResult result;
   result.cells.resize(cell_count);
 
+  // The shard's SetIndex ownership window (the whole grid when unsharded).
+  const std::size_t set_count = grid.SetCount();
+  const std::size_t set_begin =
+      options.shard_index * set_count / options.shard_count;
+  const std::size_t set_end =
+      (options.shard_index + 1) * set_count / options.shard_count;
+
   ThreadPool pool(options.threads);
   ACS_LOG_INFO << "RunGrid: " << cell_count << " cells x "
                << grid.methods.size() << " methods on " << pool.size()
-               << " threads";
+               << " threads"
+               << (options.shard_count > 1
+                       ? " (shard " + std::to_string(options.shard_index) +
+                             "/" + std::to_string(options.shard_count) + ")"
+                       : "");
 
   // One evaluation workspace per worker: caller-provided ones stay warm
   // across grids (bench --grid-repeats, the CI cold/warm timing step),
@@ -172,15 +194,22 @@ GridResult RunGrid(const ExperimentGrid& grid,
 
   pool.ParallelFor(cell_count, [&](std::size_t worker,
                                    std::size_t cell_index) {
-    result.cells[cell_index] =
-        RunCell(grid, methods, cell_index, workspaces[worker]);
+    CellResult& cell = result.cells[cell_index];
+    const CellCoord coord = grid.Coord(cell_index);
+    const std::size_t set_index = grid.SetIndex(coord);
+    if (set_index < set_begin || set_index >= set_end) {
+      cell.coord = coord;
+      cell.skipped = true;
+      return;
+    }
+    cell = RunCell(grid, methods, cell_index, workspaces[worker]);
     if (options.sink != nullptr) {
-      options.sink->OnCell(grid, result.cells[cell_index]);
+      options.sink->OnCell(grid, cell);
     }
   });
 
   for (const CellResult& cell : result.cells) {
-    result.failed_cells += cell.ok() ? 0 : 1;
+    result.failed_cells += (!cell.skipped && !cell.ok()) ? 1 : 0;
   }
   return result;
 }

@@ -41,6 +41,11 @@ namespace dvs::runner {
 /// method order), or an error message when the cell failed.
 struct CellResult {
   CellCoord coord;
+  /// True when a sharded run (RunOptions::shard_count > 1) assigned this
+  /// cell to another shard: the cell was not evaluated, carries no
+  /// outcomes and no error, and is excluded from aggregates, sinks and the
+  /// failed-cell count.
+  bool skipped = false;
   std::size_t sub_instances = 0;
   /// Hyper-period of the cell's (whole) task set — the per-hyper-period /
   /// per-ms unit conversion factor, recorded so consumers need not re-draw
@@ -118,6 +123,16 @@ struct RunOptions {
   /// workspaces.  Non-owning; must outlive the call, and every grid's
   /// `dvs` model must outlive the vector (cached solves reference it).
   std::vector<core::EvalWorkspace>* workspaces = nullptr;
+  /// Sharding: with shard_count N > 1, shard i of N evaluates only the
+  /// cells whose SetIndex falls in [floor(i*S/N), floor((i+1)*S/N)) where
+  /// S = grid.SetCount(); every other cell is returned with skipped set.
+  /// Splitting on SetIndex (not cell_index) keeps each task set's solve
+  /// cache — and a kNeighbor warm-start chain — entirely within one shard,
+  /// so a sharded run performs no duplicate solves across processes and
+  /// the concatenation of all shards' rows equals the unsharded run's
+  /// row set exactly (see runner/shard.h for the CSV merge).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 /// Runs every cell of `grid`, resolving methods against `registry`.

@@ -1,0 +1,145 @@
+#include "runner/shard.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace dvs::runner {
+namespace {
+
+constexpr std::size_t kNoCell = std::numeric_limits<std::size_t>::max();
+
+/// Leading cell index of one data row (the first comma-terminated field).
+std::size_t LeadingCellIndex(const std::string& row, const std::string& path) {
+  std::size_t value = 0;
+  std::size_t digits = 0;
+  for (char c : row) {
+    if (c == ',') {
+      break;
+    }
+    if (c < '0' || c > '9') {
+      digits = 0;
+      break;
+    }
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+    ++digits;
+  }
+  if (digits == 0) {
+    throw util::Error("shard CSV " + path +
+                      " has a row without a leading cell index: " + row);
+  }
+  return value;
+}
+
+}  // namespace
+
+ShardCsv ParseShardCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::Error("cannot open shard CSV: " + path);
+  }
+  ShardCsv shard;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw util::Error("shard CSV is empty: " + path);
+  }
+  shard.header = line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;  // tolerate a trailing blank line
+    }
+    shard.cells.push_back(LeadingCellIndex(line, path));
+    shard.rows.push_back(std::move(line));
+  }
+  return shard;
+}
+
+std::string MergeShardCsvs(const std::vector<ShardCsv>& shards) {
+  ACS_REQUIRE(!shards.empty(), "shard merge needs at least one input");
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    if (shards[s].header != shards[0].header) {
+      throw util::Error("shard CSV headers disagree (shard 0 vs shard " +
+                        std::to_string(s) + ") — the inputs were not "
+                        "produced by identical grid configurations");
+    }
+  }
+
+  // (cell_index, shard, row-within-shard): sorting this triple is the
+  // stable k-way merge — shard-internal order breaks cell ties, keeping
+  // each cell's method rows in emission order.
+  struct Key {
+    std::size_t cell;
+    std::size_t shard;
+    std::size_t row;
+  };
+  std::vector<Key> keys;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (std::size_t r = 0; r < shards[s].rows.size(); ++r) {
+      keys.push_back(Key{shards[s].cells[r], s, r});
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.cell != b.cell) return a.cell < b.cell;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.row < b.row;
+  });
+
+  // Coverage checks: a cell's rows must all come from one shard, and the
+  // merged cell-index set must be contiguous from 0.
+  std::size_t prev_cell = kNoCell;
+  std::size_t prev_shard = 0;
+  std::size_t next_expected = 0;
+  for (const Key& key : keys) {
+    if (key.cell == prev_cell) {
+      if (key.shard != prev_shard) {
+        throw util::Error("cell " + std::to_string(key.cell) +
+                          " appears in more than one shard (shards " +
+                          std::to_string(prev_shard) + " and " +
+                          std::to_string(key.shard) + ") — overlapping "
+                          "shard ranges or a duplicated input file");
+      }
+      continue;
+    }
+    if (key.cell != next_expected) {
+      throw util::Error("merged shards are missing cell " +
+                        std::to_string(next_expected) +
+                        " — an absent shard file or an incomplete run");
+    }
+    prev_cell = key.cell;
+    prev_shard = key.shard;
+    next_expected = key.cell + 1;
+  }
+
+  std::ostringstream out;
+  out << shards[0].header << '\n';
+  for (const Key& key : keys) {
+    out << shards[key.shard].rows[key.row] << '\n';
+  }
+  return out.str();
+}
+
+std::size_t MergeShardCsvFiles(const std::vector<std::string>& input_paths,
+                               const std::string& output_path) {
+  std::vector<ShardCsv> shards;
+  shards.reserve(input_paths.size());
+  std::size_t rows = 0;
+  for (const std::string& path : input_paths) {
+    shards.push_back(ParseShardCsv(path));
+    rows += shards.back().rows.size();
+  }
+  const std::string merged = MergeShardCsvs(shards);
+  std::ofstream out(output_path);
+  if (!out) {
+    throw util::Error("cannot open merge output: " + output_path);
+  }
+  out << merged;
+  if (!out) {
+    throw util::Error("failed writing merge output: " + output_path);
+  }
+  return rows;
+}
+
+}  // namespace dvs::runner

@@ -1,0 +1,48 @@
+// Shard-CSV merging for split grid runs.
+//
+// A sharded experiment runs the same ExperimentGrid in N processes, each
+// with RunOptions{shard_index = i, shard_count = N} and its own CsvSink
+// file.  Each shard owns a contiguous SetIndex range (run_grid.h), so its
+// CSV holds a disjoint, contiguous slice of the grid's cell indices.
+// MergeShardCsvs reassembles the slices into the file a serial unsharded
+// run would have produced: headers must agree byte-for-byte, rows are
+// merged by their leading cell_index (stable within a shard, so a cell's
+// method rows keep their emission order), and the merged cell-index set
+// must be exactly 0..max with no duplicates across shards — overlapping or
+// missing shards are reported as errors, never silently concatenated.
+#ifndef ACS_RUNNER_SHARD_H
+#define ACS_RUNNER_SHARD_H
+
+#include <string>
+#include <vector>
+
+namespace dvs::runner {
+
+/// One shard file parsed for merging.
+struct ShardCsv {
+  std::string header;                // the literal header line
+  std::vector<std::string> rows;     // data lines, file order
+  std::vector<std::size_t> cells;    // leading cell_index per data line
+};
+
+/// Parses one shard CSV produced by runner::CsvSink.  Throws util::Error on
+/// an unreadable file, an empty file, or a data row without a leading
+/// integer cell index.
+ShardCsv ParseShardCsv(const std::string& path);
+
+/// Merges shard CSV texts into the unsharded file content: the common
+/// header line, then every data row ordered by cell_index (ties keep
+/// shard-internal order, which preserves each cell's method-row sequence).
+/// Throws util::Error when headers differ, a cell index appears in more
+/// than one shard, or the union of cell indices is not contiguous from 0
+/// (a missing shard / incomplete run).
+std::string MergeShardCsvs(const std::vector<ShardCsv>& shards);
+
+/// Convenience: parse `input_paths`, merge, and write `output_path`.
+/// Returns the number of data rows written.
+std::size_t MergeShardCsvFiles(const std::vector<std::string>& input_paths,
+                               const std::string& output_path);
+
+}  // namespace dvs::runner
+
+#endif  // ACS_RUNNER_SHARD_H

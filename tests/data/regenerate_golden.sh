@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Deliberate regeneration of the golden CSV files in this directory.
+# Deliberate regeneration — or verification — of the golden CSV files in
+# this directory.
 #
 # The golden tests (tests/runner_golden_csv_test.cc) byte-compare serially
 # produced grid CSVs against:
@@ -15,11 +16,22 @@
 #
 # Usage (from the repo root, after building):
 #
-#   tests/data/regenerate_golden.sh [build-dir] [gtest-filter]
+#   tests/data/regenerate_golden.sh [--check] [build-dir] [gtest-filter]
 #
 # Defaults: build-dir "build", filter the planning golden only.  To also
 # regenerate the legacy golden, pass '*GoldenCsv*' as the filter.
+#
+# --check runs BOTH golden tests at the scalar SIMD level without touching
+# the checked-in files and fails on any byte difference — the CI lane that
+# proves the working tree still reproduces its own goldens (a vector-
+# dispatch or warm-start default accidentally changing bytes trips here).
 set -euo pipefail
+
+check=0
+if [[ "${1:-}" == "--check" ]]; then
+  check=1
+  shift
+fi
 
 build_dir="${1:-build}"
 filter="${2:-*SerialPlanningGridByteMatchesCheckedInFile*}"
@@ -27,6 +39,16 @@ filter="${2:-*SerialPlanningGridByteMatchesCheckedInFile*}"
 if [[ ! -x "${build_dir}/runner_golden_csv_test" ]]; then
   echo "error: ${build_dir}/runner_golden_csv_test not built" >&2
   exit 1
+fi
+
+if [[ "${check}" == 1 ]]; then
+  # Verify only: the tests compare, never overwrite.  The scalar pin makes
+  # the check meaningful on any hardware — the goldens' bytes are defined
+  # at the scalar dispatch level (util/simd.h).
+  ACS_SIMD=scalar "${build_dir}/runner_golden_csv_test" \
+    --gtest_filter='*GoldenCsv*'
+  echo "goldens verified byte-identical"
+  exit 0
 fi
 
 ACS_REGENERATE_GOLDEN=1 "${build_dir}/runner_golden_csv_test" \

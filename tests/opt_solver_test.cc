@@ -201,6 +201,74 @@ TEST(Alm, CombinesBoxAndLinearConstraints) {
   EXPECT_NEAR(x[1], 0.5, 1e-4);
 }
 
+TEST(Alm, ReportExportsMultipliersForActiveConstraints) {
+  // Same active-inequality problem as above: the converged report must
+  // carry one multiplier per constraint row, strictly positive for the
+  // active row (KKT), so a chain neighbor can continue from it.
+  const Quadratic f({1.0, 1.0});
+  const FreeSet space;
+  LinearConstraint c;
+  c.kind = ConstraintKind::kGeZero;
+  c.terms = {{0, -1.0}, {1, -1.0}};
+  c.constant = 1.0;
+  Vector x{0.0, 0.0};
+  const AlmReport report = MinimizeAlm(f, space, {c}, x);
+  ASSERT_TRUE(report.feasible);
+  ASSERT_EQ(report.multipliers.size(), 1u);
+  EXPECT_GT(report.multipliers[0], 0.0);
+}
+
+TEST(Alm, DualSeedPolishesInFewerOuterIterations) {
+  // Cold-solve once, then re-solve the same problem seeded from the
+  // converged primal AND dual.  The warm solve must land on the same
+  // optimum while skipping most of the cold outer schedule (the dual seed
+  // collapses the inner-tolerance ramp).
+  const Quadratic f({1.0, 1.0});
+  const FreeSet space;
+  LinearConstraint c;
+  c.kind = ConstraintKind::kGeZero;
+  c.terms = {{0, -1.0}, {1, -1.0}};
+  c.constant = 1.0;
+  Vector cold_x{0.0, 0.0};
+  const AlmReport cold = MinimizeAlm(f, space, {c}, cold_x);
+  ASSERT_TRUE(cold.feasible);
+
+  Vector warm_x = cold_x;
+  AlmOptions options;
+  options.dual_seed = &cold.multipliers;
+  options.dual_penalty_seed = cold.final_penalty;
+  const AlmReport warm = MinimizeAlm(f, space, {c}, warm_x, options);
+  EXPECT_TRUE(warm.feasible);
+  EXPECT_LT(warm.outer_iterations, cold.outer_iterations);
+  EXPECT_LT(warm.total_inner_iterations, cold.total_inner_iterations);
+  EXPECT_NEAR(warm_x[0], cold_x[0], 1e-4);
+  EXPECT_NEAR(warm_x[1], cold_x[1], 1e-4);
+}
+
+TEST(Alm, DualSeedSizeMismatchFallsBackToColdPath) {
+  // A seed whose size does not match the constraint system must be ignored
+  // — the solve is then bit-identical to the unseeded cold path.
+  const Quadratic f({1.0, 1.0});
+  const FreeSet space;
+  LinearConstraint c;
+  c.kind = ConstraintKind::kGeZero;
+  c.terms = {{0, -1.0}, {1, -1.0}};
+  c.constant = 1.0;
+  Vector cold_x{0.0, 0.0};
+  const AlmReport cold = MinimizeAlm(f, space, {c}, cold_x);
+
+  const std::vector<double> bad_seed(3, 1.0);  // system has 1 row
+  AlmOptions options;
+  options.dual_seed = &bad_seed;
+  options.dual_penalty_seed = 99.0;
+  Vector x{0.0, 0.0};
+  const AlmReport report = MinimizeAlm(f, space, {c}, x, options);
+  EXPECT_EQ(report.outer_iterations, cold.outer_iterations);
+  EXPECT_EQ(report.total_inner_iterations, cold.total_inner_iterations);
+  EXPECT_EQ(x[0], cold_x[0]);
+  EXPECT_EQ(x[1], cold_x[1]);
+}
+
 TEST(Alm, NoConstraintsDelegatesToSpg) {
   const Quadratic f({1.0, 2.0});
   const FreeSet space;

@@ -31,6 +31,7 @@
 #include "runner/csv_sink.h"
 #include "runner/experiment_grid.h"
 #include "runner/run_grid.h"
+#include "util/simd.h"
 #include "workload/presets.h"
 #include "workload/random_taskset.h"
 
@@ -107,6 +108,13 @@ ExperimentGrid GoldenGrid(const model::DvsModel& dvs) {
 }
 
 TEST(GoldenCsv, SerialSmokeGridByteMatchesCheckedInFile) {
+  // The goldens' bytes are defined at the scalar dispatch level: the
+  // scalar kernels replicate the historical loops op for op, while the
+  // vector levels fold reductions in a different FP association
+  // (util/simd.h).  Pinning here keeps the byte contract meaningful on
+  // any hardware; the scalar-vs-vector agreement contract is pinned
+  // separately by util_simd_test.
+  const util::simd::ScopedLevel scalar(util::simd::Level::kScalar);
   const model::LinearDvsModel cpu = workload::DefaultModel();
   const ExperimentGrid grid = GoldenGrid(cpu);
 
@@ -166,6 +174,8 @@ ExperimentGrid GoldenPlanningGrid(const model::DvsModel& dvs) {
 }
 
 TEST(GoldenCsv, SerialPlanningGridByteMatchesCheckedInFile) {
+  // Scalar pin, same rationale as the legacy golden above.
+  const util::simd::ScopedLevel scalar(util::simd::Level::kScalar);
   const model::LinearDvsModel cpu = workload::DefaultModel();
   const ExperimentGrid grid = GoldenPlanningGrid(cpu);
 

@@ -1,0 +1,321 @@
+// Sharded-run contract: splitting a grid across shards and merging the
+// shard CSVs must reproduce the unsharded serial run byte-for-byte.
+//
+// The end-to-end test runs the golden smoke grid unsharded (serial) and as
+// two shards (each on two worker threads — the merge's cell-index sort is
+// what restores serial row order, so multi-threaded shards are the honest
+// exercise), then byte-compares the merged text against the unsharded
+// file.  A second end-to-end run pins the same contract for the planning
+// arms with neighbor warm starts and the solver-stats columns on — the
+// chain and the counters are defined by grid coordinates alone, so
+// sharding cannot move a byte.  Synthetic ShardCsv inputs cover the merge
+// error taxonomy (header drift, overlapping shards, coverage gaps).
+#include "runner/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/csv_sink.h"
+#include "runner/experiment_grid.h"
+#include "runner/run_grid.h"
+#include "util/error.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+
+namespace dvs::runner {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string FreshPath(const std::string& stem) {
+  return ::testing::TempDir() + stem + "." +
+         std::to_string(static_cast<long long>(::getpid())) + ".csv";
+}
+
+model::TaskSet TinyFixedSet(const model::DvsModel& dvs) {
+  model::Task a;
+  a.name = "a";
+  a.period = 10;
+  a.wcec = 8.0;
+  a.acec = 5.0;
+  a.bcec = 2.0;
+  model::Task b;
+  b.name = "b";
+  b.period = 20;
+  b.wcec = 12.0;
+  b.acec = 8.0;
+  b.bcec = 4.0;
+  return workload::ScaleToUtilization({a, b}, dvs, 0.6);
+}
+
+/// The golden smoke grid (tests/runner_golden_csv_test.cc): three task
+/// sets, so a 2-shard split lands 1 + 2 sets — an uneven division, the
+/// interesting case.
+ExperimentGrid SmokeGrid(const model::DvsModel& dvs) {
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 2;
+  gen.bcec_wcec_ratio = 0.3;
+  gen.max_sub_instances = 24;
+
+  ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = {RandomSource("random-2", gen, 2),
+                  FixedSource("tiny-fixed", TinyFixedSet(dvs))};
+  grid.sigma_divisors = {6.0, 10.0};
+  grid.workload_seeds = {0, 1};
+  grid.methods = {"acs", "wcs", "static-vmax"};
+  grid.hyper_periods = 10;
+  grid.master_seed = 7;
+  return grid;
+}
+
+/// A slim planning grid with a 2-point sigma axis: neighbor warm starts
+/// actually chain, and the solver-stats columns carry per-link counters.
+ExperimentGrid WarmPlanningGrid(const model::DvsModel& dvs) {
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 3;
+  gen.bcec_wcec_ratio = 0.3;
+  gen.max_sub_instances = 24;
+
+  ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = {RandomSource("random-3", gen, 1),
+                  FixedSource("tiny-fixed", TinyFixedSet(dvs))};
+  grid.scenarios = {"iid-normal", "heavy-tail"};
+  grid.sigma_divisors = {5.0, 8.0};
+  grid.methods = {"acs", "acs-scenario", "acs-quantile"};
+  grid.baseline = "acs";
+  grid.planning.calibration_samples = 64;
+  grid.warm_start = core::WarmStartPolicy::kNeighbor;
+  grid.hyper_periods = 10;
+  grid.master_seed = 11;
+  return grid;
+}
+
+struct GridRunArtifacts {
+  std::string unsharded;              // full serial CSV text
+  std::vector<std::string> shards;    // per-shard CSV texts
+  std::size_t unsharded_rows = 0;
+  std::size_t shard_rows = 0;
+};
+
+GridRunArtifacts RunUnshardedAndSharded(const ExperimentGrid& grid,
+                                        bool scenario_column,
+                                        bool solver_stats,
+                                        std::size_t shard_count) {
+  GridRunArtifacts artifacts;
+
+  const std::string full_path = FreshPath("shard_test_unsharded");
+  {
+    CsvSink sink(full_path, scenario_column, solver_stats);
+    RunOptions options;
+    options.threads = 1;  // serial: the reference row order
+    options.sink = &sink;
+    const GridResult result = RunGrid(grid, options);
+    EXPECT_EQ(result.failed_cells, 0u);
+    artifacts.unsharded_rows = sink.rows();
+  }
+  artifacts.unsharded = ReadFile(full_path);
+  std::remove(full_path.c_str());
+
+  for (std::size_t shard = 0; shard < shard_count; ++shard) {
+    const std::string path =
+        FreshPath("shard_test_part" + std::to_string(shard));
+    {
+      CsvSink sink(path, scenario_column, solver_stats);
+      RunOptions options;
+      options.threads = 2;  // out-of-order rows; the merge must fix it
+      options.sink = &sink;
+      options.shard_index = shard;
+      options.shard_count = shard_count;
+      const GridResult result = RunGrid(grid, options);
+      EXPECT_EQ(result.failed_cells, 0u);
+      artifacts.shard_rows += sink.rows();
+    }
+    artifacts.shards.push_back(ReadFile(path));
+    std::remove(path.c_str());
+  }
+  return artifacts;
+}
+
+ShardCsv ParseText(const std::string& text) {
+  const std::string path = FreshPath("shard_test_text");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  ShardCsv shard = ParseShardCsv(path);
+  std::remove(path.c_str());
+  return shard;
+}
+
+TEST(RunnerShard, TwoShardMergeByteIdenticalToUnshardedSerialRun) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = SmokeGrid(cpu);
+  const GridRunArtifacts artifacts = RunUnshardedAndSharded(
+      grid, /*scenario_column=*/false, /*solver_stats=*/false,
+      /*shard_count=*/2);
+
+  ASSERT_EQ(artifacts.shard_rows, artifacts.unsharded_rows)
+      << "shards must cover the grid exactly once";
+  std::vector<ShardCsv> shards;
+  for (const std::string& text : artifacts.shards) {
+    shards.push_back(ParseText(text));
+  }
+  EXPECT_EQ(MergeShardCsvs(shards), artifacts.unsharded);
+}
+
+TEST(RunnerShard, WarmStartedPlanningGridMergesByteIdenticalWithStats) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = WarmPlanningGrid(cpu);
+  const GridRunArtifacts artifacts = RunUnshardedAndSharded(
+      grid, /*scenario_column=*/true, /*solver_stats=*/true,
+      /*shard_count=*/2);
+
+  ASSERT_EQ(artifacts.shard_rows, artifacts.unsharded_rows);
+  std::vector<ShardCsv> shards;
+  for (const std::string& text : artifacts.shards) {
+    shards.push_back(ParseText(text));
+  }
+  EXPECT_EQ(MergeShardCsvs(shards), artifacts.unsharded);
+}
+
+TEST(RunnerShard, SingleShardRoundTripsThroughTheFileApi) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = SmokeGrid(cpu);
+
+  const std::string path = FreshPath("shard_test_single");
+  {
+    CsvSink sink(path);
+    RunOptions options;
+    options.threads = 1;
+    options.sink = &sink;
+    RunGrid(grid, options);
+  }
+  const std::string merged_path = FreshPath("shard_test_single_merged");
+  const std::size_t rows = MergeShardCsvFiles({path}, merged_path);
+  EXPECT_EQ(ReadFile(merged_path), ReadFile(path));
+  EXPECT_EQ(rows, grid.CellCount() * grid.methods.size());
+  std::remove(path.c_str());
+  std::remove(merged_path.c_str());
+}
+
+TEST(RunnerShard, RunGridRejectsInvalidShardOptions) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = SmokeGrid(cpu);
+  RunOptions options;
+  options.shard_count = 0;
+  EXPECT_THROW(RunGrid(grid, options), util::Error);
+  options.shard_count = 2;
+  options.shard_index = 2;
+  EXPECT_THROW(RunGrid(grid, options), util::Error);
+}
+
+TEST(RunnerShard, SkippedCellsCarryNoOutcomesAndNoFailures) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = SmokeGrid(cpu);
+  RunOptions options;
+  options.threads = 1;
+  options.shard_index = 0;
+  options.shard_count = 2;
+  const GridResult result = RunGrid(grid, options);
+  EXPECT_EQ(result.failed_cells, 0u);
+  std::size_t evaluated = 0;
+  std::size_t skipped = 0;
+  for (const CellResult& cell : result.cells) {
+    if (cell.skipped) {
+      ++skipped;
+      EXPECT_TRUE(cell.outcomes.empty());
+      EXPECT_TRUE(cell.error.empty());
+    } else {
+      ++evaluated;
+      EXPECT_EQ(cell.outcomes.size(), grid.methods.size());
+    }
+  }
+  EXPECT_GT(evaluated, 0u);
+  EXPECT_GT(skipped, 0u);
+  EXPECT_EQ(evaluated + skipped, grid.CellCount());
+}
+
+// ---- merge error taxonomy, on synthetic inputs -----------------------------
+
+ShardCsv Synthetic(const std::string& header,
+                   const std::vector<std::string>& rows) {
+  ShardCsv shard;
+  shard.header = header;
+  for (const std::string& row : rows) {
+    shard.cells.push_back(static_cast<std::size_t>(std::stoul(row)));
+    shard.rows.push_back(row);
+  }
+  return shard;
+}
+
+TEST(RunnerShard, MergeRejectsDisagreeingHeaders) {
+  const ShardCsv a = Synthetic("cell_index,x", {"0,1"});
+  const ShardCsv b = Synthetic("cell_index,y", {"1,2"});
+  EXPECT_THROW(MergeShardCsvs({a, b}), util::Error);
+}
+
+TEST(RunnerShard, MergeRejectsOverlappingShards) {
+  const ShardCsv a = Synthetic("h", {"0,a", "1,a"});
+  const ShardCsv b = Synthetic("h", {"1,b", "2,b"});
+  try {
+    MergeShardCsvs({a, b});
+    FAIL() << "overlap not detected";
+  } catch (const util::Error& error) {
+    EXPECT_NE(std::string(error.what()).find("more than one shard"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(RunnerShard, MergeRejectsCoverageGaps) {
+  const ShardCsv a = Synthetic("h", {"0,a"});
+  const ShardCsv b = Synthetic("h", {"2,b"});  // cell 1 missing
+  try {
+    MergeShardCsvs({a, b});
+    FAIL() << "gap not detected";
+  } catch (const util::Error& error) {
+    EXPECT_NE(std::string(error.what()).find("missing cell"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(RunnerShard, MergeKeepsPerCellRowOrderAcrossOutOfOrderShards) {
+  // Shard files arrive with cells out of order (threads > 1); the merge
+  // sorts by cell but must keep each cell's method rows in file order.
+  const ShardCsv a = Synthetic("h", {"2,first", "2,second", "0,first"});
+  const ShardCsv b = Synthetic("h", {"1,first", "1,second"});
+  const std::string merged = MergeShardCsvs({a, b});
+  EXPECT_EQ(merged,
+            "h\n0,first\n1,first\n1,second\n2,first\n2,second\n");
+}
+
+TEST(RunnerShard, ParseRejectsMissingAndMalformedFiles) {
+  EXPECT_THROW(ParseShardCsv(FreshPath("shard_test_nonexistent")),
+               util::Error);
+  const std::string path = FreshPath("shard_test_malformed");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "header\nnot-a-cell-index,1\n";
+  }
+  EXPECT_THROW(ParseShardCsv(path), util::Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dvs::runner

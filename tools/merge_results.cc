@@ -1,0 +1,60 @@
+// Merge shard CSVs (tools/shard_grid output) into the unsharded file.
+//
+//   merge_results --output=merged.csv shard0.csv shard1.csv ...
+//
+// Headers must agree byte-for-byte, every cell index must appear in
+// exactly one input, and the union must be contiguous from 0 — overlaps
+// and gaps are hard errors (runner/shard.h).  The merged file is
+// byte-identical to what one serial unsharded run would have written.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/shard.h"
+#include "util/error.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string output;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--output=", 0) == 0) {
+      output = arg.substr(9);
+    } else if (arg == "--output" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: merge_results --output=<merged.csv> "
+                   "<shard0.csv> [shard1.csv ...]\n";
+      return EXIT_SUCCESS;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "merge_results: unknown flag " << arg << "\n";
+      return EXIT_FAILURE;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (output.empty() || inputs.empty()) {
+    std::cerr << "usage: merge_results --output=<merged.csv> "
+                 "<shard0.csv> [shard1.csv ...]\n";
+    return EXIT_FAILURE;
+  }
+
+  const std::size_t rows = dvs::runner::MergeShardCsvFiles(inputs, output);
+  std::cout << "merged " << inputs.size() << " shard files, " << rows
+            << " rows -> " << output << "\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const dvs::util::Error& error) {
+    std::cerr << "merge_results: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

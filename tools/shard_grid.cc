@@ -1,0 +1,156 @@
+// Sharded smoke-grid runner: one process = one shard of a fixed grid.
+//
+// Runs the repository's smoke grid (the exact grid behind
+// tests/data/golden_smoke_grid.csv, or the planning grid behind
+// golden_planning_grid.csv with --planning) restricted to shard
+// `--shard` of `--shard-count`, streaming the shard's rows to `--csv`.
+// Merging every shard's CSV with tools/merge_results reproduces the
+// unsharded serial run byte-for-byte — the end-to-end contract that
+// tests/runner_shard_test.cc pins in-process.
+//
+//   shard_grid --shard=0 --shard-count=2 --csv=shard0.csv
+//   shard_grid --shard=1 --shard-count=2 --csv=shard1.csv
+//   merge_results --output=merged.csv shard0.csv shard1.csv
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "runner/csv_sink.h"
+#include "runner/experiment_grid.h"
+#include "runner/run_grid.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "workload/presets.h"
+#include "workload/random_taskset.h"
+
+namespace {
+
+using namespace dvs;
+
+model::TaskSet TinyFixedSet(const model::DvsModel& dvs) {
+  model::Task a;
+  a.name = "a";
+  a.period = 10;
+  a.wcec = 8.0;
+  a.acec = 5.0;
+  a.bcec = 2.0;
+  model::Task b;
+  b.name = "b";
+  b.period = 20;
+  b.wcec = 12.0;
+  b.acec = 8.0;
+  b.bcec = 4.0;
+  return workload::ScaleToUtilization({a, b}, dvs, 0.6);
+}
+
+/// The legacy smoke grid — must stay in lockstep with GoldenGrid in
+/// tests/runner_golden_csv_test.cc so a merged sharded run can be compared
+/// against tests/data/golden_smoke_grid.csv directly.
+runner::ExperimentGrid SmokeGrid(const model::DvsModel& dvs) {
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 2;
+  gen.bcec_wcec_ratio = 0.3;
+  gen.max_sub_instances = 24;
+
+  runner::ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = {runner::RandomSource("random-2", gen, 2),
+                  runner::FixedSource("tiny-fixed", TinyFixedSet(dvs))};
+  grid.sigma_divisors = {6.0, 10.0};
+  grid.workload_seeds = {0, 1};
+  grid.methods = {"acs", "wcs", "static-vmax"};
+  grid.hyper_periods = 10;
+  grid.master_seed = 7;
+  return grid;
+}
+
+/// The planning smoke grid — lockstep with GoldenPlanningGrid in
+/// tests/runner_golden_csv_test.cc (golden_planning_grid.csv).
+runner::ExperimentGrid PlanningGrid(const model::DvsModel& dvs) {
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 3;
+  gen.bcec_wcec_ratio = 0.3;
+  gen.max_sub_instances = 24;
+
+  runner::ExperimentGrid grid;
+  grid.dvs = &dvs;
+  grid.sources = {runner::RandomSource("random-3", gen, 1),
+                  runner::FixedSource("tiny-fixed", TinyFixedSet(dvs))};
+  grid.scenarios = {"iid-normal", "heavy-tail", "bimodal"};
+  grid.methods = {"acs", "acs-scenario", "acs-quantile", "acs-mixture", "wcs"};
+  grid.baseline = "acs";
+  grid.planning.calibration_samples = 256;
+  grid.planning.mixture_samples = 4;
+  grid.hyper_periods = 10;
+  grid.master_seed = 11;
+  return grid;
+}
+
+int Run(int argc, const char* const* argv) {
+  std::int64_t shard = 0;
+  std::int64_t shard_count = 1;
+  std::int64_t threads = 1;
+  std::string csv;
+  bool planning = false;
+  bool solver_stats = false;
+  std::string warm_start = "off";
+
+  util::ArgParser parser(
+      "shard_grid",
+      "Run one shard of the fixed smoke grid, streaming rows to a CSV that "
+      "tools/merge_results reassembles into the unsharded file.");
+  parser.AddInt("shard", &shard, "shard index in [0, shard-count)");
+  parser.AddInt("shard-count", &shard_count, "total number of shards");
+  parser.AddInt("threads", &threads,
+                "worker threads for this shard (<= 0: hardware threads)");
+  parser.AddString("csv", &csv, "output CSV path for this shard (required)");
+  parser.AddFlag("planning", &planning,
+                 "run the scenario-planning smoke grid (scenario column on) "
+                 "instead of the legacy grid");
+  parser.AddFlag("solver-stats", &solver_stats,
+                 "append the opt-in solver iteration/evaluation CSV columns");
+  parser.AddString("warm-start", &warm_start,
+                   "sigma-axis warm-start policy: off | neighbor");
+  if (!parser.Parse(argc, argv)) {
+    return EXIT_SUCCESS;
+  }
+  if (csv.empty()) {
+    std::cerr << "shard_grid: --csv is required\n" << parser.Usage();
+    return EXIT_FAILURE;
+  }
+
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  runner::ExperimentGrid grid = planning ? PlanningGrid(cpu) : SmokeGrid(cpu);
+  if (warm_start == "neighbor") {
+    grid.warm_start = core::WarmStartPolicy::kNeighbor;
+  } else if (warm_start != "off") {
+    std::cerr << "shard_grid: unknown --warm-start \"" << warm_start
+              << "\" (expected off | neighbor)\n";
+    return EXIT_FAILURE;
+  }
+
+  runner::CsvSink sink(csv, /*scenario_column=*/planning,
+                       /*solver_stats_columns=*/solver_stats);
+  runner::RunOptions options;
+  options.threads = static_cast<int>(threads);
+  options.sink = &sink;
+  options.shard_index = static_cast<std::size_t>(shard);
+  options.shard_count = static_cast<std::size_t>(shard_count);
+  const runner::GridResult result = runner::RunGrid(grid, options);
+
+  std::cout << "shard " << shard << "/" << shard_count << ": " << sink.rows()
+            << " rows -> " << csv << " (" << result.failed_cells
+            << " failed cells)\n";
+  return result.failed_cells == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const dvs::util::Error& error) {
+    std::cerr << "shard_grid: " << error.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
