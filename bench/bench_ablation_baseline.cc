@@ -129,6 +129,7 @@ int main(int argc, char** argv) {
       csv.WriteFile(config.csv);
     }
     config.WriteBenchJson();
+    config.WriteRunArtifacts();
     return 0;
   } catch (const util::Error& error) {
     std::cerr << "error: " << error.what() << "\n";

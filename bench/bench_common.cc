@@ -6,6 +6,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/convergence.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/thread_pool.h"
 #include "util/error.h"
 #include "util/json.h"
@@ -14,6 +18,16 @@
 #include "workload/random_taskset.h"
 
 namespace dvs::bench {
+
+TelemetryState::TelemetryState() = default;
+
+TelemetryState::~TelemetryState() {
+  // The recorders self-uninstall in their destructors; the metrics registry
+  // uses a plain pointer, so clear it before the registry dies.
+  if (metrics != nullptr && obs::ActiveMetrics() == metrics.get()) {
+    obs::InstallMetrics(nullptr);
+  }
+}
 
 void SweepConfig::Register(util::ArgParser& parser) {
   program = parser.program();
@@ -55,6 +69,17 @@ void SweepConfig::Register(util::ArgParser& parser) {
   parser.AddInt("grid-repeats", &grid_repeats,
                 "time each grid this many times (repeats > 0 re-run against "
                 "warm per-thread workspaces; results come from repeat 0)");
+  parser.AddString("trace-out", &trace_out,
+                   "write a Chrome trace_event JSON of the run's phase "
+                   "spans here (chrome://tracing, Perfetto)");
+  parser.AddString("manifest-out", &manifest_out,
+                   "write a run manifest (build, config, aggregated "
+                   "metrics) here");
+  parser.AddString("convergence-out", &convergence_out,
+                   "write per-iteration SPG/ALM solver records (JSONL) "
+                   "here");
+  parser.AddFlag("metrics", &metrics,
+                 "collect and print the aggregated telemetry counters");
 }
 
 std::unique_ptr<runner::CsvSink> SweepConfig::OpenCellSink() {
@@ -72,6 +97,24 @@ void SweepConfig::Finalize() {
     tasksets = 100;
     hyper_periods = 1000;
     seeds = 20;
+  }
+  // Install the requested telemetry before any worker thread exists (the
+  // Logger-style install-before-spawn contract).  A manifest wants the
+  // aggregated metrics, so --manifest-out implies the registry.
+  if ((metrics || !manifest_out.empty()) && telemetry->metrics == nullptr) {
+    telemetry->metrics = std::make_unique<obs::MetricsRegistry>();
+    telemetry->metrics->EnsureShards(
+        static_cast<std::size_t>(ResolvedThreads()));
+    obs::InstallMetrics(telemetry->metrics.get());
+  }
+  if (!trace_out.empty() && telemetry->trace == nullptr) {
+    telemetry->trace = std::make_unique<obs::TraceRecorder>();
+    obs::TraceRecorder::Install(telemetry->trace.get());
+  }
+  if (!convergence_out.empty() && telemetry->convergence == nullptr) {
+    telemetry->convergence =
+        std::make_unique<obs::ConvergenceRecorder>(convergence_out);
+    obs::ConvergenceRecorder::Install(telemetry->convergence.get());
   }
 }
 
@@ -223,6 +266,57 @@ void SweepConfig::WriteBenchJson() const {
   }
   out << json.str() << '\n';
   std::cout << "bench json written to " << bench_json << "\n";
+}
+
+void SweepConfig::WriteRunArtifacts() const {
+  if (telemetry->convergence != nullptr && !convergence_out.empty()) {
+    telemetry->convergence->Flush();
+    std::cout << "convergence records written to " << convergence_out << " ("
+              << telemetry->convergence->records() << " records)\n";
+  }
+  if (telemetry->trace != nullptr && !trace_out.empty()) {
+    telemetry->trace->WriteChromeTrace(trace_out);
+    std::cout << "trace written to " << trace_out << " ("
+              << telemetry->trace->event_count() << " spans)\n";
+  }
+  if (telemetry->metrics != nullptr && metrics) {
+    std::cout << "telemetry metrics:\n";
+    for (const obs::AggregatedMetric& metric : telemetry->metrics->Aggregate()) {
+      switch (metric.kind) {
+        case obs::MetricKind::kCounter:
+          std::cout << "  " << metric.name << " = " << metric.count << "\n";
+          break;
+        case obs::MetricKind::kGauge:
+          std::cout << "  " << metric.name << " = " << metric.value << "\n";
+          break;
+        case obs::MetricKind::kHistogram:
+          std::cout << "  " << metric.name << " n=" << metric.count
+                    << " sum=" << metric.value << "\n";
+          break;
+      }
+    }
+  }
+  if (!manifest_out.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = program;
+    manifest.master_seed = seed;
+    manifest.threads = ResolvedThreads();
+    manifest.wall_ms = report->total_wall_ms;
+    manifest.config = {
+        {"tasksets", std::to_string(tasksets)},
+        {"hyper_periods", std::to_string(hyper_periods)},
+        {"seeds", std::to_string(seeds)},
+        {"threads", std::to_string(ResolvedThreads())},
+        {"methods", methods},
+        {"baseline", baseline},
+        {"scenarios", scenarios},
+        {"warm_start", warm_start},
+        {"grid_repeats", std::to_string(grid_repeats)},
+        {"paper", paper ? "true" : "false"},
+    };
+    obs::WriteManifest(manifest_out, manifest, telemetry->metrics.get());
+    std::cout << "manifest written to " << manifest_out << "\n";
+  }
 }
 
 runner::GridResult RunGridTimed(const runner::ExperimentGrid& grid,
@@ -403,6 +497,7 @@ void Emit(const util::TextTable& table, const util::CsvTable& csv,
           const SweepConfig& config) {
   Emit(table, csv, config.csv);
   config.WriteBenchJson();
+  config.WriteRunArtifacts();
 }
 
 }  // namespace dvs::bench

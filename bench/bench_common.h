@@ -29,7 +29,28 @@
 #include "util/csv.h"
 #include "util/table.h"
 
+namespace dvs::obs {
+class ConvergenceRecorder;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace dvs::obs
+
 namespace dvs::bench {
+
+/// Process-global telemetry owned by a bench run (see src/obs): created and
+/// installed by SweepConfig::Finalize() when the telemetry flags ask for
+/// it, uninstalled by the destructor.  Observation-only — results and CSVs
+/// are byte-identical with any combination enabled.
+struct TelemetryState {
+  TelemetryState();
+  ~TelemetryState();
+  TelemetryState(const TelemetryState&) = delete;
+  TelemetryState& operator=(const TelemetryState&) = delete;
+
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::TraceRecorder> trace;
+  std::unique_ptr<obs::ConvergenceRecorder> convergence;
+};
 
 /// Machine-readable run record accumulated across a bench's grids and
 /// written by --bench-json: one entry per (grid, repeat) with wall-clock
@@ -89,6 +110,14 @@ struct SweepConfig {
   /// Machine-readable timing/energy summary path (--bench-json); empty
   /// disables the report.
   std::string bench_json;
+  /// Telemetry artifacts (src/obs).  --trace-out writes a Chrome
+  /// trace_event JSON (chrome://tracing / Perfetto), --convergence-out a
+  /// per-iteration solver JSONL, --manifest-out a run manifest; --metrics
+  /// collects and prints the aggregated counters even without a manifest.
+  std::string trace_out;
+  std::string manifest_out;
+  std::string convergence_out;
+  bool metrics = false;
   /// Times each grid this many times (--grid-repeats): repeat 0 is the
   /// result-bearing run, later repeats re-run the identical grid against
   /// warm workspaces purely for the --bench-json timing trajectory.
@@ -105,11 +134,17 @@ struct SweepConfig {
       std::make_shared<std::vector<core::EvalWorkspace>>();
   /// Bench binary name for the report header; captured by Register().
   std::string program;
+  /// Telemetry backing the flags above (shared so const copies of the
+  /// config reference one process-global installation).
+  std::shared_ptr<TelemetryState> telemetry =
+      std::make_shared<TelemetryState>();
 
   /// Registers the shared flags on a parser.
   void Register(util::ArgParser& parser);
 
-  /// Applies --paper: tasksets=100, hyper_periods=1000, seeds=20.
+  /// Applies --paper (tasksets=100, hyper_periods=1000, seeds=20) and
+  /// installs the telemetry the flags ask for — call before the first grid
+  /// run so every worker thread sees it.
   void Finalize();
 
   /// Opens the --cell-csv streaming sink (null when the flag is unset) and
@@ -146,6 +181,13 @@ struct SweepConfig {
   /// flag is unset).  Emit() calls this; benches with custom epilogues can
   /// call it directly.
   void WriteBenchJson() const;
+
+  /// Writes the telemetry artifacts the flags configured: the Chrome trace
+  /// (--trace-out), the run manifest (--manifest-out), flushes the
+  /// convergence JSONL, and prints the aggregated metrics when --metrics is
+  /// set.  Emit() calls this after WriteBenchJson; benches with custom
+  /// epilogues call it directly.
+  void WriteRunArtifacts() const;
 };
 
 /// Runs `grid` through runner::RunGrid `config.grid_repeats` times against

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dvs::core {
 
 bool SameTaskSet(const model::TaskSet& a, const model::TaskSet& b) {
@@ -77,6 +79,10 @@ EvalWorkspace::PreparedCell* EvalWorkspace::Find(
         prepared_.erase(prepared_.begin() + static_cast<std::ptrdiff_t>(i));
         prepared_.insert(prepared_.begin(), std::move(hit));
       }
+      // Scheduling-observing counter: which worker's cache holds the set
+      // depends on cell assignment, so hit/miss splits vary with the
+      // thread count — only the hits+misses total is invariant.
+      obs::Count(obs::metric::kPrepareHits);
       return prepared_.front().get();
     }
   }
@@ -86,6 +92,7 @@ EvalWorkspace::PreparedCell* EvalWorkspace::Find(
 EvalWorkspace::PreparedCell& EvalWorkspace::Insert(
     std::uint64_t key, model::TaskSet set, const model::DvsModel& dvs,
     const SchedulerOptions& scheduler) {
+  obs::Count(obs::metric::kPrepareMisses);
   if (prepared_.size() >= kPreparedCapacity) {
     prepared_.pop_back();
   }

@@ -4,6 +4,8 @@
 
 #include "core/eval_workspace.h"
 #include "core/formulation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "util/error.h"
 #include "workload/calibrator.h"
@@ -143,6 +145,11 @@ class ScenarioPlannedMethod : public ScheduleMethod {
     links.reserve(experiment.sigma_chain.size());
     const ScheduleResult* prev = nullptr;
     for (const double sigma : experiment.sigma_chain) {
+      obs::Span link_span("warm-link", "solve");
+      if (link_span.enabled()) {
+        link_span.Arg("sigma", sigma);
+        link_span.Arg("link", static_cast<std::int64_t>(ancestry.size()));
+      }
       step.sigma_divisor = sigma;
       const workload::Calibration& calibration =
           context.ScenarioCalibration(step);
@@ -206,19 +213,37 @@ class AcsMixtureMethod final : public ScenarioPlannedMethod {
 }  // namespace
 
 const ScheduleResult& MethodContext::Wcs() {
-  if (!cache_->wcs.has_value()) {
-    cache_->wcs = SolveWcs(*fps_, *dvs_, *scheduler_, workspace_);
+  obs::Span span("wcs", "solve");
+  if (cache_->wcs.has_value()) {
+    if (span.enabled()) {
+      span.Arg("cache", "hit");
+    }
+    obs::Count(obs::metric::kSolveCacheHits);
+    return *cache_->wcs;
   }
+  if (span.enabled()) {
+    span.Arg("cache", "miss");
+  }
+  cache_->wcs = SolveWcs(*fps_, *dvs_, *scheduler_, workspace_);
   return *cache_->wcs;
 }
 
 const ScheduleResult& MethodContext::Acs() {
-  if (!cache_->acs.has_value()) {
-    cache_->acs = scheduler_->warm_start_acs_with_wcs
-                      ? SolveSchedule(*fps_, *dvs_, Scenario::kAverage,
-                                      *scheduler_, Wcs().schedule, workspace_)
-                      : SolveAcs(*fps_, *dvs_, *scheduler_, workspace_);
+  obs::Span span("acs", "solve");
+  if (cache_->acs.has_value()) {
+    if (span.enabled()) {
+      span.Arg("cache", "hit");
+    }
+    obs::Count(obs::metric::kSolveCacheHits);
+    return *cache_->acs;
   }
+  if (span.enabled()) {
+    span.Arg("cache", "miss");
+  }
+  cache_->acs = scheduler_->warm_start_acs_with_wcs
+                    ? SolveSchedule(*fps_, *dvs_, Scenario::kAverage,
+                                    *scheduler_, Wcs().schedule, workspace_)
+                    : SolveAcs(*fps_, *dvs_, *scheduler_, workspace_);
   return *cache_->acs;
 }
 
@@ -231,6 +256,7 @@ const sim::StaticSchedule& MethodContext::VmaxAsap() {
 
 const workload::Calibration& MethodContext::ScenarioCalibration(
     const ExperimentOptions& options) {
+  obs::Span span("calibrate", "solve");
   const std::uint64_t seed = CalibrationSeed(options);
   const std::int64_t samples = options.planning.calibration_samples;
   for (const std::unique_ptr<SolveCache::CalibrationEntry>& entry :
@@ -238,9 +264,18 @@ const workload::Calibration& MethodContext::ScenarioCalibration(
     if (entry->scenario == options.scenario &&
         entry->sigma_divisor == options.sigma_divisor &&
         entry->seed == seed && entry->samples == samples) {
+      if (span.enabled()) {
+        span.Arg("cache", "hit");
+      }
+      obs::Count(obs::metric::kCalibrationHits);
       return entry->calibration;
     }
   }
+  if (span.enabled()) {
+    span.Arg("cache", "miss");
+    span.Arg("sigma", options.sigma_divisor);
+  }
+  obs::Count(obs::metric::kCalibrations);
   workload::CalibratorOptions copts;
   copts.samples_per_task = samples;
   const workload::ScenarioCalibrator calibrator(
@@ -260,6 +295,7 @@ const ScheduleResult& MethodContext::Planned(const PlanningPoint& planning) {
 const ScheduleResult& MethodContext::PlannedChained(
     const PlanningPoint& planning, const std::vector<PlanningPoint>& chain,
     const ScheduleResult* warm) {
+  obs::Span span("planned", "solve");
   const std::uint64_t key = planning.Fingerprint();
   for (const std::unique_ptr<SolveCache::PlannedSolve>& entry :
        cache_->planned) {
@@ -269,8 +305,16 @@ const ScheduleResult& MethodContext::PlannedChained(
     // cross-reusing.
     if (entry->key == key && entry->planning == planning &&
         entry->chain == chain) {
+      if (span.enabled()) {
+        span.Arg("cache", "hit");
+      }
+      obs::Count(obs::metric::kSolveCacheHits);
       return entry->result;
     }
+  }
+  if (span.enabled()) {
+    span.Arg("cache", "miss");
+    span.Arg("chain_depth", static_cast<std::int64_t>(chain.size()));
   }
   std::optional<sim::StaticSchedule> warm_start;
   const opt::AlmReport* dual_seed = nullptr;
@@ -358,6 +402,10 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
     return outcome;
   };
 
+  obs::Span span("simulate", "sim");
+  if (span.enabled()) {
+    span.Arg("hyper_periods", options.hyper_periods);
+  }
   EvalWorkspace* ws = context.workspace();
   if (ws != nullptr) {
     // Steady-state path: simulate into the workspace's reused result.

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "core/eval_workspace.h"
+#include "obs/convergence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -122,6 +125,24 @@ ScheduleResult SolveWith(
     const SchedulerOptions& options,
     const std::optional<sim::StaticSchedule>& warm_start,
     EvalWorkspace* workspace, const opt::AlmReport* dual_seed = nullptr) {
+  // Telemetry (observation-only: none of this feeds back into the solve).
+  // The phase label keys the span, the solve counter and the convergence
+  // records to the same taxonomy the --csv-solver-stats columns use.
+  const char* const phase = planning != nullptr          ? "planned"
+                            : scenario == Scenario::kWorst ? "wcs"
+                                                           : "acs";
+  obs::Count(planning != nullptr        ? obs::metric::kPlannedSolves
+             : scenario == Scenario::kWorst ? obs::metric::kWcsSolves
+                                            : obs::metric::kAcsSolves);
+  obs::ScopedWallTimer solve_timer(obs::metric::kSolveWallUs);
+  obs::Span span("alm", "solve");
+  if (span.enabled()) {
+    span.Arg("phase", phase);
+    span.Arg("warm", warm_start.has_value() ? "seeded" : "cold");
+    span.Arg("dual", dual_seed != nullptr ? "seeded" : "cold");
+  }
+  obs::ConvergenceScope convergence(phase);
+
   const sim::StaticSchedule start_schedule =
       warm_start.has_value() ? *warm_start
                              : sim::BuildVmaxAsapSchedule(fps, dvs);
@@ -143,6 +164,10 @@ ScheduleResult SolveWith(
     alm_options.dual_seed = &dual_seed->multipliers;
     alm_options.dual_penalty_seed = dual_seed->final_penalty;
   }
+  // The observer goes on the local copy only, never into stored
+  // SchedulerOptions, so solve-cache identity (SameSchedulerOptions) and
+  // the solve trajectory are untouched.
+  alm_options.observer = convergence.observer();
   result.alm = opt::MinimizeAlm(
       objective, *feasible_set, chain, x, alm_options,
       workspace != nullptr ? &workspace->solver().alm : nullptr);

@@ -4,6 +4,7 @@
 
 #include "core/eval_workspace.h"
 #include "fps/expansion.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 #include "util/error.h"
 
@@ -45,6 +46,11 @@ FleetResult EvaluateFleet(
         result.partition.assignment[static_cast<std::size_t>(c)];
     if (owned.empty()) {
       continue;  // power-gated
+    }
+    obs::Span core_span("core", "mp");
+    if (core_span.enabled()) {
+      core_span.Arg("core", static_cast<std::int64_t>(c));
+      core_span.Arg("tasks", static_cast<std::int64_t>(owned.size()));
     }
     core::ExperimentOptions core_options = options;
     core_options.seed = stats::Rng(options.seed)

@@ -1,0 +1,129 @@
+#include "obs/convergence.h"
+
+#include "obs/trace.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace dvs::obs {
+namespace {
+
+std::atomic<ConvergenceRecorder*> g_convergence{nullptr};
+
+}  // namespace
+
+ConvergenceRecorder::ConvergenceRecorder(const std::string& path)
+    : out_(path) {
+  if (!out_) {
+    throw util::Error("cannot open convergence output file: " + path);
+  }
+}
+
+ConvergenceRecorder::~ConvergenceRecorder() {
+  if (g_convergence.load(std::memory_order_relaxed) == this) {
+    g_convergence.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+ConvergenceRecorder* ConvergenceRecorder::Active() {
+  return g_convergence.load(std::memory_order_relaxed);
+}
+
+void ConvergenceRecorder::Install(ConvergenceRecorder* recorder) {
+  g_convergence.store(recorder, std::memory_order_relaxed);
+}
+
+std::size_t ConvergenceRecorder::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void ConvergenceRecorder::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
+
+std::uint64_t ConvergenceRecorder::NextSolveId() {
+  return next_solve_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConvergenceRecorder::WriteLine(const std::string& line) {
+  // One whole line per lock hold — concurrent solves interleave at line
+  // granularity, keeping the file valid JSONL.
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  ++records_;
+}
+
+ConvergenceScope::ConvergenceScope(const char* phase)
+    : recorder_(ConvergenceRecorder::Active()), phase_(phase) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  solve_id_ = recorder_->NextSolveId();
+  const RunContext& context = CurrentRunContext();
+  cell_ = context.cell;
+  set_ = context.set;
+  scenario_ = context.scenario;
+  sigma_ = context.sigma;
+}
+
+opt::SolveObserver* ConvergenceScope::observer() {
+  return recorder_ != nullptr ? this : nullptr;
+}
+
+namespace {
+
+/// Shared record prefix: identity + labels, in a fixed key order.
+void WriteCommon(util::JsonWriter& json, std::uint64_t solve_id,
+                 const char* phase, const char* event_kind, std::int64_t cell,
+                 std::int64_t set, const char* scenario, double sigma) {
+  json.BeginObject();
+  json.Key("solve").Value(solve_id);
+  json.Key("phase").Value(phase);
+  json.Key("event").Value(event_kind);
+  if (cell >= 0) {
+    json.Key("cell").Value(cell);
+  }
+  if (set >= 0) {
+    json.Key("set").Value(set);
+  }
+  if (scenario != nullptr) {
+    json.Key("scenario").Value(scenario);
+  }
+  if (sigma > 0.0) {
+    json.Key("sigma").Value(sigma);
+  }
+}
+
+}  // namespace
+
+void ConvergenceScope::OnSpgIteration(const opt::SpgIterationEvent& event) {
+  util::JsonWriter json;
+  WriteCommon(json, solve_id_, phase_, "spg", cell_, set_, scenario_, sigma_);
+  json.Key("iter").Value(static_cast<std::uint64_t>(event.iteration));
+  json.Key("f").Value(event.value);
+  json.Key("criterion").Value(event.criterion);
+  json.Key("step").Value(event.step);
+  json.Key("step_length").Value(event.step_length);
+  json.Key("backtracks").Value(static_cast<std::uint64_t>(event.backtracks));
+  json.Key("evals").Value(static_cast<std::uint64_t>(event.evaluations));
+  json.EndObject();
+  recorder_->WriteLine(json.str());
+}
+
+void ConvergenceScope::OnAlmOuter(const opt::AlmOuterEvent& event) {
+  util::JsonWriter json;
+  WriteCommon(json, solve_id_, phase_, "alm", cell_, set_, scenario_, sigma_);
+  json.Key("outer").Value(static_cast<std::uint64_t>(event.outer));
+  json.Key("violation").Value(event.violation);
+  json.Key("penalty").Value(event.penalty);
+  json.Key("inner_tol").Value(event.inner_tolerance);
+  json.Key("inner_iters")
+      .Value(static_cast<std::uint64_t>(event.inner_iterations));
+  json.Key("inner_status").Value(opt::SolveStatusName(event.inner_status));
+  json.Key("evals").Value(static_cast<std::uint64_t>(event.evaluations));
+  json.EndObject();
+  recorder_->WriteLine(json.str());
+}
+
+}  // namespace dvs::obs

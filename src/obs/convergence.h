@@ -1,0 +1,82 @@
+// Solver convergence traces: per-iteration SPG/ALM records to JSONL.
+//
+// A ConvergenceRecorder owns an append-only JSONL sink; when installed
+// (process-global, Logger contract), core::SolveWith opens one
+// ConvergenceScope per actual NLP solve, which snapshots the thread's
+// RunContext labels (cell, set, scenario, sigma — see obs/trace.h), draws
+// a process-unique solve id, and exposes an opt::SolveObserver that writes
+// one record per accepted SPG iteration ("spg") and one per ALM outer
+// cycle ("alm").  Records from concurrent workers interleave whole-line
+// (single mutex per line), so the file is always valid JSONL; the solve id
+// plus labels let a plot group lines per solve regardless of interleaving.
+//
+// Cost model: with no recorder installed, ConvergenceScope construction is
+// one relaxed atomic load and observer() returns nullptr, so the solvers
+// skip the hooks entirely — the observation-only invariant (identical
+// solver trajectory, byte-identical golden CSVs) holds by construction.
+#ifndef ACS_OBS_CONVERGENCE_H
+#define ACS_OBS_CONVERGENCE_H
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "opt/spg.h"
+
+namespace dvs::obs {
+
+class ConvergenceRecorder {
+ public:
+  /// Opens `path` for writing (truncating); throws util::Error on failure.
+  explicit ConvergenceRecorder(const std::string& path);
+  ~ConvergenceRecorder();
+  ConvergenceRecorder(const ConvergenceRecorder&) = delete;
+  ConvergenceRecorder& operator=(const ConvergenceRecorder&) = delete;
+
+  static ConvergenceRecorder* Active();
+  static void Install(ConvergenceRecorder* recorder);
+
+  std::size_t records() const;
+  void Flush();
+
+ private:
+  friend class ConvergenceScope;
+
+  std::uint64_t NextSolveId();
+  void WriteLine(const std::string& line);
+
+  mutable std::mutex mutex_;  // guards the stream and the record count
+  std::ofstream out_;
+  std::atomic<std::uint64_t> next_solve_{0};
+  std::size_t records_ = 0;
+};
+
+/// One solve's observation scope (see file comment).  `phase` is a
+/// static-storage label ("wcs" | "acs" | "planned" | ...).
+class ConvergenceScope final : private opt::SolveObserver {
+ public:
+  explicit ConvergenceScope(const char* phase);
+
+  /// The observer to install into AlmOptions/SpgOptions, or nullptr when
+  /// no recorder is active (the off fast path).
+  opt::SolveObserver* observer();
+
+ private:
+  void OnSpgIteration(const opt::SpgIterationEvent& event) override;
+  void OnAlmOuter(const opt::AlmOuterEvent& event) override;
+
+  ConvergenceRecorder* recorder_;
+  const char* phase_;
+  std::uint64_t solve_id_ = 0;
+  // Labels snapshotted from the thread's RunContext at construction.
+  std::int64_t cell_ = -1;
+  std::int64_t set_ = -1;
+  const char* scenario_ = nullptr;
+  double sigma_ = 0.0;
+};
+
+}  // namespace dvs::obs
+
+#endif  // ACS_OBS_CONVERGENCE_H

@@ -1,0 +1,270 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace dvs::obs {
+namespace {
+
+/// The installed recorder.  Relaxed atomics: the Span off path is a single
+/// load, and installation happens before workers spawn (Logger contract).
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+/// Monotonic recorder ids so a thread's cached buffer pointer can never
+/// alias a new recorder allocated at the same address.
+std::atomic<std::uint64_t> g_generation{1};
+
+/// Per-thread cache of the registered buffer for the current recorder.
+struct ThreadCache {
+  std::uint64_t generation = 0;
+  void* log = nullptr;
+};
+thread_local ThreadCache t_trace;
+
+thread_local RunContext t_run_context;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : generation_(g_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (g_recorder.load(std::memory_order_relaxed) == this) {
+    g_recorder.store(nullptr, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (ThreadLog* log : logs_) {
+    delete log;
+  }
+}
+
+TraceRecorder* TraceRecorder::Active() {
+  return g_recorder.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::Install(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_relaxed);
+}
+
+double TraceRecorder::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadLog& TraceRecorder::LogForThisThread() {
+  if (t_trace.generation == generation_) {
+    return *static_cast<ThreadLog*>(t_trace.log);
+  }
+  // First event from this thread on this recorder: register a buffer.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto* log = new ThreadLog;
+  log->tid = static_cast<std::uint32_t>(logs_.size());
+  logs_.push_back(log);
+  t_trace.generation = generation_;
+  t_trace.log = log;
+  return *log;
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  ThreadLog& log = LogForThisThread();
+  event.tid = log.tid;
+  log.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const ThreadLog* log : logs_) {
+    out.insert(out.end(), log->events.begin(), log->events.end());
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const ThreadLog* log : logs_) {
+    count += log->events.size();
+  }
+  return count;
+}
+
+std::string TraceRecorder::RenderChromeTrace(std::uint32_t pid) const {
+  const std::vector<TraceEvent> events = Events();
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  std::uint32_t max_tid = 0;
+  for (const TraceEvent& event : events) {
+    max_tid = std::max(max_tid, event.tid);
+    json.BeginObject();
+    json.Key("name").Value(event.name);
+    json.Key("cat").Value(event.category);
+    json.Key("ph").Value("X");
+    json.Key("ts").Value(event.ts_us);
+    json.Key("dur").Value(event.dur_us);
+    json.Key("pid").Value(static_cast<std::int64_t>(pid));
+    json.Key("tid").Value(static_cast<std::int64_t>(event.tid));
+    if (!event.args.empty()) {
+      json.Key("args").BeginObject();
+      for (const auto& [key, value] : event.args) {
+        json.Key(key).Value(value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  // thread_name metadata so Perfetto labels the rows (worker 0 is the
+  // calling thread — the ThreadPool convention).
+  if (!events.empty()) {
+    for (std::uint32_t tid = 0; tid <= max_tid; ++tid) {
+      json.BeginObject();
+      json.Key("name").Value("thread_name");
+      json.Key("ph").Value("M");
+      json.Key("pid").Value(static_cast<std::int64_t>(pid));
+      json.Key("tid").Value(static_cast<std::int64_t>(tid));
+      json.Key("args").BeginObject();
+      json.Key("name").Value("worker-" + std::to_string(tid));
+      json.EndObject();
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").Value("ms");
+  json.EndObject();
+  return json.str();
+}
+
+void TraceRecorder::WriteChromeTrace(const std::string& path,
+                                     std::uint32_t pid) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw util::Error("cannot open trace output file: " + path);
+  }
+  out << RenderChromeTrace(pid) << '\n';
+}
+
+Span::Span(const char* name, const char* category)
+    : recorder_(TraceRecorder::Active()) {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  event_.name = name;
+  event_.category = category;
+  event_.ts_us = recorder_->NowUs();
+}
+
+Span::~Span() {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  event_.dur_us = recorder_->NowUs() - event_.ts_us;
+  recorder_->Append(std::move(event_));
+}
+
+void Span::Arg(const char* key, std::string value) {
+  if (recorder_ != nullptr) {
+    event_.args.emplace_back(key, std::move(value));
+  }
+}
+
+void Span::Arg(const char* key, std::int64_t value) {
+  if (recorder_ != nullptr) {
+    event_.args.emplace_back(key, std::to_string(value));
+  }
+}
+
+void Span::Arg(const char* key, double value) {
+  if (recorder_ != nullptr) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    event_.args.emplace_back(key, buffer);
+  }
+}
+
+std::string MergeChromeTraces(const std::vector<std::string>& traces,
+                              const std::vector<std::uint32_t>& shard_pids) {
+  ACS_REQUIRE(traces.size() == shard_pids.size(),
+              "one pid per trace document is required");
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const util::JsonValue doc = util::ParseJson(traces[i]);
+    const util::JsonValue* events = doc.Find("traceEvents");
+    ACS_REQUIRE(events != nullptr && events->IsArray(),
+                "trace document " + std::to_string(i) +
+                    " has no traceEvents array");
+    for (const util::JsonValue& event : events->array) {
+      ACS_REQUIRE(event.IsObject(),
+                  "trace document " + std::to_string(i) +
+                      " has a non-object traceEvent");
+      json.BeginObject();
+      bool wrote_pid = false;
+      for (const auto& [key, value] : event.object) {
+        if (key == "pid") {
+          // Re-home the event to its shard's process group.
+          json.Key("pid").Value(
+              static_cast<std::int64_t>(shard_pids[i]));
+          wrote_pid = true;
+          continue;
+        }
+        json.Key(key);
+        switch (value.kind) {
+          case util::JsonValue::Kind::kString:
+            json.Value(value.string);
+            break;
+          case util::JsonValue::Kind::kNumber:
+            json.Value(value.number);
+            break;
+          case util::JsonValue::Kind::kBool:
+            json.Value(value.bool_value);
+            break;
+          case util::JsonValue::Kind::kObject:
+            json.BeginObject();
+            for (const auto& [akey, avalue] : value.object) {
+              json.Key(akey);
+              // Trace args are flat strings/numbers by construction.
+              if (avalue.IsString()) {
+                json.Value(avalue.string);
+              } else if (avalue.IsNumber()) {
+                json.Value(avalue.number);
+              } else {
+                json.Value(false);
+              }
+            }
+            json.EndObject();
+            break;
+          default:
+            json.Value(false);
+            break;
+        }
+      }
+      if (!wrote_pid) {
+        json.Key("pid").Value(static_cast<std::int64_t>(shard_pids[i]));
+      }
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").Value("ms");
+  json.EndObject();
+  return json.str();
+}
+
+RunContext& CurrentRunContext() { return t_run_context; }
+
+ScopedRunContext::ScopedRunContext(const RunContext& context)
+    : previous_(t_run_context) {
+  t_run_context = context;
+}
+
+ScopedRunContext::~ScopedRunContext() { t_run_context = previous_; }
+
+}  // namespace dvs::obs

@@ -185,7 +185,9 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
   AlmReport report;
 
   if (system.size() == 0) {
-    const SpgReport inner = MinimizeSpg(objective, set, x, options.inner,
+    SpgOptions inner_options = options.inner;
+    inner_options.observer = options.observer;
+    const SpgReport inner = MinimizeSpg(objective, set, x, inner_options,
                                         &ws.spg);
     report.feasible = true;
     report.inner_status = inner.status;
@@ -224,6 +226,7 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
                                          ws.penalty_shift, ws.row_values);
     SpgOptions inner_options = options.inner;
     inner_options.tolerance = std::max(options.inner.tolerance, inner_tol);
+    inner_options.observer = options.observer;
     const SpgReport inner =
         MinimizeSpg(augmented, set, x, inner_options, &ws.spg);
     report.inner_status = inner.status;
@@ -236,6 +239,17 @@ AlmReport Drive(const Objective& objective, const FeasibleSet& set,
     ACS_LOG_DEBUG << "ALM outer " << outer << ": viol=" << violation
                   << " rho=" << penalty << " inner="
                   << SolveStatusName(inner.status) << "/" << inner.iterations;
+    if (options.observer != nullptr) {
+      AlmOuterEvent event;
+      event.outer = report.outer_iterations;
+      event.violation = violation;
+      event.penalty = penalty;
+      event.inner_tolerance = inner_options.tolerance;
+      event.inner_iterations = inner.iterations;
+      event.inner_status = inner.status;
+      event.evaluations = report.evaluations;
+      options.observer->OnAlmOuter(event);
+    }
 
     if (violation <= options.feasibility_tol &&
         inner_options.tolerance <= options.inner.tolerance * (1.0 + 1e-12)) {

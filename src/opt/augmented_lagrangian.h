@@ -42,6 +42,13 @@ struct AlmOptions {
   /// solve bit-for-bit.
   const std::vector<double>* dual_seed = nullptr;
   double dual_penalty_seed = 0.0;
+
+  /// Optional solver observer (convergence tracing; see opt/spg.h).  The
+  /// driver copies it into every inner solve's SpgOptions, so one observer
+  /// sees the full outer/inner event stream.  Observation-only: the solve
+  /// trajectory is bit-identical with or without it, and caches comparing
+  /// AlmOptions ignore it (core::SameSchedulerOptions).
+  SolveObserver* observer = nullptr;
 };
 
 struct AlmReport {

@@ -86,7 +86,9 @@ SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
     double lambda = 1.0;
     bool accepted = false;
     double f_new = f;
+    std::size_t backtracks = 0;
     for (std::size_t bt = 0; bt <= options.max_backtracks; ++bt) {
+      backtracks = bt;
       util::simd::AddScaled(x.data(), lambda, direction.data(), trial.data(),
                             x.size());
       // Points on the chord between two feasible points stay feasible for
@@ -115,6 +117,21 @@ SpgReport MinimizeSpg(const Objective& objective, const FeasibleSet& set,
     step = (sty > 0.0)
                ? std::clamp(sts / sty, options.step_min, options.step_max)
                : options.step_max;
+
+    if (options.observer != nullptr) {
+      // Observation only — reads the accepted state, touches nothing the
+      // arithmetic path uses, so traced and untraced solves are
+      // bit-identical.
+      SpgIterationEvent event;
+      event.iteration = report.iterations;
+      event.value = f_new;
+      event.criterion = criterion;
+      event.step = step;
+      event.step_length = lambda;
+      event.backtracks = backtracks;
+      event.evaluations = report.evaluations;
+      options.observer->OnSpgIteration(event);
+    }
 
     std::swap(x, trial);
     std::swap(grad, trial_grad);

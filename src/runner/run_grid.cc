@@ -2,9 +2,12 @@
 
 #include "fps/expansion.h"
 #include "mp/fleet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/thread_pool.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace dvs::runner {
 namespace {
@@ -14,6 +17,25 @@ CellResult RunCell(const ExperimentGrid& grid,
                    std::size_t cell_index, core::EvalWorkspace& workspace) {
   CellResult cell;
   cell.coord = grid.Coord(cell_index);
+  // Telemetry: the cell span/labels scope every nested solve/simulate
+  // record to this cell, and the wall histogram feeds cell.wall_us.
+  const double sigma = grid.sigma_divisors[cell.coord.sigma_index];
+  const std::string& scenario_name =
+      grid.scenarios[cell.coord.scenario_index];
+  obs::RunContext run_context;
+  run_context.cell = static_cast<std::int64_t>(cell_index);
+  run_context.set = static_cast<std::int64_t>(grid.SetIndex(cell.coord));
+  run_context.scenario = scenario_name.c_str();
+  run_context.sigma = sigma;
+  const obs::ScopedRunContext context_scope(run_context);
+  obs::ScopedWallTimer cell_timer(obs::metric::kCellWallUs);
+  obs::Span span("cell", "grid");
+  if (span.enabled()) {
+    span.Arg("cell", static_cast<std::int64_t>(cell_index));
+    span.Arg("set", run_context.set);
+    span.Arg("scenario", scenario_name);
+    span.Arg("sigma", sigma);
+  }
   try {
     const ExperimentGrid::CellStreams streams = grid.Streams(cell.coord);
     const model::TaskSet set = grid.MaterializeTaskSet(cell.coord);
@@ -81,6 +103,25 @@ CellResult RunCell(const ExperimentGrid& grid,
     cell.hyper_period = 0;  // the documented failed-cell contract
     cell.error = error.what();
     ACS_LOG_WARN << "grid cell " << cell_index << " failed: " << cell.error;
+  }
+  // Result-charged counters, replayed from the outcomes: identical at any
+  // thread count because the outcomes themselves are.
+  if (cell.ok()) {
+    obs::Count(obs::metric::kCellsEvaluated);
+    for (const core::MethodOutcome& outcome : cell.outcomes) {
+      obs::Count(obs::metric::kSolverOuter, outcome.solver_outer_iterations);
+      obs::Count(obs::metric::kSolverInner, outcome.solver_inner_iterations);
+      obs::Count(obs::metric::kSolverEvals, outcome.solver_evaluations);
+      obs::Count(obs::metric::kDeadlineMisses, outcome.deadline_misses);
+      if (outcome.used_fallback) {
+        obs::Count(obs::metric::kFallbacks);
+      }
+    }
+  } else {
+    obs::Count(obs::metric::kCellsFailed);
+  }
+  if (span.enabled()) {
+    span.Arg("ok", cell.ok() ? "true" : "false");
   }
   return cell;
 }
@@ -182,6 +223,28 @@ GridResult RunGrid(const ExperimentGrid& grid,
                              "/" + std::to_string(options.shard_count) + ")"
                        : "");
 
+  // Telemetry: one metrics shard per worker (sized before any worker runs,
+  // so the hot path never grows the shard vector), run-layout gauges on
+  // shard 0, and the whole-grid span.  All observation-only.
+  obs::MetricsRegistry* const metrics = obs::ActiveMetrics();
+  if (metrics != nullptr) {
+    metrics->EnsureShards(static_cast<std::size_t>(pool.size()));
+    metrics->Shard(0).SetGauge(obs::metric::kThreads,
+                               static_cast<double>(pool.size()));
+    metrics->Shard(0).SetGauge(obs::metric::kShardCount,
+                               static_cast<double>(options.shard_count));
+  }
+  obs::Span grid_span("grid", "grid");
+  if (grid_span.enabled()) {
+    grid_span.Arg("cells", static_cast<std::int64_t>(cell_count));
+    grid_span.Arg("methods", static_cast<std::int64_t>(grid.methods.size()));
+    grid_span.Arg("threads", static_cast<std::int64_t>(pool.size()));
+    grid_span.Arg("shard", static_cast<std::int64_t>(options.shard_index));
+    grid_span.Arg("shard_count",
+                  static_cast<std::int64_t>(options.shard_count));
+    grid_span.Arg("simd", util::simd::LevelName(util::simd::Active()));
+  }
+
   // One evaluation workspace per worker: caller-provided ones stay warm
   // across grids (bench --grid-repeats, the CI cold/warm timing step),
   // call-local ones still amortise buffers across this grid's cells.
@@ -194,12 +257,15 @@ GridResult RunGrid(const ExperimentGrid& grid,
 
   pool.ParallelFor(cell_count, [&](std::size_t worker,
                                    std::size_t cell_index) {
+    const obs::ScopedMetricsShard shard_scope(
+        metrics != nullptr ? &metrics->Shard(worker) : nullptr);
     CellResult& cell = result.cells[cell_index];
     const CellCoord coord = grid.Coord(cell_index);
     const std::size_t set_index = grid.SetIndex(coord);
     if (set_index < set_begin || set_index >= set_end) {
       cell.coord = coord;
       cell.skipped = true;
+      obs::Count(obs::metric::kCellsSkipped);
       return;
     }
     cell = RunCell(grid, methods, cell_index, workspaces[worker]);

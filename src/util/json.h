@@ -1,15 +1,25 @@
-// Minimal streaming JSON writer (no parsing, no external deps).
+// Minimal streaming JSON writer and recursive-descent parser (no external
+// deps).
 //
-// Serves the machine-readable bench reports (--bench-json): benches emit a
-// small tree of objects/arrays with string/number/bool leaves.  The writer
-// tracks nesting and comma placement; keys and string values are escaped
-// per RFC 8259 (quotes, backslashes, control characters).  Numbers use
-// %.17g, enough digits to round-trip an IEEE double.
+// The writer serves the machine-readable bench reports (--bench-json) and
+// the observability artifacts (run manifests, Chrome traces): a small tree
+// of objects/arrays with string/number/bool leaves.  It tracks nesting and
+// comma placement; keys and string values are escaped per RFC 8259
+// (quotes, backslashes, control characters).  Numbers use %.17g, enough
+// digits to round-trip an IEEE double.
+//
+// The parser (ParseJson -> JsonValue) reads the same dialect back for the
+// telemetry merge paths (tools/merge_results combining per-shard manifests
+// and traces) and for tests validating emitted documents.  It is strict
+// RFC 8259 minus one concession: \uXXXX escapes decode the code unit into
+// UTF-8 without surrogate-pair combining, which the repository's writers
+// never emit.
 #ifndef ACS_UTIL_JSON_H
 #define ACS_UTIL_JSON_H
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dvs::util {
@@ -47,6 +57,39 @@ class JsonWriter {
 
 /// JSON string escaping (adds no surrounding quotes).
 std::string JsonEscape(const std::string& text);
+
+/// One parsed JSON value.  Object member order is preserved (so merged
+/// documents re-serialise deterministically); duplicate keys keep every
+/// occurrence, with Find returning the first.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  /// First member named `key`, or nullptr (also when not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Find + type/presence checks; throws util::Error naming the key when it
+  /// is missing or of the wrong kind.
+  const JsonValue& At(const std::string& key) const;
+  const std::string& StringAt(const std::string& key) const;
+  double NumberAt(const std::string& key) const;
+};
+
+/// Parses one JSON document (the whole text; trailing non-whitespace is an
+/// error).  Throws util::Error with a byte offset on malformed input.
+JsonValue ParseJson(const std::string& text);
 
 }  // namespace dvs::util
 

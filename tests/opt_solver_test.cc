@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "opt/augmented_lagrangian.h"
 #include "opt/finite_diff.h"
@@ -314,6 +315,120 @@ TEST(Alm, NonlinearConstraintFunction) {
   EXPECT_TRUE(report.feasible);
   EXPECT_NEAR(x[0] * x[1], 1.0, 1e-3);
   EXPECT_NEAR(x[0] + x[1], 2.0, 1e-2);
+}
+
+/// Records every hook invocation (the obs-layer convergence recorder's
+/// shape, minus the file sink).
+class RecordingObserver final : public SolveObserver {
+ public:
+  void OnSpgIteration(const SpgIterationEvent& event) override {
+    spg_events.push_back(event);
+  }
+  void OnAlmOuter(const AlmOuterEvent& event) override {
+    alm_events.push_back(event);
+  }
+
+  std::vector<SpgIterationEvent> spg_events;
+  std::vector<AlmOuterEvent> alm_events;
+};
+
+TEST(SolveObserverHooks, SpgReportsEveryAcceptedIteration) {
+  const Rosenbrock f;
+  const FreeSet space;
+  RecordingObserver observer;
+  SpgOptions options;
+  options.max_iterations = 2000;
+  options.observer = &observer;
+  Vector x{-1.2, 1.0};
+  const SpgReport report = MinimizeSpg(f, space, x, options);
+
+  // One event per *accepted* step: the final iteration only detects
+  // convergence at entry and accepts nothing, so a converged solve has
+  // iterations - 1 events.
+  ASSERT_EQ(report.status, SolveStatus::kConverged);
+  ASSERT_EQ(observer.spg_events.size(), report.iterations - 1);
+  EXPECT_TRUE(observer.alm_events.empty());
+  for (std::size_t i = 0; i < observer.spg_events.size(); ++i) {
+    EXPECT_EQ(observer.spg_events[i].iteration, i + 1);
+  }
+  // The last accepted step's objective is the value the solve returns.
+  const SpgIterationEvent& last = observer.spg_events.back();
+  EXPECT_DOUBLE_EQ(last.value, report.final_value);
+  EXPECT_LE(last.evaluations, report.evaluations);
+}
+
+TEST(SolveObserverHooks, AlmReportsOuterCyclesAndInnerIterations) {
+  const Quadratic f({1.0, 1.0});
+  const FreeSet space;
+  LinearConstraint c;
+  c.kind = ConstraintKind::kGeZero;
+  c.terms = {{0, -1.0}, {1, -1.0}};
+  c.constant = 1.0;
+  RecordingObserver observer;
+  AlmOptions options;
+  options.observer = &observer;
+  Vector x{0.0, 0.0};
+  const AlmReport report = MinimizeAlm(f, space, {c}, x, options);
+
+  ASSERT_EQ(observer.alm_events.size(), report.outer_iterations);
+  EXPECT_FALSE(observer.spg_events.empty()) << "inner solves must observe";
+  for (std::size_t i = 0; i < observer.alm_events.size(); ++i) {
+    EXPECT_EQ(observer.alm_events[i].outer, i + 1);
+    EXPECT_GT(observer.alm_events[i].penalty, 0.0);
+  }
+  // Cumulative at hook time; the driver may evaluate once more after the
+  // last outer cycle.
+  EXPECT_LE(observer.alm_events.back().evaluations, report.evaluations);
+  EXPECT_GT(observer.alm_events.back().evaluations, 0u);
+}
+
+TEST(SolveObserverHooks, ObservationDoesNotPerturbTheSolve) {
+  // The observation-only contract at the solver level: bit-identical
+  // iterates, reports and evaluation counts with and without an observer.
+  const auto solve = [](SolveObserver* observer, Vector& x) {
+    const Rosenbrock f;
+    const FreeSet space;
+    SpgOptions options;
+    options.max_iterations = 2000;
+    options.observer = observer;
+    x = {-1.2, 1.0};
+    return MinimizeSpg(f, space, x, options);
+  };
+  Vector bare_x;
+  Vector observed_x;
+  RecordingObserver observer;
+  const SpgReport bare = solve(nullptr, bare_x);
+  const SpgReport observed = solve(&observer, observed_x);
+
+  EXPECT_EQ(bare_x, observed_x) << "observer changed the iterate path";
+  EXPECT_EQ(bare.iterations, observed.iterations);
+  EXPECT_EQ(bare.evaluations, observed.evaluations);
+  EXPECT_EQ(bare.status, observed.status);
+  EXPECT_DOUBLE_EQ(bare.final_value, observed.final_value);
+  EXPECT_DOUBLE_EQ(bare.criterion, observed.criterion);
+
+  // Same contract through the ALM driver.
+  const auto alm_solve = [](SolveObserver* observer, Vector& x) {
+    const Quadratic f({1.0, 1.0});
+    const FreeSet space;
+    LinearConstraint c;
+    c.kind = ConstraintKind::kGeZero;
+    c.terms = {{0, -1.0}, {1, -1.0}};
+    c.constant = 1.0;
+    AlmOptions options;
+    options.observer = observer;
+    x = {0.0, 0.0};
+    return MinimizeAlm(f, space, {c}, x, options);
+  };
+  Vector alm_bare_x;
+  Vector alm_observed_x;
+  RecordingObserver alm_observer;
+  const AlmReport alm_bare = alm_solve(nullptr, alm_bare_x);
+  const AlmReport alm_observed = alm_solve(&alm_observer, alm_observed_x);
+  EXPECT_EQ(alm_bare_x, alm_observed_x);
+  EXPECT_EQ(alm_bare.outer_iterations, alm_observed.outer_iterations);
+  EXPECT_EQ(alm_bare.evaluations, alm_observed.evaluations);
+  EXPECT_DOUBLE_EQ(alm_bare.final_value, alm_observed.final_value);
 }
 
 TEST(SolveStatusName, AllNamed) {

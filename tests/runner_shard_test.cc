@@ -22,10 +22,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/csv_sink.h"
 #include "runner/experiment_grid.h"
 #include "runner/run_grid.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "workload/presets.h"
 #include "workload/random_taskset.h"
 
@@ -303,6 +307,105 @@ TEST(RunnerShard, MergeKeepsPerCellRowOrderAcrossOutOfOrderShards) {
   const std::string merged = MergeShardCsvs({a, b});
   EXPECT_EQ(merged,
             "h\n0,first\n1,first\n1,second\n2,first\n2,second\n");
+}
+
+// ---- telemetry artifact merging alongside the CSVs -------------------------
+
+/// One shard's full artifact set, produced exactly as tools/shard_grid
+/// does it: registry + recorder installed around the sharded RunGrid.
+struct ShardTelemetry {
+  std::string manifest;
+  std::string trace;
+};
+
+ShardTelemetry RunShardWithTelemetry(const ExperimentGrid& grid,
+                                     std::size_t shard,
+                                     std::size_t shard_count) {
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  obs::InstallMetrics(&metrics);
+  obs::TraceRecorder::Install(&trace);
+  {
+    RunOptions options;
+    options.threads = 2;
+    options.shard_index = shard;
+    options.shard_count = shard_count;
+    const GridResult result = RunGrid(grid, options);
+    EXPECT_EQ(result.failed_cells, 0u);
+  }
+  obs::TraceRecorder::Install(nullptr);
+  obs::InstallMetrics(nullptr);
+
+  obs::RunManifest manifest;
+  manifest.tool = "runner_shard_test";
+  manifest.master_seed = grid.master_seed;
+  manifest.threads = 2;
+  manifest.shard_index = shard;
+  manifest.shard_count = shard_count;
+  manifest.wall_ms = 1.0;
+  manifest.config = {{"grid", "smoke"}};
+  ShardTelemetry artifacts;
+  artifacts.manifest = obs::RenderManifest(manifest, &metrics);
+  artifacts.trace =
+      trace.RenderChromeTrace(static_cast<std::uint32_t>(shard));
+  return artifacts;
+}
+
+TEST(RunnerShard, TelemetryArtifactsMergeAlongsideTheCsvs) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = SmokeGrid(cpu);
+  const ShardTelemetry s0 = RunShardWithTelemetry(grid, 0, 2);
+  const ShardTelemetry s1 = RunShardWithTelemetry(grid, 1, 2);
+
+  // Manifests recombine; the merged metrics cover the whole grid — cell
+  // counts are result-charged, so the sum is exact.
+  const util::JsonValue merged =
+      util::ParseJson(obs::MergeManifests({s0.manifest, s1.manifest}));
+  EXPECT_EQ(merged.At("shards").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      merged.At("metrics").At("counters").NumberAt("grid.cells_evaluated"),
+      static_cast<double>(grid.CellCount()));
+
+  // Traces recombine with one process group per shard.
+  const util::JsonValue trace =
+      util::ParseJson(obs::MergeChromeTraces({s0.trace, s1.trace}, {0, 1}));
+  ASSERT_FALSE(trace.At("traceEvents").array.empty());
+
+  // The error taxonomy the merge tool surfaces:
+  // (1) the same shard twice is a double merge, not a silent overwrite;
+  try {
+    obs::MergeManifests({s0.manifest, s0.manifest});
+    FAIL() << "double merge not detected";
+  } catch (const util::Error& error) {
+    EXPECT_NE(std::string(error.what()).find("double merge"),
+              std::string::npos)
+        << error.what();
+  }
+  // (2) a lost shard is a coverage gap;
+  try {
+    obs::MergeManifests({s1.manifest});
+    FAIL() << "missing shard not detected";
+  } catch (const util::Error& error) {
+    EXPECT_NE(std::string(error.what()).find("missing shard"),
+              std::string::npos)
+        << error.what();
+  }
+  // (3) shards from different runs conflict instead of merging;
+  ExperimentGrid other = SmokeGrid(cpu);
+  other.master_seed = 8;
+  const ShardTelemetry foreign = RunShardWithTelemetry(other, 1, 2);
+  try {
+    obs::MergeManifests({s0.manifest, foreign.manifest});
+    FAIL() << "conflicting manifests not detected";
+  } catch (const util::Error& error) {
+    EXPECT_NE(std::string(error.what()).find("conflict"), std::string::npos)
+        << error.what();
+  }
+  // (4) a missing shard trace (pid list out of step) is a hard error, as
+  // is a trace file that is not a trace document.
+  EXPECT_THROW(obs::MergeChromeTraces({s0.trace, s1.trace}, {0}),
+               util::Error);
+  EXPECT_THROW(obs::MergeChromeTraces({"{}"}, {0}), util::Error);
 }
 
 TEST(RunnerShard, ParseRejectsMissingAndMalformedFiles) {

@@ -1,23 +1,81 @@
-// Merge shard CSVs (tools/shard_grid output) into the unsharded file.
+// Merge shard artifacts (tools/shard_grid output) into unsharded files.
 //
 //   merge_results --output=merged.csv shard0.csv shard1.csv ...
+//   merge_results --merged-manifest=run.json --manifests=s0.json,s1.json
+//   merge_results --merged-trace=run.trace.json --traces=s0.json,s1.json
 //
-// Headers must agree byte-for-byte, every cell index must appear in
+// CSV: headers must agree byte-for-byte, every cell index must appear in
 // exactly one input, and the union must be contiguous from 0 — overlaps
 // and gaps are hard errors (runner/shard.h).  The merged file is
 // byte-identical to what one serial unsharded run would have written.
+//
+// Manifests: per-shard run manifests recombine into the document an
+// unsharded run would write — identical tool/build/config/master_seed
+// required, shard coverage must be exactly 0..shard_count-1 (a repeated
+// shard is a double-merge error, a gap a missing-shard error), wall times
+// and counters sum (obs/manifest.h).
+//
+// Traces: per-shard Chrome trace_event JSONs concatenate with each shard's
+// events re-homed to its own pid, so the merged file views in Perfetto as
+// one process group per shard (obs/trace.h).
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/manifest.h"
+#include "obs/trace.h"
 #include "runner/shard.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace {
 
+using namespace dvs;
+
+constexpr char kUsage[] =
+    "usage: merge_results [--output=<merged.csv> <shard0.csv> ...]\n"
+    "                     [--manifests=<s0.json,s1.json,...> "
+    "--merged-manifest=<run.json>]\n"
+    "                     [--traces=<s0.json,s1.json,...> "
+    "--merged-trace=<run.trace.json>]\n";
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::Error("cannot open input file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    throw util::Error("cannot open output file: " + path);
+  }
+  out << text << '\n';
+}
+
+std::vector<std::string> SplitPaths(const std::string& list) {
+  std::vector<std::string> paths;
+  for (std::string& part : util::Split(list, ',')) {
+    if (!part.empty()) {
+      paths.push_back(std::move(part));
+    }
+  }
+  return paths;
+}
+
 int Run(int argc, char** argv) {
   std::string output;
+  std::string manifests;
+  std::string merged_manifest;
+  std::string traces;
+  std::string merged_trace;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -25,9 +83,16 @@ int Run(int argc, char** argv) {
       output = arg.substr(9);
     } else if (arg == "--output" && i + 1 < argc) {
       output = argv[++i];
+    } else if (arg.rfind("--manifests=", 0) == 0) {
+      manifests = arg.substr(12);
+    } else if (arg.rfind("--merged-manifest=", 0) == 0) {
+      merged_manifest = arg.substr(18);
+    } else if (arg.rfind("--traces=", 0) == 0) {
+      traces = arg.substr(9);
+    } else if (arg.rfind("--merged-trace=", 0) == 0) {
+      merged_trace = arg.substr(15);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: merge_results --output=<merged.csv> "
-                   "<shard0.csv> [shard1.csv ...]\n";
+      std::cout << kUsage;
       return EXIT_SUCCESS;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "merge_results: unknown flag " << arg << "\n";
@@ -36,15 +101,57 @@ int Run(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (output.empty() || inputs.empty()) {
-    std::cerr << "usage: merge_results --output=<merged.csv> "
-                 "<shard0.csv> [shard1.csv ...]\n";
+  if (manifests.empty() != merged_manifest.empty()) {
+    std::cerr << "merge_results: --manifests and --merged-manifest go "
+                 "together\n" << kUsage;
+    return EXIT_FAILURE;
+  }
+  if (traces.empty() != merged_trace.empty()) {
+    std::cerr << "merge_results: --traces and --merged-trace go together\n"
+              << kUsage;
+    return EXIT_FAILURE;
+  }
+  const bool merge_csv = !output.empty() || !inputs.empty();
+  if (merge_csv && (output.empty() || inputs.empty())) {
+    std::cerr << kUsage;
+    return EXIT_FAILURE;
+  }
+  if (!merge_csv && manifests.empty() && traces.empty()) {
+    std::cerr << kUsage;
     return EXIT_FAILURE;
   }
 
-  const std::size_t rows = dvs::runner::MergeShardCsvFiles(inputs, output);
-  std::cout << "merged " << inputs.size() << " shard files, " << rows
-            << " rows -> " << output << "\n";
+  if (merge_csv) {
+    const std::size_t rows = runner::MergeShardCsvFiles(inputs, output);
+    std::cout << "merged " << inputs.size() << " shard files, " << rows
+              << " rows -> " << output << "\n";
+  }
+
+  if (!manifests.empty()) {
+    const std::vector<std::string> paths = SplitPaths(manifests);
+    std::vector<std::string> texts;
+    texts.reserve(paths.size());
+    for (const std::string& path : paths) {
+      texts.push_back(ReadFile(path));
+    }
+    WriteFile(merged_manifest, obs::MergeManifests(texts));
+    std::cout << "merged " << paths.size() << " manifests -> "
+              << merged_manifest << "\n";
+  }
+
+  if (!traces.empty()) {
+    const std::vector<std::string> paths = SplitPaths(traces);
+    std::vector<std::string> texts;
+    std::vector<std::uint32_t> pids;
+    texts.reserve(paths.size());
+    for (const std::string& path : paths) {
+      pids.push_back(static_cast<std::uint32_t>(texts.size()));
+      texts.push_back(ReadFile(path));
+    }
+    WriteFile(merged_trace, obs::MergeChromeTraces(texts, pids));
+    std::cout << "merged " << paths.size() << " traces -> " << merged_trace
+              << "\n";
+  }
   return EXIT_SUCCESS;
 }
 

@@ -11,10 +11,15 @@
 //   shard_grid --shard=0 --shard-count=2 --csv=shard0.csv
 //   shard_grid --shard=1 --shard-count=2 --csv=shard1.csv
 //   merge_results --output=merged.csv shard0.csv shard1.csv
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/csv_sink.h"
 #include "runner/experiment_grid.h"
 #include "runner/run_grid.h"
@@ -94,6 +99,8 @@ int Run(int argc, const char* const* argv) {
   bool planning = false;
   bool solver_stats = false;
   std::string warm_start = "off";
+  std::string trace_out;
+  std::string manifest_out;
 
   util::ArgParser parser(
       "shard_grid",
@@ -111,6 +118,12 @@ int Run(int argc, const char* const* argv) {
                  "append the opt-in solver iteration/evaluation CSV columns");
   parser.AddString("warm-start", &warm_start,
                    "sigma-axis warm-start policy: off | neighbor");
+  parser.AddString("trace-out", &trace_out,
+                   "write this shard's Chrome trace_event JSON here "
+                   "(merge_results --merged-trace recombines shards)");
+  parser.AddString("manifest-out", &manifest_out,
+                   "write this shard's run manifest here (merge_results "
+                   "--merged-manifest recombines shards)");
   if (!parser.Parse(argc, argv)) {
     return EXIT_SUCCESS;
   }
@@ -129,6 +142,20 @@ int Run(int argc, const char* const* argv) {
     return EXIT_FAILURE;
   }
 
+  // Telemetry: installed before RunGrid spawns workers, observation-only —
+  // the CSV bytes are identical with or without these flags (the
+  // golden-bytes tests pin this).
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  if (!manifest_out.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    obs::InstallMetrics(metrics.get());
+  }
+  std::unique_ptr<obs::TraceRecorder> trace;
+  if (!trace_out.empty()) {
+    trace = std::make_unique<obs::TraceRecorder>();
+    obs::TraceRecorder::Install(trace.get());
+  }
+
   runner::CsvSink sink(csv, /*scenario_column=*/planning,
                        /*solver_stats_columns=*/solver_stats);
   runner::RunOptions options;
@@ -136,7 +163,34 @@ int Run(int argc, const char* const* argv) {
   options.sink = &sink;
   options.shard_index = static_cast<std::size_t>(shard);
   options.shard_count = static_cast<std::size_t>(shard_count);
+  const auto start = std::chrono::steady_clock::now();
   const runner::GridResult result = runner::RunGrid(grid, options);
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - start;
+
+  if (trace != nullptr) {
+    trace->WriteChromeTrace(trace_out,
+                            static_cast<std::uint32_t>(shard));
+    std::cout << "trace written to " << trace_out << " ("
+              << trace->event_count() << " spans)\n";
+  }
+  if (metrics != nullptr) {
+    obs::RunManifest manifest;
+    manifest.tool = planning ? "shard_grid --planning" : "shard_grid";
+    manifest.master_seed = grid.master_seed;
+    manifest.threads = options.threads;
+    manifest.shard_index = static_cast<std::size_t>(shard);
+    manifest.shard_count = static_cast<std::size_t>(shard_count);
+    manifest.wall_ms = wall.count();
+    manifest.config = {
+        {"grid", planning ? "planning" : "smoke"},
+        {"warm_start", warm_start},
+        {"solver_stats", solver_stats ? "true" : "false"},
+    };
+    obs::WriteManifest(manifest_out, manifest, metrics.get());
+    obs::InstallMetrics(nullptr);
+    std::cout << "manifest written to " << manifest_out << "\n";
+  }
 
   std::cout << "shard " << shard << "/" << shard_count << ": " << sink.rows()
             << " rows -> " << csv << " (" << result.failed_cells
