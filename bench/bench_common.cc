@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/solve_store.h"
 #include "obs/convergence.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -80,6 +81,15 @@ void SweepConfig::Register(util::ArgParser& parser) {
                    "here");
   parser.AddFlag("metrics", &metrics,
                  "collect and print the aggregated telemetry counters");
+  parser.AddString("cache-dir", &cache_dir,
+                   "persistent cross-run solve cache directory (created if "
+                   "missing; results are byte-identical with or without it)");
+  parser.AddFlag("cache-read-only", &cache_read_only,
+                 "open --cache-dir read-only: pre-seed solves without "
+                 "locking or writing back (shared-cache shard flow)");
+  parser.AddString("cell-scheduling", &scheduling,
+                   "grid cell handout: family (cache-affinity families + "
+                   "stealing) | cursor (legacy one-cell handout)");
 }
 
 std::unique_ptr<runner::CsvSink> SweepConfig::OpenCellSink() {
@@ -116,6 +126,11 @@ void SweepConfig::Finalize() {
         std::make_unique<obs::ConvergenceRecorder>(convergence_out);
     obs::ConvergenceRecorder::Install(telemetry->convergence.get());
   }
+  Scheduling();  // validate --cell-scheduling before the first grid runs
+  if (!cache_dir.empty() && solve_store == nullptr) {
+    solve_store = std::make_shared<core::SolveStore>(cache_dir,
+                                                     cache_read_only);
+  }
 }
 
 std::vector<std::string> SweepConfig::MethodList() const {
@@ -145,6 +160,18 @@ std::vector<std::string> SweepConfig::ScenarioList() const {
 bool SweepConfig::SweepsScenarios() const {
   const std::vector<std::string> list = ScenarioList();
   return list.size() != 1 || list.front() != "iid-normal";
+}
+
+runner::CellScheduling SweepConfig::Scheduling() const {
+  if (scheduling == "family") {
+    return runner::CellScheduling::kFamilyAffinity;
+  }
+  if (scheduling == "cursor") {
+    return runner::CellScheduling::kCursor;
+  }
+  throw util::InvalidArgumentError(
+      "--cell-scheduling must be family or cursor, got \"" + scheduling +
+      "\"");
 }
 
 core::WarmStartPolicy SweepConfig::WarmStartPolicy() const {
@@ -185,6 +212,8 @@ runner::RunOptions SweepConfig::RunOpts() const {
   options.threads = static_cast<int>(threads);
   options.sink = sink;
   options.workspaces = workspaces.get();
+  options.scheduling = Scheduling();
+  options.solve_store = solve_store.get();
   return options;
 }
 
@@ -269,6 +298,14 @@ void SweepConfig::WriteBenchJson() const {
 }
 
 void SweepConfig::WriteRunArtifacts() const {
+  // Write the solve cache back first so persist.write_backs — and the
+  // final hit/miss tallies — land in the manifest's metric block below.
+  if (solve_store != nullptr && !solve_store->read_only()) {
+    const std::size_t written = solve_store->WriteBack();
+    std::cout << "solve cache: " << written << " entr"
+              << (written == 1 ? "y" : "ies") << " written back to "
+              << solve_store->dir() << "\n";
+  }
   if (telemetry->convergence != nullptr && !convergence_out.empty()) {
     telemetry->convergence->Flush();
     std::cout << "convergence records written to " << convergence_out << " ("
@@ -313,6 +350,9 @@ void SweepConfig::WriteRunArtifacts() const {
         {"warm_start", warm_start},
         {"grid_repeats", std::to_string(grid_repeats)},
         {"paper", paper ? "true" : "false"},
+        {"cell_scheduling", scheduling},
+        {"cache_dir", cache_dir},
+        {"cache_read_only", cache_read_only ? "true" : "false"},
     };
     obs::WriteManifest(manifest_out, manifest, telemetry->metrics.get());
     std::cout << "manifest written to " << manifest_out << "\n";

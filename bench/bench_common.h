@@ -29,6 +29,10 @@
 #include "util/csv.h"
 #include "util/table.h"
 
+namespace dvs::core {
+class SolveStore;
+}  // namespace dvs::core
+
 namespace dvs::obs {
 class ConvergenceRecorder;
 class MetricsRegistry;
@@ -118,6 +122,19 @@ struct SweepConfig {
   std::string manifest_out;
   std::string convergence_out;
   bool metrics = false;
+  /// Persistent cross-run solve cache directory (--cache-dir): Finalize()
+  /// opens a core::SolveStore there (creating the directory), every grid
+  /// run pre-seeds from and absorbs into it, and WriteRunArtifacts()
+  /// writes it back to disk.  Empty disables persistence.  Results and
+  /// CSVs are byte-identical with or without a cache.
+  std::string cache_dir;
+  /// Opens --cache-dir read-only (--cache-read-only): pre-seed without
+  /// taking the writer LOCK or writing back — the shared-cache flow for
+  /// concurrent shards (see tools/shard_grid).
+  bool cache_read_only = false;
+  /// Cell handout policy (--cell-scheduling): "family" (cache-affinity
+  /// families + stealing, the default) or "cursor" (the legacy handout).
+  std::string scheduling = "family";
   /// Times each grid this many times (--grid-repeats): repeat 0 is the
   /// result-bearing run, later repeats re-run the identical grid against
   /// warm workspaces purely for the --bench-json timing trajectory.
@@ -138,6 +155,9 @@ struct SweepConfig {
   /// config reference one process-global installation).
   std::shared_ptr<TelemetryState> telemetry =
       std::make_shared<TelemetryState>();
+  /// The open --cache-dir store (null without the flag); created by
+  /// Finalize(), written back by WriteRunArtifacts().
+  std::shared_ptr<core::SolveStore> solve_store;
 
   /// Registers the shared flags on a parser.
   void Register(util::ArgParser& parser);
@@ -166,6 +186,9 @@ struct SweepConfig {
 
   /// `warm_start` parsed; throws InvalidArgumentError on unknown text.
   core::WarmStartPolicy WarmStartPolicy() const;
+
+  /// `scheduling` parsed; throws InvalidArgumentError on unknown text.
+  runner::CellScheduling Scheduling() const;
 
   /// Worker count after resolving 0 to the hardware thread count.
   std::int64_t ResolvedThreads() const;

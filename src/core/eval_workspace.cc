@@ -1,9 +1,12 @@
 #include "core/eval_workspace.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "core/solve_store.h"
 #include "obs/metrics.h"
+#include "util/error.h"
 
 namespace dvs::core {
 
@@ -89,17 +92,129 @@ EvalWorkspace::PreparedCell* EvalWorkspace::Find(
   return nullptr;
 }
 
+namespace {
+
+std::size_t VecBytes(const std::vector<double>& values) {
+  return values.size() * sizeof(double);
+}
+
+std::size_t MatBytes(const std::vector<std::vector<double>>& rows) {
+  std::size_t bytes = rows.size() * sizeof(std::vector<double>);
+  for (const std::vector<double>& row : rows) {
+    bytes += VecBytes(row);
+  }
+  return bytes;
+}
+
+std::size_t PointBytes(const PlanningPoint& point) {
+  return VecBytes(point.cycles) + MatBytes(point.mixture);
+}
+
+std::size_t ResultBytes(const ScheduleResult& result) {
+  return sizeof(ScheduleResult) + VecBytes(result.schedule.end_times()) +
+         VecBytes(result.schedule.worst_budgets()) +
+         VecBytes(result.alm.multipliers);
+}
+
+}  // namespace
+
+std::size_t EvalWorkspace::ApproxBytes(const PreparedCell& cell) {
+  std::size_t bytes = sizeof(PreparedCell);
+  for (const model::Task& task : cell.set.tasks()) {
+    bytes += sizeof(model::Task) + task.name.size();
+  }
+  // The expansion's per-sub-instance records (segments, chain links,
+  // instance maps) dominate its footprint; ~96 bytes each is the measured
+  // order of magnitude and only relative sizes matter for eviction.
+  bytes += cell.fps.sub_count() * 96;
+  const SolveCache& solves = cell.solves;
+  if (solves.wcs.has_value()) {
+    bytes += ResultBytes(*solves.wcs);
+  }
+  if (solves.acs.has_value()) {
+    bytes += ResultBytes(*solves.acs);
+  }
+  if (solves.vmax_asap.has_value()) {
+    bytes += VecBytes(solves.vmax_asap->end_times()) +
+             VecBytes(solves.vmax_asap->worst_budgets());
+  }
+  for (const auto& planned : solves.planned) {
+    bytes += sizeof(SolveCache::PlannedSolve) + PointBytes(planned->planning) +
+             ResultBytes(planned->result);
+    for (const PlanningPoint& link : planned->chain) {
+      bytes += PointBytes(link);
+    }
+  }
+  for (const auto& entry : solves.calibrations) {
+    bytes += sizeof(SolveCache::CalibrationEntry) +
+             entry->persist_key.size() + VecBytes(entry->calibration.mean) +
+             VecBytes(entry->calibration.stddev) +
+             MatBytes(entry->calibration.draws) +
+             MatBytes(entry->calibration.sorted);
+  }
+  return bytes;
+}
+
+void EvalWorkspace::EnforceBudget() {
+  std::size_t total = 0;
+  for (const auto& entry : prepared_) {
+    total += ApproxBytes(*entry);
+  }
+  while (prepared_.size() > 1 &&
+         (prepared_.size() > kPreparedCapacity ||
+          total > prepared_budget_bytes_)) {
+    const PreparedCell& victim = *prepared_.back();
+    total -= ApproxBytes(victim);
+    if (store_ != nullptr) {
+      const ModelDescriptor descriptor = DescribeModel(*victim.dvs);
+      if (descriptor.Persistable()) {
+        store_->Absorb(MakeStoredCell(victim.set, descriptor, victim.scheduler,
+                                      victim.solves));
+      }
+    }
+    prepared_.pop_back();
+    obs::Count(obs::metric::kPrepareEvictions);
+  }
+  obs::SetGauge(obs::metric::kPreparedBytes, static_cast<double>(total));
+}
+
+void EvalWorkspace::AbsorbInto(SolveStore& store) const {
+  for (const auto& entry : prepared_) {
+    const ModelDescriptor descriptor = DescribeModel(*entry->dvs);
+    if (!descriptor.Persistable()) {
+      continue;
+    }
+    store.Absorb(MakeStoredCell(entry->set, descriptor, entry->scheduler,
+                                entry->solves));
+  }
+}
+
 EvalWorkspace::PreparedCell& EvalWorkspace::Insert(
     std::uint64_t key, model::TaskSet set, const model::DvsModel& dvs,
     const SchedulerOptions& scheduler) {
   obs::Count(obs::metric::kPrepareMisses);
-  if (prepared_.size() >= kPreparedCapacity) {
-    prepared_.pop_back();
-  }
   prepared_.insert(prepared_.begin(),
                    std::make_unique<PreparedCell>(key, std::move(set), dvs,
                                                   scheduler));
-  return *prepared_.front();
+  PreparedCell& entry = *prepared_.front();
+  if (store_ != nullptr) {
+    const ModelDescriptor descriptor = DescribeModel(dvs);
+    if (descriptor.Persistable()) {
+      if (std::optional<StoredCell> stored =
+              store_->Load(entry.set, descriptor, scheduler)) {
+        try {
+          RestoreSolveCache(*stored, entry.fps, entry.solves);
+        } catch (const util::Error&) {
+          // The stored schedules do not fit this expansion (a colliding
+          // key or a stale file): drop the partial restore and re-solve.
+          entry.solves = SolveCache{};
+          obs::Count(obs::metric::kPersistRejects);
+        }
+      }
+    }
+  }
+  EnforceBudget();  // never evicts the MRU entry just built
+  return entry;
 }
 
 EvalWorkspace::PreparedCell& EvalWorkspace::Prepare(

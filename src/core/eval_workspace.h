@@ -40,6 +40,8 @@
 
 namespace dvs::core {
 
+class SolveStore;  // core/solve_store.h
+
 /// Exact structural equality (names, periods, and bitwise-equal cycle
 /// demands).  Prepare() trusts a cache entry only when this holds, so a key
 /// collision across different grids degrades to a rebuild, never to a wrong
@@ -113,11 +115,44 @@ class EvalWorkspace {
                               const model::DvsModel& dvs,
                               const SchedulerOptions& scheduler);
 
+  /// Attaches (or detaches, with nullptr) a persistent solve store.  Every
+  /// Prepare() miss then pre-seeds its fresh entry from the store, and
+  /// every eviction flows the entry's solves back into it.  Non-owning;
+  /// the store must outlive the workspace's last Prepare/AbsorbInto call.
+  /// Results are bit-identical with or without a store — restored solves
+  /// verify exactly and anything rejected is simply re-solved.
+  void set_solve_store(SolveStore* store) { store_ = store; }
+  SolveStore* solve_store() const { return store_; }
+
+  /// Flushes every resident entry's solves into `store` (end-of-run
+  /// write-back companion; evicted entries were absorbed on the way out).
+  void AbsorbInto(SolveStore& store) const;
+
+  /// Byte budget of the prepared-cell cache (approximate resident bytes;
+  /// see ApproxBytes).  Insert evicts LRU entries past the budget, always
+  /// keeping at least the entry it just built.  Tests shrink this to force
+  /// evictions; the default fits any shipped grid comfortably.
+  void set_prepared_budget_bytes(std::size_t bytes) {
+    prepared_budget_bytes_ = bytes;
+  }
+  std::size_t prepared_budget_bytes() const { return prepared_budget_bytes_; }
+
+  /// Deterministic size estimate of one cached entry: the task set, the
+  /// expansion and every cached solve / calibration, counted by element
+  /// size (never capacity, so the estimate is allocator-independent).
+  static std::size_t ApproxBytes(const PreparedCell& cell);
+
  private:
   /// MRU depth: one multi-core cell touches up to `cores` entries and the
   /// reuse window spans the sibling cells of one task-set draw (the
   /// core-count x partitioner axes), so a few dozen entries cover it.
   static constexpr std::size_t kPreparedCapacity = 48;
+
+  /// Default byte budget of the prepared cache (256 MiB): planned solves
+  /// and calibration draws accumulate per entry, so deep planning grids
+  /// bound residency by bytes as well as by count.
+  static constexpr std::size_t kDefaultPreparedBudgetBytes =
+      256ull * 1024 * 1024;
 
   /// Moves a hit to the MRU front; returns nullptr on miss.
   PreparedCell* Find(std::uint64_t key, const model::DvsModel& dvs,
@@ -129,11 +164,18 @@ class EvalWorkspace {
                        const model::DvsModel& dvs,
                        const SchedulerOptions& scheduler);
 
+  /// Evicts LRU entries while over the count cap or the byte budget
+  /// (keeping at least the MRU entry), absorbing each evictee into the
+  /// attached store; refreshes the resident-bytes gauge.
+  void EnforceBudget();
+
   opt::SolverWorkspace solver_;
   ObjectiveScratch objective_scratch_;
   sim::EngineWorkspace engine_;
   std::vector<std::unique_ptr<PreparedCell>> prepared_;  // MRU order
   std::vector<model::TaskIndex> owned_scratch_;  // PrepareSubset sort buffer
+  SolveStore* store_ = nullptr;                  // non-owning, may be null
+  std::size_t prepared_budget_bytes_ = kDefaultPreparedBudgetBytes;
 };
 
 }  // namespace dvs::core

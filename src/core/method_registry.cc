@@ -261,8 +261,15 @@ const workload::Calibration& MethodContext::ScenarioCalibration(
   const std::int64_t samples = options.planning.calibration_samples;
   for (const std::unique_ptr<SolveCache::CalibrationEntry>& entry :
        cache_->calibrations) {
-    if (entry->scenario == options.scenario &&
-        entry->sigma_divisor == options.sigma_divisor &&
+    // Scenario identity: pointer + persist key for live entries, persist
+    // key alone for entries restored from the persistent solve cache
+    // (null pointer, non-empty key) — see SolveCache::CalibrationEntry.
+    const bool same_scenario =
+        (entry->scenario == options.scenario &&
+         entry->persist_key == options.scenario_key) ||
+        (entry->scenario == nullptr && !entry->persist_key.empty() &&
+         entry->persist_key == options.scenario_key);
+    if (same_scenario && entry->sigma_divisor == options.sigma_divisor &&
         entry->seed == seed && entry->samples == samples) {
       if (span.enabled()) {
         span.Arg("cache", "hit");
@@ -284,7 +291,8 @@ const workload::Calibration& MethodContext::ScenarioCalibration(
       std::make_unique<SolveCache::CalibrationEntry>(
           SolveCache::CalibrationEntry{
               options.scenario, options.sigma_divisor, seed, samples,
-              calibrator.Calibrate(fps_->task_set(), seed)}));
+              calibrator.Calibrate(fps_->task_set(), seed),
+              options.scenario_key}));
   return cache_->calibrations.back()->calibration;
 }
 

@@ -70,6 +70,12 @@ struct ExperimentOptions {
   /// fan-out copies these options, so the pointee must outlive the whole
   /// fleet evaluation.
   const model::WorkloadScenario* scenario = nullptr;
+  /// Registry name of `scenario` — the identity the persistent solve cache
+  /// stores for calibrations, since pointer identity cannot survive a
+  /// process boundary (runner::RunCell fills it from the grid's scenario
+  /// axis).  Empty disables calibration persistence for this evaluation;
+  /// results are identical either way.
+  std::string scenario_key;
   /// Scenario-conditioned planning knobs (see PlanningOptions).
   PlanningOptions planning;
   SchedulerOptions scheduler;

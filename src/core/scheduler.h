@@ -94,12 +94,23 @@ struct SolveCache {
   /// (registry entries outlive the run), sigma divisor, the
   /// CalibrationSeed-derived stream and the sample count.  unique_ptr for
   /// reference stability across later insertions.
+  /// An entry matches a lookup when the pointer identity AND the persist
+  /// key agree — or, for entries restored from the persistent solve cache
+  /// (core/solve_store.h), when the pointer is null and the non-empty
+  /// persist key matches the lookup's scenario_key.  The two-sided rule
+  /// keeps the legacy direct-API behaviour (null scenario, empty keys)
+  /// intact while preventing a restored calibration of one named scenario
+  /// from ever serving a caller that supplied no scenario name.
   struct CalibrationEntry {
     const model::WorkloadScenario* scenario;
     double sigma_divisor;
     std::uint64_t seed;
     std::int64_t samples;
     workload::Calibration calibration;
+    /// Registry name of the scenario (ExperimentOptions::scenario_key) —
+    /// the identity that survives serialization.  Empty for direct-API
+    /// callers; such entries are never persisted.
+    std::string persist_key;
   };
   std::vector<std::unique_ptr<CalibrationEntry>> calibrations;
 };

@@ -119,6 +119,7 @@ class AlphaDvsModel final : public DvsModel {
 
   double vth() const { return vth_; }
   double alpha() const { return alpha_; }
+  double k_delay() const { return k_delay_; }
 
  private:
   double vmin_;
@@ -155,6 +156,7 @@ class DiscreteDvsModel final : public DvsModel {
   double SpeedSlope(double v) const override { return base_->SpeedSlope(v); }
 
   const std::vector<double>& levels() const { return levels_; }
+  const DvsModel& base() const { return *base_; }
 
   /// Builds `count` evenly spaced levels across the base model's range.
   static std::vector<double> EvenLevels(const DvsModel& base, int count);

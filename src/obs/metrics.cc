@@ -57,6 +57,18 @@ MetricsRegistry::MetricsRegistry() {
   AddGauge("run.shard_count");
   AddHistogram("cell.wall_us", WallBoundsUs());
   AddHistogram("solve.wall_us", WallBoundsUs());
+  AddCounter("prepare.evictions");
+  AddGauge("prepare.resident_bytes");
+  AddCounter("persist.cache_hits");
+  AddCounter("persist.cache_misses");
+  AddCounter("persist.verify_rejects");
+  AddCounter("persist.write_backs");
+  AddCounter("family.steals");
+  AddGauge("family.count");
+  // Per-worker family load: one observation per worker per grid run, so
+  // bucket bounds are cell counts, not wall times.
+  AddHistogram("family.cells_per_worker",
+               {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6});
   ACS_REQUIRE(definitions_.size() == metric::kBuiltinCount,
               "builtin metric count drifted from obs::metric ids");
 }

@@ -166,7 +166,18 @@ inline constexpr MetricId kThreads = 16;         // run.threads (gauge)
 inline constexpr MetricId kShardCount = 17;      // run.shard_count (gauge)
 inline constexpr MetricId kCellWallUs = 18;      // cell.wall_us (histogram)
 inline constexpr MetricId kSolveWallUs = 19;     // solve.wall_us (histogram)
-inline constexpr std::size_t kBuiltinCount = 20;
+inline constexpr MetricId kPrepareEvictions = 20;   // prepare.evictions
+inline constexpr MetricId kPreparedBytes = 21;      // prepare.resident_bytes
+                                                    // (gauge)
+inline constexpr MetricId kPersistHits = 22;        // persist.cache_hits
+inline constexpr MetricId kPersistMisses = 23;      // persist.cache_misses
+inline constexpr MetricId kPersistRejects = 24;     // persist.verify_rejects
+inline constexpr MetricId kPersistWriteBacks = 25;  // persist.write_backs
+inline constexpr MetricId kFamilySteals = 26;       // family.steals
+inline constexpr MetricId kFamilyCount = 27;        // family.count (gauge)
+inline constexpr MetricId kFamilyCellsPerWorker = 28;  // family.cells_per_
+                                                       // worker (histogram)
+inline constexpr std::size_t kBuiltinCount = 29;
 }  // namespace metric
 
 /// The installed registry, or nullptr.  Installation is not synchronised

@@ -1,9 +1,13 @@
 #include "runner/run_grid.h"
 
+#include <utility>
+
+#include "core/solve_store.h"
 #include "fps/expansion.h"
 #include "mp/fleet.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runner/family.h"
 #include "runner/thread_pool.h"
 #include "util/error.h"
 #include "util/logging.h"
@@ -50,6 +54,7 @@ CellResult RunCell(const ExperimentGrid& grid,
     // grid run, and mp's per-core option copies carry the pointer along.
     options.scenario =
         &grid.Scenarios().Get(grid.scenarios[cell.coord.scenario_index]);
+    options.scenario_key = scenario_name;
     options.planning = grid.planning;
     options.scheduler = grid.scheduler;
     options.warm_start = grid.warm_start;
@@ -124,6 +129,18 @@ CellResult RunCell(const ExperimentGrid& grid,
     span.Arg("ok", cell.ok() ? "true" : "false");
   }
   return cell;
+}
+
+/// Family-scheduling telemetry, charged on shard 0 after the workers have
+/// joined (the quiescent phase, so no ScopedMetricsShard is needed).
+void MetricsShardObserveFamilyStats(obs::MetricsRegistry& metrics,
+                                    const FamilyStats& stats) {
+  metrics.Shard(0).Count(obs::metric::kFamilySteals,
+                         static_cast<std::int64_t>(stats.steals));
+  for (const std::size_t cells : stats.cells_per_worker) {
+    metrics.Shard(0).Observe(obs::metric::kFamilyCellsPerWorker,
+                             static_cast<double>(cells));
+  }
 }
 
 }  // namespace
@@ -254,25 +271,87 @@ GridResult RunGrid(const ExperimentGrid& grid,
   if (workspaces.size() < static_cast<std::size_t>(pool.size())) {
     workspaces.resize(static_cast<std::size_t>(pool.size()));
   }
+  // Attach (or detach) the persistent store on every workspace — set
+  // unconditionally so a workspace vector reused across RunGrid calls can
+  // never keep a stale store pointer alive.
+  for (core::EvalWorkspace& workspace : workspaces) {
+    workspace.set_solve_store(options.solve_store);
+  }
 
-  pool.ParallelFor(cell_count, [&](std::size_t worker,
-                                   std::size_t cell_index) {
-    const obs::ScopedMetricsShard shard_scope(
-        metrics != nullptr ? &metrics->Shard(worker) : nullptr);
-    CellResult& cell = result.cells[cell_index];
-    const CellCoord coord = grid.Coord(cell_index);
-    const std::size_t set_index = grid.SetIndex(coord);
-    if (set_index < set_begin || set_index >= set_end) {
-      cell.coord = coord;
-      cell.skipped = true;
-      obs::Count(obs::metric::kCellsSkipped);
-      return;
+  if (options.scheduling == CellScheduling::kFamilyAffinity) {
+    // Cache-affinity handout (runner/family.h): pre-mark the out-of-window
+    // cells serially, then schedule whole families onto workers so each
+    // task set's solves stay on one worker's cache.
+    {
+      const obs::ScopedMetricsShard shard_scope(
+          metrics != nullptr ? &metrics->Shard(0) : nullptr);
+      for (std::size_t cell_index = 0; cell_index < cell_count;
+           ++cell_index) {
+        const CellCoord coord = grid.Coord(cell_index);
+        const std::size_t set_index = grid.SetIndex(coord);
+        if (set_index < set_begin || set_index >= set_end) {
+          result.cells[cell_index].coord = coord;
+          result.cells[cell_index].skipped = true;
+          obs::Count(obs::metric::kCellsSkipped);
+        }
+      }
     }
-    cell = RunCell(grid, methods, cell_index, workspaces[worker]);
-    if (options.sink != nullptr) {
-      options.sink->OnCell(grid, cell);
+    const FamilySchedule schedule =
+        BuildFamilySchedule(grid, set_begin, set_end,
+                            static_cast<std::size_t>(pool.size()),
+                            options.family_weights);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    ranges.reserve(schedule.families.size());
+    for (const CellFamily& family : schedule.families) {
+      ranges.emplace_back(family.begin, family.end);
     }
-  });
+    if (metrics != nullptr) {
+      metrics->Shard(0).SetGauge(obs::metric::kFamilyCount,
+                                 static_cast<double>(ranges.size()));
+    }
+    const FamilyStats stats = pool.ParallelForFamilies(
+        ranges, schedule.owner,
+        [&](std::size_t worker, std::size_t cell_index) {
+          const obs::ScopedMetricsShard shard_scope(
+              metrics != nullptr ? &metrics->Shard(worker) : nullptr);
+          CellResult& cell = result.cells[cell_index];
+          cell = RunCell(grid, methods, cell_index, workspaces[worker]);
+          if (options.sink != nullptr) {
+            options.sink->OnCell(grid, cell);
+          }
+        });
+    if (metrics != nullptr) {
+      MetricsShardObserveFamilyStats(*metrics, stats);
+    }
+  } else {
+    pool.ParallelFor(cell_count, [&](std::size_t worker,
+                                     std::size_t cell_index) {
+      const obs::ScopedMetricsShard shard_scope(
+          metrics != nullptr ? &metrics->Shard(worker) : nullptr);
+      CellResult& cell = result.cells[cell_index];
+      const CellCoord coord = grid.Coord(cell_index);
+      const std::size_t set_index = grid.SetIndex(coord);
+      if (set_index < set_begin || set_index >= set_end) {
+        cell.coord = coord;
+        cell.skipped = true;
+        obs::Count(obs::metric::kCellsSkipped);
+        return;
+      }
+      cell = RunCell(grid, methods, cell_index, workspaces[worker]);
+      if (options.sink != nullptr) {
+        options.sink->OnCell(grid, cell);
+      }
+    });
+  }
+
+  // Flush every workspace's resident solves into the persistent store (the
+  // evicted ones were absorbed on the way out); write-back to disk is the
+  // caller's call, after however many grids it runs against the store.
+  if (options.solve_store != nullptr) {
+    for (const core::EvalWorkspace& workspace : workspaces) {
+      workspace.AbsorbInto(*options.solve_store);
+    }
+  }
 
   for (const CellResult& cell : result.cells) {
     result.failed_cells += (!cell.skipped && !cell.ok()) ? 1 : 0;

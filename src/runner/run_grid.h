@@ -33,7 +33,12 @@
 #include "core/eval_workspace.h"
 #include "core/method_registry.h"
 #include "runner/experiment_grid.h"
+#include "runner/family.h"
 #include "stats/summary.h"
+
+namespace dvs::core {
+class SolveStore;  // core/solve_store.h
+}  // namespace dvs::core
 
 namespace dvs::runner {
 
@@ -133,6 +138,20 @@ struct RunOptions {
   /// row set exactly (see runner/shard.h for the CSV merge).
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// Cell handout policy (see runner/family.h).  The default keeps each
+  /// task set's sibling cells — and therefore its cached solves — on one
+  /// worker; kCursor restores the legacy one-cell-at-a-time handout.
+  /// Results are bit-identical under either policy at any thread count.
+  CellScheduling scheduling = CellScheduling::kFamilyAffinity;
+  /// Cost-model weights of the family schedule (kFamilyAffinity only).
+  FamilyCostWeights family_weights;
+  /// Persistent cross-run solve cache (core/solve_store.h).  Attached to
+  /// every worker workspace for the duration of the run: Prepare() misses
+  /// pre-seed from it, evicted and resident entries are absorbed back into
+  /// it when the run ends.  The caller owns the store and decides when to
+  /// WriteBack().  Null disables persistence.  Results are bit-identical
+  /// with or without it.
+  core::SolveStore* solve_store = nullptr;
 };
 
 /// Runs every cell of `grid`, resolving methods against `registry`.

@@ -51,6 +51,22 @@ void ThreadPool::WorkerLoop(std::size_t worker) {
 }
 
 void ThreadPool::Drain(std::size_t worker) {
+  if (family_mode_) {
+    DrainFamilies(worker);
+  } else {
+    DrainCursor(worker);
+  }
+}
+
+void ThreadPool::RecordError(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_ == nullptr || index < error_index_) {
+    error_ = std::current_exception();
+    error_index_ = index;
+  }
+}
+
+void ThreadPool::DrainCursor(std::size_t worker) {
   for (;;) {
     const std::size_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (index >= n_) {
@@ -59,12 +75,52 @@ void ThreadPool::Drain(std::size_t worker) {
     try {
       (*fn_)(worker, index);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (error_ == nullptr || index < error_index_) {
-        error_ = std::current_exception();
-        error_index_ = index;
+      RecordError(index);
+    }
+  }
+}
+
+void ThreadPool::DrainFamilies(std::size_t worker) {
+  for (;;) {
+    std::size_t family = kNoFamily;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (!queues_[worker].empty()) {
+        // Own families in enqueue (= ascending id) order: the owner walks
+        // its window front-to-back, which is what makes one worker's run
+        // identical to the serial cell order.
+        family = queues_[worker].front();
+        queues_[worker].pop_front();
+      } else {
+        // Steal a whole family from the back of the most-loaded queue —
+        // the work furthest from the victim's current locality window.
+        std::size_t victim = kNoFamily;
+        std::size_t victim_load = 0;
+        for (std::size_t w = 0; w < queues_.size(); ++w) {
+          if (queues_[w].size() > victim_load) {
+            victim_load = queues_[w].size();
+            victim = w;
+          }
+        }
+        if (victim != kNoFamily) {
+          family = queues_[victim].back();
+          queues_[victim].pop_back();
+          ++steals_;
+        }
       }
     }
+    if (family == kNoFamily) {
+      return;  // every queue is empty; in-flight families finish elsewhere
+    }
+    const auto [begin, end] = (*families_)[family];
+    for (std::size_t index = begin; index < end; ++index) {
+      try {
+        (*fn_)(worker, index);
+      } catch (...) {
+        RecordError(index);
+      }
+    }
+    family_cells_[worker] += end - begin;
   }
 }
 
@@ -84,6 +140,7 @@ void ThreadPool::ParallelFor(
     std::lock_guard<std::mutex> lock(mutex_);
     ACS_CHECK(fn_ == nullptr, "nested ParallelFor on one ThreadPool");
     fn_ = &fn;
+    family_mode_ = false;
     n_ = n;
     cursor_.store(0, std::memory_order_relaxed);
     error_ = nullptr;
@@ -103,6 +160,57 @@ void ThreadPool::ParallelFor(
     lock.unlock();
     std::rethrow_exception(error);
   }
+}
+
+FamilyStats ThreadPool::ParallelForFamilies(
+    const std::vector<std::pair<std::size_t, std::size_t>>& families,
+    const std::vector<std::size_t>& owner,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  ACS_REQUIRE(owner.size() == families.size(),
+              "every family needs exactly one owner");
+  FamilyStats stats;
+  stats.cells_per_worker.assign(static_cast<std::size_t>(threads_), 0);
+  if (families.empty()) {
+    return stats;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ACS_CHECK(fn_ == nullptr, "nested ParallelFor on one ThreadPool");
+    fn_ = &fn;
+    family_mode_ = true;
+    families_ = &families;
+    queues_.assign(static_cast<std::size_t>(threads_), {});
+    // Ascending family id per queue: owners drain front-to-back in id
+    // order, thieves take from the back.
+    for (std::size_t f = 0; f < families.size(); ++f) {
+      ACS_REQUIRE(owner[f] < static_cast<std::size_t>(threads_),
+                  "family owner must be a pool worker");
+      queues_[owner[f]].push_back(f);
+    }
+    steals_ = 0;
+    family_cells_.assign(static_cast<std::size_t>(threads_), 0);
+    error_ = nullptr;
+    error_index_ = 0;
+    workers_active_ = workers_.size();
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  Drain(0);  // the calling thread is worker 0
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  fn_ = nullptr;
+  family_mode_ = false;
+  families_ = nullptr;
+  stats.steals = steals_;
+  stats.cells_per_worker = family_cells_;
+  if (error_ != nullptr) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  return stats;
 }
 
 }  // namespace dvs::runner

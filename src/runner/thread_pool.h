@@ -13,13 +13,26 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dvs::runner {
+
+/// What a ParallelForFamilies run observed about its own scheduling.
+/// Observation-only — results never depend on it (cells are pure functions
+/// of their index) — and, like the prepare hit/miss split, the numbers
+/// legitimately vary with thread count and timing.
+struct FamilyStats {
+  /// Families executed by a worker other than their assigned owner.
+  std::size_t steals = 0;
+  /// Cells each worker actually executed (indexed by worker).
+  std::vector<std::size_t> cells_per_worker;
+};
 
 class ThreadPool {
  public:
@@ -50,9 +63,29 @@ class ThreadPool {
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Cache-affinity variant: `families[f]` is a [begin, end) index range
+  /// and `owner[f]` the worker (< size()) whose queue it starts on.  Each
+  /// worker drains its own queue front-to-back — families were enqueued in
+  /// ascending id order, so an owner visits its cells in ascending index
+  /// order and a 1-thread pool reproduces the serial order exactly — and an
+  /// idle worker steals a whole family from the BACK of the most-loaded
+  /// queue (ties: lowest victim index), keeping the steal at the far end of
+  /// the victim's locality window.  Calls fn(worker, index) for every index
+  /// of every family; exception contract as ParallelFor (lowest index
+  /// wins).  Returns what the run observed about its own scheduling.
+  FamilyStats ParallelForFamilies(
+      const std::vector<std::pair<std::size_t, std::size_t>>& families,
+      const std::vector<std::size_t>& owner,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
+  static constexpr std::size_t kNoFamily = static_cast<std::size_t>(-1);
+
   void WorkerLoop(std::size_t worker);
   void Drain(std::size_t worker);
+  void DrainCursor(std::size_t worker);
+  void DrainFamilies(std::size_t worker);
+  void RecordError(std::size_t index);
 
   int threads_;
   std::vector<std::thread> workers_;
@@ -64,12 +97,21 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;  // bumped once per ParallelFor
   std::size_t workers_active_ = 0;
 
-  // Current job (valid while a ParallelFor is in flight).
+  // Current job (valid while a ParallelFor/ParallelForFamilies is in
+  // flight).  `family_mode_` routes Drain; the cursor fields serve the
+  // classic handout, the queue fields the family handout.
   const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  bool family_mode_ = false;
   std::size_t n_ = 0;
   std::atomic<std::size_t> cursor_{0};
   std::exception_ptr error_;
   std::size_t error_index_ = 0;
+
+  const std::vector<std::pair<std::size_t, std::size_t>>* families_ = nullptr;
+  std::mutex queue_mutex_;  // guards queues_ and steals_
+  std::vector<std::deque<std::size_t>> queues_;  // per-worker family ids
+  std::size_t steals_ = 0;
+  std::vector<std::size_t> family_cells_;  // per-worker executed cells
 };
 
 }  // namespace dvs::runner

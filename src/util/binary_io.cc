@@ -1,0 +1,159 @@
+#include "util/binary_io.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace dvs::util {
+namespace {
+
+/// Sanity cap on length prefixes: a corrupted length field must fail fast
+/// instead of attempting a multi-gigabyte allocation.  Generous next to any
+/// real cache payload (the largest vectors are calibration draw matrices,
+/// a few MiB).
+constexpr std::uint64_t kMaxLength = 1ULL << 32;
+
+}  // namespace
+
+void BinaryWriter::U8(std::uint8_t value) {
+  out_.push_back(static_cast<char>(value));
+}
+
+void BinaryWriter::U32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out_.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void BinaryWriter::U64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void BinaryWriter::I64(std::int64_t value) {
+  U64(static_cast<std::uint64_t>(value));
+}
+
+void BinaryWriter::F64(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "IEEE-754 double expected");
+  std::memcpy(&bits, &value, sizeof(bits));
+  U64(bits);
+}
+
+void BinaryWriter::Str(const std::string& value) {
+  U64(value.size());
+  out_.append(value);
+}
+
+void BinaryWriter::VecF64(const std::vector<double>& values) {
+  U64(values.size());
+  for (double value : values) {
+    F64(value);
+  }
+}
+
+void BinaryWriter::VecVecF64(const std::vector<std::vector<double>>& values) {
+  U64(values.size());
+  for (const std::vector<double>& row : values) {
+    VecF64(row);
+  }
+}
+
+void BinaryWriter::Raw(const std::string& bytes) { out_.append(bytes); }
+
+const char* BinaryReader::Take(std::size_t n) {
+  if (n > size_ - offset_) {
+    throw Error("binary payload truncated: need " + std::to_string(n) +
+                " bytes at offset " + std::to_string(offset_) + " of " +
+                std::to_string(size_));
+  }
+  const char* at = data_ + offset_;
+  offset_ += n;
+  return at;
+}
+
+std::uint8_t BinaryReader::U8() {
+  return static_cast<std::uint8_t>(*Take(1));
+}
+
+std::uint32_t BinaryReader::U32() {
+  const char* at = Take(4);
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(at[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t BinaryReader::U64() {
+  const char* at = Take(8);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(at[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::int64_t BinaryReader::I64() {
+  return static_cast<std::int64_t>(U64());
+}
+
+double BinaryReader::F64() {
+  const std::uint64_t bits = U64();
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string BinaryReader::Str() {
+  const std::uint64_t length = U64();
+  if (length > kMaxLength) {
+    throw Error("binary payload corrupt: string length " +
+                std::to_string(length));
+  }
+  const char* at = Take(static_cast<std::size_t>(length));
+  return std::string(at, static_cast<std::size_t>(length));
+}
+
+std::vector<double> BinaryReader::VecF64() {
+  const std::uint64_t length = U64();
+  if (length > kMaxLength / sizeof(double)) {
+    throw Error("binary payload corrupt: vector length " +
+                std::to_string(length));
+  }
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(length));
+  for (std::uint64_t i = 0; i < length; ++i) {
+    values.push_back(F64());
+  }
+  return values;
+}
+
+std::vector<std::vector<double>> BinaryReader::VecVecF64() {
+  const std::uint64_t rows = U64();
+  if (rows > kMaxLength / sizeof(double)) {
+    throw Error("binary payload corrupt: matrix row count " +
+                std::to_string(rows));
+  }
+  std::vector<std::vector<double>> values;
+  values.reserve(static_cast<std::size_t>(rows));
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    values.push_back(VecF64());
+  }
+  return values;
+}
+
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char byte : bytes) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace dvs::util

@@ -32,6 +32,11 @@ TEST(MetricsRegistry, BuiltinNamesArePinnedInIdOrder) {
       "sim.deadline_misses",  "solve.fallbacks",
       "run.threads",          "run.shard_count",
       "cell.wall_us",         "solve.wall_us",
+      "prepare.evictions",    "prepare.resident_bytes",
+      "persist.cache_hits",   "persist.cache_misses",
+      "persist.verify_rejects", "persist.write_backs",
+      "family.steals",        "family.count",
+      "family.cells_per_worker",
   };
   ASSERT_EQ(expected.size(), metric::kBuiltinCount);
   ASSERT_EQ(registry.MetricCount(), metric::kBuiltinCount);
@@ -49,6 +54,15 @@ TEST(MetricsRegistry, BuiltinKindsMatchTheIdTable) {
   EXPECT_EQ(agg[metric::kShardCount].kind, MetricKind::kGauge);
   EXPECT_EQ(agg[metric::kCellWallUs].kind, MetricKind::kHistogram);
   EXPECT_EQ(agg[metric::kSolveWallUs].kind, MetricKind::kHistogram);
+  EXPECT_EQ(agg[metric::kPrepareEvictions].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kPreparedBytes].kind, MetricKind::kGauge);
+  EXPECT_EQ(agg[metric::kPersistHits].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kPersistMisses].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kPersistRejects].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kPersistWriteBacks].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kFamilySteals].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kFamilyCount].kind, MetricKind::kGauge);
+  EXPECT_EQ(agg[metric::kFamilyCellsPerWorker].kind, MetricKind::kHistogram);
 }
 
 /// The determinism invariant: the same set of charges, however they are

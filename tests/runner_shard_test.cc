@@ -25,6 +25,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "core/solve_store.h"
 #include "runner/csv_sink.h"
 #include "runner/experiment_grid.h"
 #include "runner/run_grid.h"
@@ -418,6 +419,110 @@ TEST(RunnerShard, ParseRejectsMissingAndMalformedFiles) {
   }
   EXPECT_THROW(ParseShardCsv(path), util::Error);
   std::remove(path.c_str());
+}
+
+// --------------------------------------------- shard x cache-dir interplay
+
+std::string FreshCacheDir(const std::string& stem) {
+  return ::testing::TempDir() + stem + "." +
+         std::to_string(static_cast<long long>(::getpid()));
+}
+
+/// Empties a store directory so repeated test-binary runs stay cold.
+void PurgeCacheDir(const std::string& dir) {
+  core::SolveStore store(dir);
+  for (std::uint64_t key : store.DiskKeys()) {
+    std::remove(store.EntryPath(key).c_str());
+  }
+}
+
+/// One shard of `grid` on 2 threads with `store` attached (may be null);
+/// returns the shard's CSV text.
+std::string RunShardWithStore(const ExperimentGrid& grid, std::size_t shard,
+                              std::size_t shard_count,
+                              core::SolveStore* store) {
+  const std::string path =
+      FreshPath("shard_cache_part" + std::to_string(shard));
+  {
+    CsvSink sink(path, /*scenario_column=*/true,
+                 /*solver_stats_columns=*/true);
+    RunOptions options;
+    options.threads = 2;
+    options.sink = &sink;
+    options.shard_index = shard;
+    options.shard_count = shard_count;
+    options.solve_store = store;
+    const GridResult result = RunGrid(grid, options);
+    EXPECT_EQ(result.failed_cells, 0u);
+  }
+  std::string text = ReadFile(path);
+  std::remove(path.c_str());
+  return text;
+}
+
+TEST(RunnerShardCache, PerShardCacheDirsMergeAndWarmRerunByteIdentical) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = WarmPlanningGrid(cpu);
+
+  // Reference: unsharded serial run, no cache.
+  const std::string reference_path = FreshPath("shard_cache_reference");
+  {
+    CsvSink sink(reference_path, /*scenario_column=*/true,
+                 /*solver_stats_columns=*/true);
+    RunOptions options;
+    options.threads = 1;
+    options.sink = &sink;
+    const GridResult result = RunGrid(grid, options);
+    EXPECT_EQ(result.failed_cells, 0u);
+  }
+  const std::string reference = ReadFile(reference_path);
+  std::remove(reference_path.c_str());
+
+  // Cold sharded run, each shard its own writable dir: the merge is still
+  // byte-identical to the cache-free serial run.
+  const std::string dir0 = FreshCacheDir("shard_cache_dir0");
+  const std::string dir1 = FreshCacheDir("shard_cache_dir1");
+  PurgeCacheDir(dir0);
+  PurgeCacheDir(dir1);
+  std::vector<std::string> cold_texts;
+  {
+    core::SolveStore store0(dir0);
+    cold_texts.push_back(RunShardWithStore(grid, 0, 2, &store0));
+    EXPECT_GT(store0.WriteBack(), 0u);
+  }
+  {
+    core::SolveStore store1(dir1);
+    cold_texts.push_back(RunShardWithStore(grid, 1, 2, &store1));
+    EXPECT_GT(store1.WriteBack(), 0u);
+  }
+  EXPECT_EQ(MergeShardCsvs({ParseText(cold_texts[0]), ParseText(cold_texts[1])}),
+            reference);
+
+  // Warm re-run of shard 0 through a fresh store over its populated dir:
+  // the pre-seeded solves move no byte.
+  {
+    core::SolveStore warm(dir0);
+    EXPECT_EQ(RunShardWithStore(grid, 0, 2, &warm), cold_texts[0]);
+  }
+
+  // Shared read-only pre-seed: both shards over ONE warmed dir, stores
+  // open simultaneously (read-only opens never take the writer LOCK).
+  {
+    core::SolveStore ro0(dir0, /*read_only=*/true);
+    core::SolveStore ro1(dir0, /*read_only=*/true);
+    const std::string t0 = RunShardWithStore(grid, 0, 2, &ro0);
+    const std::string t1 = RunShardWithStore(grid, 1, 2, &ro1);
+    EXPECT_EQ(MergeShardCsvs({ParseText(t0), ParseText(t1)}), reference);
+    // Read-only stores never write back.
+    EXPECT_EQ(ro1.WriteBack(), 0u);
+  }
+
+  // Two concurrent *writers* on one cache dir hard-error before any cell
+  // runs — the misconfiguration tools/shard_grid documents.
+  {
+    core::SolveStore writer(dir0);
+    EXPECT_THROW(core::SolveStore second(dir0), util::Error);
+  }
 }
 
 }  // namespace

@@ -11,12 +11,25 @@
 //   shard_grid --shard=0 --shard-count=2 --csv=shard0.csv
 //   shard_grid --shard=1 --shard-count=2 --csv=shard1.csv
 //   merge_results --output=merged.csv shard0.csv shard1.csv
+//
+// Persistent solve cache (core/solve_store.h): --cache-dir points the shard
+// at a cache directory — Prepare() misses pre-seed from it and the shard's
+// solves are written back before the manifest, so re-running a shard (or a
+// later, wider grid) only solves new cells.  A writable cache dir admits
+// ONE writer: two concurrent shards pointed at the same --cache-dir
+// hard-error on the directory's LOCK file.  The concurrent-shard flow is
+// --cache-read-only: warm one shared directory first (e.g. a --shard-count=1
+// pass, or a previous run), then launch the fleet with
+// --cache-dir=<shared> --cache-read-only — every shard pre-seeds from the
+// shared entries without locking or writing, and per-shard *writable* dirs
+// stay possible by giving each shard its own --cache-dir.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "core/solve_store.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -101,6 +114,8 @@ int Run(int argc, const char* const* argv) {
   std::string warm_start = "off";
   std::string trace_out;
   std::string manifest_out;
+  std::string cache_dir;
+  bool cache_read_only = false;
 
   util::ArgParser parser(
       "shard_grid",
@@ -124,6 +139,15 @@ int Run(int argc, const char* const* argv) {
   parser.AddString("manifest-out", &manifest_out,
                    "write this shard's run manifest here (merge_results "
                    "--merged-manifest recombines shards)");
+  parser.AddString("cache-dir", &cache_dir,
+                   "persistent solve-cache directory: pre-seed solves from "
+                   "it, write this shard's solves back (one writer per "
+                   "directory — concurrent shards need --cache-read-only "
+                   "or per-shard dirs)");
+  parser.AddFlag("cache-read-only", &cache_read_only,
+                 "open --cache-dir read-only: pre-seed without locking or "
+                 "writing back (the shared-cache flow for concurrent "
+                 "shards)");
   if (!parser.Parse(argc, argv)) {
     return EXIT_SUCCESS;
   }
@@ -156,6 +180,13 @@ int Run(int argc, const char* const* argv) {
     obs::TraceRecorder::Install(trace.get());
   }
 
+  // The writable open throws on a held LOCK — the two-shards-one-cache-dir
+  // hard error happens here, before any cell runs.
+  std::unique_ptr<core::SolveStore> store;
+  if (!cache_dir.empty()) {
+    store = std::make_unique<core::SolveStore>(cache_dir, cache_read_only);
+  }
+
   runner::CsvSink sink(csv, /*scenario_column=*/planning,
                        /*solver_stats_columns=*/solver_stats);
   runner::RunOptions options;
@@ -163,10 +194,19 @@ int Run(int argc, const char* const* argv) {
   options.sink = &sink;
   options.shard_index = static_cast<std::size_t>(shard);
   options.shard_count = static_cast<std::size_t>(shard_count);
+  options.solve_store = store.get();
   const auto start = std::chrono::steady_clock::now();
   const runner::GridResult result = runner::RunGrid(grid, options);
   const std::chrono::duration<double, std::milli> wall =
       std::chrono::steady_clock::now() - start;
+
+  // Before the manifest, so persist.write_backs lands in its metrics.
+  if (store != nullptr && !store->read_only()) {
+    const std::size_t written = store->WriteBack();
+    std::cout << "solve cache: " << written << " entr"
+              << (written == 1 ? "y" : "ies") << " written back to "
+              << cache_dir << "\n";
+  }
 
   if (trace != nullptr) {
     trace->WriteChromeTrace(trace_out,
@@ -186,6 +226,8 @@ int Run(int argc, const char* const* argv) {
         {"grid", planning ? "planning" : "smoke"},
         {"warm_start", warm_start},
         {"solver_stats", solver_stats ? "true" : "false"},
+        {"cache_dir", cache_dir},
+        {"cache_read_only", cache_read_only ? "true" : "false"},
     };
     obs::WriteManifest(manifest_out, manifest, metrics.get());
     obs::InstallMetrics(nullptr);
