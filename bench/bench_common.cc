@@ -54,6 +54,15 @@ void SweepConfig::Register(util::ArgParser& parser) {
                 "averages over");
   parser.AddInt("calibration-samples", &planning.calibration_samples,
                 "offline calibration draws per task for the planning arms");
+  parser.AddInt("online-dp-bins", &online.dp_bins,
+                "cycle bins of the acs-online expected-case dispatch "
+                "profile");
+  parser.AddDouble("drift-ewma", &online.drift_ewma,
+                   "EWMA weight of one hyper-period's realised mean cycles "
+                   "(acs-online-drift)");
+  parser.AddDouble("drift-threshold", &online.drift_threshold,
+                   "relative EWMA-vs-plan drift that triggers a warm-started "
+                   "replan (acs-online-drift)");
   parser.AddString("warm-start", &warm_start,
                    "sigma-axis warm-start policy for the planning arms: "
                    "off | neighbor");
@@ -196,6 +205,7 @@ runner::ExperimentGrid SweepConfig::MakeGrid(
   grid.scenarios = ScenarioList();
   grid.hyper_periods = hyper_periods;
   grid.planning = planning;
+  grid.online = online;
   grid.warm_start = WarmStartPolicy();
   // Decorrelate grid points sharing one config seed (e.g. fig6a's task-count
   // x ratio sweep runs one grid per point).

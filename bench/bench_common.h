@@ -100,6 +100,10 @@ struct SweepConfig {
   /// --mixture-samples, --calibration-samples), read only by the
   /// acs-scenario / acs-quantile / acs-mixture arms.
   core::PlanningOptions planning;
+  /// Online expected-case dispatch + drift replanning knobs
+  /// (--online-dp-bins, --drift-ewma, --drift-threshold), read only by the
+  /// acs-online / acs-online-drift arms.
+  core::OnlineOptions online;
   /// Sigma-axis warm-start policy of the planning arms (--warm-start):
   /// "off" keeps the pre-warm-start byte-identical solves, "neighbor"
   /// chains each cell's solve along the sigma-axis prefix (continuation —

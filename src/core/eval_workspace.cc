@@ -160,11 +160,28 @@ void EvalWorkspace::EnforceBudget() {
   for (const auto& entry : prepared_) {
     total += ApproxBytes(*entry);
   }
+  // An MRU entry bigger than the whole budget can never be paid for by
+  // eviction: charging it would evict every LRU entry (futile — the budget
+  // stays blown) and, were the MRU itself evictable, loop forever admitting
+  // and ejecting it.  Treat it as a transient over-budget resident instead:
+  // its bytes don't count against the budget, so the smaller entries it
+  // would have pointlessly displaced stay cached.  The gauge still reports
+  // the physical total.
+  std::size_t charged = total;
+  if (!prepared_.empty()) {
+    const std::size_t mru_bytes = ApproxBytes(*prepared_.front());
+    if (mru_bytes > prepared_budget_bytes_) {
+      charged = total - mru_bytes;
+      obs::Count(obs::metric::kPrepareOversized);
+    }
+  }
   while (prepared_.size() > 1 &&
          (prepared_.size() > kPreparedCapacity ||
-          total > prepared_budget_bytes_)) {
+          charged > prepared_budget_bytes_)) {
     const PreparedCell& victim = *prepared_.back();
-    total -= ApproxBytes(victim);
+    const std::size_t victim_bytes = ApproxBytes(victim);
+    total -= victim_bytes;
+    charged -= victim_bytes;
     if (store_ != nullptr) {
       const ModelDescriptor descriptor = DescribeModel(*victim.dvs);
       if (descriptor.Persistable()) {

@@ -137,6 +137,13 @@ class EvalWorkspace {
   }
   std::size_t prepared_budget_bytes() const { return prepared_budget_bytes_; }
 
+  /// Default byte budget of the prepared cache (256 MiB): planned solves
+  /// and calibration draws accumulate per entry, so deep planning grids
+  /// bound residency by bytes as well as by count.  Public so tooling
+  /// (tools/cache_info) can flag entries that would overflow it.
+  static constexpr std::size_t kDefaultPreparedBudgetBytes =
+      256ull * 1024 * 1024;
+
   /// Deterministic size estimate of one cached entry: the task set, the
   /// expansion and every cached solve / calibration, counted by element
   /// size (never capacity, so the estimate is allocator-independent).
@@ -147,12 +154,6 @@ class EvalWorkspace {
   /// reuse window spans the sibling cells of one task-set draw (the
   /// core-count x partitioner axes), so a few dozen entries cover it.
   static constexpr std::size_t kPreparedCapacity = 48;
-
-  /// Default byte budget of the prepared cache (256 MiB): planned solves
-  /// and calibration draws accumulate per entry, so deep planning grids
-  /// bound residency by bytes as well as by count.
-  static constexpr std::size_t kDefaultPreparedBudgetBytes =
-      256ull * 1024 * 1024;
 
   /// Moves a hit to the MRU front; returns nullptr on miss.
   PreparedCell* Find(std::uint64_t key, const model::DvsModel& dvs,
@@ -166,7 +167,10 @@ class EvalWorkspace {
 
   /// Evicts LRU entries while over the count cap or the byte budget
   /// (keeping at least the MRU entry), absorbing each evictee into the
-  /// attached store; refreshes the resident-bytes gauge.
+  /// attached store; refreshes the resident-bytes gauge.  An MRU entry
+  /// alone bigger than the whole budget is exempt from the byte charge
+  /// (counted by prepare.oversized_rejects): evicting everything else
+  /// could never pay for it, so the smaller entries stay resident.
   void EnforceBudget();
 
   opt::SolverWorkspace solver_;

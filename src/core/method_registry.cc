@@ -1,6 +1,9 @@
 #include "core/method_registry.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
+#include <variant>
 
 #include "core/eval_workspace.h"
 #include "core/formulation.h"
@@ -94,7 +97,8 @@ class StaticVmaxMethod final : public ScheduleMethod {
 /// Shared skeleton of the scenario-conditioned arms: calibrate the cell's
 /// scenario offline (paired CalibrationSeed stream), derive the arm's
 /// PlanningPoint from the calibration, solve through the value-keyed
-/// planned-solve cache, dispatch greedily online like "acs".
+/// planned-solve cache, dispatch through MakePolicy (greedy reclamation by
+/// default; the online arms substitute the expected-case DP policy).
 class ScenarioPlannedMethod : public ScheduleMethod {
  public:
   explicit ScenarioPlannedMethod(std::string name) : name_(std::move(name)) {}
@@ -106,17 +110,57 @@ class ScenarioPlannedMethod : public ScheduleMethod {
                     "\" needs experiment options on the context — evaluate "
                     "through EvaluateMethod or call AttachExperiment first");
 
+    // Resolve the arm's solve — either the single planned solve or the
+    // sigma-axis continuation chain (WarmStartPolicy::kNeighbor): the
+    // cell's prefix chain of sigma divisors in axis order, each link seeded
+    // from the previous converged schedule (the base link seeds from WCS
+    // exactly like the unchained path).  The chain is a pure function of
+    // the cell's grid coordinates, so results are thread-count
+    // independent; links land in the per-task-set SolveCache, where
+    // sibling cells at deeper sigma indices extend the chain instead of
+    // re-solving its prefix.  Counters charge every link's report —
+    // deterministic whether this cell solved the link or a cache served
+    // it.
+    const workload::Calibration* calibration = nullptr;
+    std::vector<PlanningPoint> ancestry;
+    std::vector<const ScheduleResult*> links;
+    const ScheduleResult* solved = nullptr;
     if (experiment->warm_start == WarmStartPolicy::kNeighbor &&
         experiment->sigma_chain.size() > 1) {
-      return PlanChained(context, *experiment);
+      ACS_REQUIRE(experiment->sigma_chain.back() == experiment->sigma_divisor,
+                  "sigma_chain must end at the cell's own sigma divisor");
+      ExperimentOptions step = *experiment;
+      ancestry.reserve(experiment->sigma_chain.size());
+      links.reserve(experiment->sigma_chain.size());
+      for (const double sigma : experiment->sigma_chain) {
+        obs::Span link_span("warm-link", "solve");
+        if (link_span.enabled()) {
+          link_span.Arg("sigma", sigma);
+          link_span.Arg("link", static_cast<std::int64_t>(ancestry.size()));
+        }
+        step.sigma_divisor = sigma;
+        calibration = &context.ScenarioCalibration(step);
+        PlanningPoint point = BuildPoint(*calibration, step.planning);
+        solved = &context.PlannedChained(point, ancestry, solved);
+        links.push_back(solved);
+        ancestry.push_back(std::move(point));
+      }
+    } else {
+      calibration = &context.ScenarioCalibration(*experiment);
+      PlanningPoint point = BuildPoint(*calibration, experiment->planning);
+      solved = &context.Planned(point);
+      links.push_back(solved);
+      ancestry.push_back(std::move(point));
     }
-    const workload::Calibration& calibration =
-        context.ScenarioCalibration(*experiment);
-    const ScheduleResult& planned =
-        context.Planned(BuildPoint(calibration, experiment->planning));
-    MethodPlan plan{planned.schedule, sim::GreedyReclaimPolicy(context.dvs()),
-                    planned.predicted_energy, planned.used_fallback};
-    plan.ChargeSolver(planned.alm);
+
+    MethodPlan plan{solved->schedule,
+                    MakePolicy(context, solved->schedule, *calibration,
+                               *experiment),
+                    solved->predicted_energy, solved->used_fallback};
+    for (const ScheduleResult* link : links) {
+      plan.ChargeSolver(link->alm);
+    }
+    Decorate(plan, *calibration, std::move(ancestry), solved);
     return plan;
   }
 
@@ -124,50 +168,25 @@ class ScenarioPlannedMethod : public ScheduleMethod {
   virtual PlanningPoint BuildPoint(const workload::Calibration& calibration,
                                    const PlanningOptions& options) const = 0;
 
- private:
-  /// Sigma-axis continuation (WarmStartPolicy::kNeighbor): solve the cell's
-  /// prefix chain of sigma divisors in axis order, each link seeded from
-  /// the previous converged schedule (the base link seeds from WCS exactly
-  /// like the unchained path).  The chain is a pure function of the cell's
-  /// grid coordinates, so results are thread-count independent; links land
-  /// in the per-task-set SolveCache, where sibling cells at deeper sigma
-  /// indices extend the chain instead of re-solving its prefix.  Counters
-  /// charge every link's report — deterministic whether this cell solved
-  /// the link or a cache served it.
-  MethodPlan PlanChained(MethodContext& context,
-                         const ExperimentOptions& experiment) const {
-    ACS_REQUIRE(experiment.sigma_chain.back() == experiment.sigma_divisor,
-                "sigma_chain must end at the cell's own sigma divisor");
-    ExperimentOptions step = experiment;
-    std::vector<PlanningPoint> ancestry;
-    ancestry.reserve(experiment.sigma_chain.size());
-    std::vector<const ScheduleResult*> links;
-    links.reserve(experiment.sigma_chain.size());
-    const ScheduleResult* prev = nullptr;
-    for (const double sigma : experiment.sigma_chain) {
-      obs::Span link_span("warm-link", "solve");
-      if (link_span.enabled()) {
-        link_span.Arg("sigma", sigma);
-        link_span.Arg("link", static_cast<std::int64_t>(ancestry.size()));
-      }
-      step.sigma_divisor = sigma;
-      const workload::Calibration& calibration =
-          context.ScenarioCalibration(step);
-      PlanningPoint point = BuildPoint(calibration, step.planning);
-      const ScheduleResult& solved =
-          context.PlannedChained(point, ancestry, prev);
-      links.push_back(&solved);
-      prev = &solved;
-      ancestry.push_back(std::move(point));
-    }
-    MethodPlan plan{prev->schedule, sim::GreedyReclaimPolicy(context.dvs()),
-                    prev->predicted_energy, prev->used_fallback};
-    for (const ScheduleResult* link : links) {
-      plan.ChargeSolver(link->alm);
-    }
-    return plan;
+  /// The online half the plan dispatches through; greedy reclamation unless
+  /// an arm overrides.
+  virtual sim::AnyPolicy MakePolicy(MethodContext& context,
+                                    const sim::StaticSchedule& /*schedule*/,
+                                    const workload::Calibration& /*calibration*/,
+                                    const ExperimentOptions& /*experiment*/)
+      const {
+    return sim::GreedyReclaimPolicy(context.dvs());
   }
 
+  /// Post-solve hook: the drift arm attaches its MethodPlan::DriftSpec
+  /// here.  `ancestry` is the full warm-start chain including the final
+  /// solve's own point; `solved` is the final (incumbent) solve.
+  virtual void Decorate(MethodPlan& /*plan*/,
+                        const workload::Calibration& /*calibration*/,
+                        std::vector<PlanningPoint> /*ancestry*/,
+                        const ScheduleResult* /*solved*/) const {}
+
+ private:
   std::string name_;
 };
 
@@ -207,6 +226,55 @@ class AcsMixtureMethod final : public ScenarioPlannedMethod {
     PlanningPoint point;
     point.mixture = calibration.SampleVectors(options.mixture_samples);
     return point;
+  }
+};
+
+/// Online expected-case arm: the same calibrated-mean planned schedule as
+/// acs-scenario, dispatched through the expected-case DP policy instead of
+/// greedy reclamation — each dispatch shapes the sub-instance's speed
+/// profile by the calibrated probability the work is actually reached.
+class AcsOnlineMethod : public ScenarioPlannedMethod {
+ public:
+  AcsOnlineMethod() : ScenarioPlannedMethod("acs-online") {}
+
+ protected:
+  explicit AcsOnlineMethod(std::string name)
+      : ScenarioPlannedMethod(std::move(name)) {}
+
+  PlanningPoint BuildPoint(const workload::Calibration& calibration,
+                           const PlanningOptions&) const override {
+    PlanningPoint point;
+    point.cycles = calibration.mean;
+    return point;
+  }
+
+  sim::AnyPolicy MakePolicy(MethodContext& context,
+                            const sim::StaticSchedule& schedule,
+                            const workload::Calibration& calibration,
+                            const ExperimentOptions& experiment)
+      const override {
+    return sim::ExpectedCasePolicy(context.fps(), schedule, context.dvs(),
+                                   calibration.sorted,
+                                   experiment.online.dp_bins);
+  }
+};
+
+/// acs-online plus mid-run drift adaptation: EvaluateMethod consumes the
+/// DriftSpec and replans when the realised per-task EWMA strays from the
+/// planned point (see MethodPlan::DriftSpec).
+class AcsOnlineDriftMethod final : public AcsOnlineMethod {
+ public:
+  AcsOnlineDriftMethod() : AcsOnlineMethod("acs-online-drift") {}
+
+ protected:
+  void Decorate(MethodPlan& plan, const workload::Calibration& calibration,
+                std::vector<PlanningPoint> ancestry,
+                const ScheduleResult* solved) const override {
+    MethodPlan::DriftSpec spec;
+    spec.calibration = &calibration;
+    spec.base = solved;
+    spec.ancestry = std::move(ancestry);
+    plan.drift = std::move(spec);
   }
 };
 
@@ -375,7 +443,155 @@ void RegisterBuiltins(MethodRegistry& registry) {
                     "ACS whose objective averages K calibrated sample "
                     "vectors",
                     std::make_unique<AcsMixtureMethod>());
+  registry.Register("acs-online",
+                    "calibrated-mean plan + expected-case online DP "
+                    "dispatch (--online-dp-bins)",
+                    std::make_unique<AcsOnlineMethod>());
+  registry.Register("acs-online-drift",
+                    "acs-online + EWMA drift detector with warm-started "
+                    "mid-run replans (--drift-ewma / --drift-threshold)",
+                    std::make_unique<AcsOnlineDriftMethod>());
 }
+
+namespace {
+
+/// DP-dispatch count of a plan's policy (0 for non-expected-case policies).
+std::int64_t PolicyDpDispatches(const sim::AnyPolicy& policy) {
+  if (!policy.IsBuiltin()) {
+    return 0;
+  }
+  if (const auto* expected =
+          std::get_if<sim::ExpectedCasePolicy>(&policy.builtin())) {
+    return expected->dp_dispatches();
+  }
+  return 0;
+}
+
+/// The drift-adaptive evaluation loop (MethodPlan::DriftSpec): simulate one
+/// hyper-period at a time against the *same* sampler and rng stream (so
+/// stateful scenarios keep their phase across chunks and energy sums
+/// exactly), fold each batch's realised per-task mean cycles into an EWMA,
+/// and replan at the EWMA point through PlannedChained — seeded from the
+/// incumbent solve, cached by exact point + ancestry — whenever the drift
+/// exceeds the configured threshold.  Every input of a replan (the EWMA) is
+/// a pure function of (options.seed, scenario), so replan points, counters
+/// and energies are bit-identical at any thread count.
+MethodOutcome EvaluateWithDrift(MethodContext& context,
+                                const ExperimentOptions& options,
+                                MethodPlan& plan) {
+  const model::TaskSet& set = context.fps().task_set();
+  const MethodPlan::DriftSpec& spec = *plan.drift;
+  const workload::Calibration& calibration = *spec.calibration;
+  const OnlineOptions& online = options.online;
+
+  const std::unique_ptr<model::WorkloadSampler> sampler =
+      MakeRunSampler(options, set);
+  stats::Rng rng(options.seed);
+  sim::SimOptions chunk_options;
+  chunk_options.hyper_periods = 1;
+  chunk_options.transition = options.transition;
+
+  EvalWorkspace* ws = context.workspace();
+  sim::EngineWorkspace own_engine;
+  sim::EngineWorkspace& engine = ws != nullptr ? ws->engine() : own_engine;
+
+  // Current plan state; replans swap these.  The replanned solves live in
+  // the context's SolveCache, so the references outlive the loop.
+  const sim::StaticSchedule* schedule = &plan.schedule;
+  std::vector<PlanningPoint> ancestry = spec.ancestry;
+  const ScheduleResult* incumbent = spec.base;
+  std::vector<double> planned(set.size(), 0.0);
+  std::vector<double> ewma(set.size(), 0.0);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    planned[i] = PlanningPoint::ResolveFor(ancestry.back().cycles, set, i);
+    ewma[i] = planned[i];
+  }
+
+  double total_energy = 0.0;
+  std::int64_t misses = 0;
+  std::int64_t switches = 0;
+  std::int64_t dp_dispatches = 0;
+  std::int64_t replans = 0;
+  std::vector<double> scale(set.size(), 1.0);
+
+  for (std::int64_t hp = 0; hp < options.hyper_periods; ++hp) {
+    const sim::SimResult& sim =
+        sim::Simulate(context.fps(), *schedule, context.dvs(), plan.policy,
+                      *sampler, rng, chunk_options, engine);
+    total_energy += sim.total_energy;
+    misses += sim.deadline_misses;
+    switches += sim.voltage_switches;
+
+    // EWMA over this hyper-period's realised per-task mean cycles.
+    double drift = 0.0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      if (sim.sampled_counts[i] > 0) {
+        const double batch = sim.sampled_cycles[i] /
+                             static_cast<double>(sim.sampled_counts[i]);
+        ewma[i] = (1.0 - online.drift_ewma) * ewma[i] +
+                  online.drift_ewma * batch;
+      }
+      const model::Task& task = set.task(i);
+      const double span = task.wcec - task.bcec;
+      if (span > 0.0) {
+        drift = std::max(drift, std::fabs(ewma[i] - planned[i]) / span);
+      }
+    }
+    if (drift <= online.drift_threshold || hp + 1 >= options.hyper_periods) {
+      continue;
+    }
+
+    // Replan at the drifted point, warm-started from the incumbent.
+    ++replans;
+    obs::Span replan_span("drift-replan", "solve");
+    if (replan_span.enabled()) {
+      replan_span.Arg("hyper_period", hp);
+      replan_span.Arg("drift", drift);
+    }
+    PlanningPoint point;
+    point.cycles = ewma;
+    const ScheduleResult& replanned =
+        context.PlannedChained(point, ancestry, incumbent);
+    plan.ChargeSolver(replanned.alm);
+    plan.used_fallback = plan.used_fallback || replanned.used_fallback;
+    ancestry.push_back(std::move(point));
+    incumbent = &replanned;
+    schedule = &replanned.schedule;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      planned[i] = PlanningPoint::ResolveFor(ancestry.back().cycles, set, i);
+      scale[i] = calibration.mean[i] > 0.0 ? ewma[i] / calibration.mean[i]
+                                           : 1.0;
+    }
+    // Rebuild the DP tables against the replanned schedule with the law
+    // stretched to the EWMA (sub-instance budgets changed, so the old
+    // tables no longer describe the plan).
+    dp_dispatches += PolicyDpDispatches(plan.policy);
+    plan.policy = sim::ExpectedCasePolicy(context.fps(), replanned.schedule,
+                                          context.dvs(), calibration.sorted,
+                                          online.dp_bins, &scale);
+  }
+  dp_dispatches += PolicyDpDispatches(plan.policy);
+  // Result-charged telemetry: replans and DP dispatches are pure functions
+  // of the cell, so the aggregated counters stay thread-count invariant.
+  obs::Count(obs::metric::kDriftReplans, replans);
+  obs::Count(obs::metric::kOnlineDpDispatches, dp_dispatches);
+
+  MethodOutcome outcome;
+  outcome.predicted_energy = plan.predicted_energy;
+  outcome.measured_energy =
+      options.hyper_periods > 0
+          ? total_energy / static_cast<double>(options.hyper_periods)
+          : 0.0;
+  outcome.deadline_misses = misses;
+  outcome.voltage_switches = switches;
+  outcome.used_fallback = plan.used_fallback;
+  outcome.solver_outer_iterations = plan.solver_outer_iterations;
+  outcome.solver_inner_iterations = plan.solver_inner_iterations;
+  outcome.solver_evaluations = plan.solver_evaluations;
+  return outcome;
+}
+
+}  // namespace
 
 MethodOutcome EvaluateMethod(const ScheduleMethod& method,
                              MethodContext& context,
@@ -385,7 +601,10 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
   // funnel — runner cells, mp per-core fan-out, the CompareAcsWcs shim —
   // planning-capable without call-site changes.
   context.AttachExperiment(options);
-  const MethodPlan plan = method.Plan(context);
+  MethodPlan plan = method.Plan(context);
+  if (plan.drift.has_value()) {
+    return EvaluateWithDrift(context, options, plan);
+  }
   // A fresh sampler per evaluation (MakeRunSampler): stateful scenarios
   // (Markov phases, AR(1) memory, trace cursors) restart per run, so every
   // method faces the identical realisation for one (options.seed, scenario)
@@ -398,6 +617,11 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
   sim_options.transition = options.transition;
 
   const auto fill = [&](const sim::SimResult& sim) {
+    // Result-charged: the DP-dispatch count is part of the deterministic
+    // simulation outcome, so the aggregate is thread-count invariant.
+    if (const std::int64_t dp = PolicyDpDispatches(plan.policy)) {
+      obs::Count(obs::metric::kOnlineDpDispatches, dp);
+    }
     MethodOutcome outcome;
     outcome.predicted_energy = plan.predicted_energy;
     outcome.measured_energy = sim.EnergyPerHyperPeriod(options.hyper_periods);

@@ -28,8 +28,14 @@
 //                  law (ExperimentOptions::planning.quantile, default p50)
 //   acs-mixture    ACS NLP whose objective averages the energy replay over
 //                  K calibrated sample vectors (distribution-weighted plan)
+//   acs-online     calibrated-mean planned schedule + expected-case online
+//                  DP dispatch (sim::ExpectedCasePolicy) over the
+//                  calibrated remaining-work distribution
+//   acs-online-drift  acs-online plus an EWMA drift detector that
+//                  recalibrates the planning point mid-run and replans
+//                  through the warm-start machinery (MethodPlan::DriftSpec)
 //
-// The three scenario-conditioned arms calibrate the cell's scenario offline
+// The scenario-conditioned arms calibrate the cell's scenario offline
 // (workload::ScenarioCalibrator, seeded by core::CalibrationSeed) and solve
 // through SolvePlanned; they require experiment options on the context —
 // EvaluateMethod attaches them automatically, direct Plan() callers use
@@ -172,6 +178,26 @@ struct MethodPlan {
   sim::AnyPolicy policy;
   double predicted_energy = 0.0;  // the method's own offline estimate
   bool used_fallback = false;     // an NLP repair fell back to its warm start
+
+  /// Mid-run drift adaptation request (the acs-online-drift arm).  When set,
+  /// EvaluateMethod simulates hyper-period by hyper-period, folds each
+  /// batch's realised per-task mean cycles into an EWMA, and — when the
+  /// EWMA strays from the planned point by more than the configured
+  /// threshold (relative to the task's [BCEC, WCEC] span) — recalibrates
+  /// the PlanningPoint at the EWMA and replans through PlannedChained
+  /// seeded from the incumbent solve, so replans cost warm-link prices.
+  /// All referenced objects live in the context's SolveCache and outlive
+  /// the plan.
+  struct DriftSpec {
+    /// Baseline calibration the policy's survival tables were built from.
+    const workload::Calibration* calibration = nullptr;
+    /// The incumbent solve (dual/primal seed of the first replan).
+    const ScheduleResult* base = nullptr;
+    /// Warm-start ancestry of `base`, including its own planning point —
+    /// exactly the `chain` a replan passes to PlannedChained.
+    std::vector<PlanningPoint> ancestry;
+  };
+  std::optional<DriftSpec> drift{};
   /// Offline solver effort behind this plan: zero for closed-form methods,
   /// one AlmReport's counters for a single NLP solve, the sum over every
   /// link of a warm-start chain.  Charged from the (possibly cached)

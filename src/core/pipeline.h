@@ -35,6 +35,22 @@ struct PlanningOptions {
   std::int64_t calibration_samples = 2048;
 };
 
+/// Knobs of the online expected-case arms (acs-online / acs-online-drift):
+/// the dispatch-time DP discretisation and the drift detector that triggers
+/// mid-run replans.  Ignored by every other method.
+struct OnlineOptions {
+  /// Cycle bins of the per-dispatch expected-case speed profile
+  /// (sim::ExpectedCasePolicy); more bins track the survival curve closer
+  /// at the cost of more re-dispatches per sub-instance.
+  std::int64_t dp_bins = 8;
+  /// EWMA weight of one hyper-period's realised per-task mean cycles
+  /// (acs-online-drift): ewma <- (1-w) ewma + w batch_mean.
+  double drift_ewma = 0.2;
+  /// Replan trigger: max-over-tasks |ewma - planned| / (WCEC - BCEC) above
+  /// this fires a recalibrated replan through the warm-start machinery.
+  double drift_threshold = 0.2;
+};
+
 /// How the scenario-conditioned planning arms seed their NLP solve.
 enum class WarmStartPolicy {
   /// Every planned solve seeds from the WCS incumbent (the legacy path —
@@ -78,6 +94,8 @@ struct ExperimentOptions {
   std::string scenario_key;
   /// Scenario-conditioned planning knobs (see PlanningOptions).
   PlanningOptions planning;
+  /// Online expected-case dispatch + drift replanning knobs.
+  OnlineOptions online;
   SchedulerOptions scheduler;
 };
 

@@ -1,6 +1,7 @@
 #include "obs/manifest.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <thread>
 
@@ -80,9 +81,7 @@ void WriteMetricsSection(util::JsonWriter& json,
 void WriteValue(util::JsonWriter& json, const util::JsonValue& value) {
   switch (value.kind) {
     case util::JsonValue::Kind::kNull:
-      // The repository's writers never emit null; map it to false rather
-      // than growing JsonWriter an API for a case that cannot occur.
-      json.Value(false);
+      json.Null();
       break;
     case util::JsonValue::Kind::kBool:
       json.Value(value.bool_value);
@@ -116,6 +115,21 @@ std::string Canonical(const util::JsonValue& value) {
   util::JsonWriter json;
   WriteValue(json, value);
   return json.str();
+}
+
+/// A folded measurement must be a finite number.  Shards serialise
+/// non-finite values as null (util::JsonWriter), and folding a null (which
+/// parses as 0) or an overflowed Inf into the sums and maxes below would
+/// silently poison the merged document — better to refuse the merge and
+/// name the culprit.
+double FoldableNumber(const util::JsonValue& value, const std::string& what,
+                      std::size_t index) {
+  if (!value.IsNumber() || !std::isfinite(value.number)) {
+    throw util::Error("manifest " + std::to_string(index) + ": " + what +
+                      " is not a finite number (non-finite metrics "
+                      "serialise as null and cannot be folded)");
+  }
+  return value.number;
 }
 
 const util::JsonValue& Section(const util::JsonValue& doc,
@@ -239,10 +253,14 @@ std::string MergeManifests(const std::vector<std::string>& texts) {
   std::vector<bool> seen(shard_count, false);
   std::vector<std::size_t> covered;
   for (std::size_t i = 0; i < docs.size(); ++i) {
+    // An empty list is legal: a shard whose cell range came out empty (a
+    // shard count above the grid's set count) still writes a manifest, and
+    // its measurements still fold below.  Only the list's *shape* is
+    // validated here; full coverage is enforced after the loop.
     const util::JsonValue& shards = Section(docs[i], "shards", i);
-    if (!shards.IsArray() || shards.array.empty()) {
+    if (!shards.IsArray()) {
       throw util::Error("manifest " + std::to_string(i) +
-                        " has an empty \"shards\" list");
+                        " has a non-array \"shards\" entry");
     }
     for (const util::JsonValue& entry : shards.array) {
       if (!entry.IsNumber() ||
@@ -295,21 +313,24 @@ std::string MergeManifests(const std::vector<std::string>& texts) {
     }
     any_metrics = true;
     for (const auto& [name, value] : metrics->At("counters").object) {
+      const double number =
+          FoldableNumber(value, "counter \"" + name + "\"", i);
       auto it = std::find_if(counters.begin(), counters.end(),
                              [&](const auto& c) { return c.first == name; });
       if (it == counters.end()) {
-        counters.emplace_back(name, value.number);
+        counters.emplace_back(name, number);
       } else {
-        it->second += value.number;
+        it->second += number;
       }
     }
     for (const auto& [name, value] : metrics->At("gauges").object) {
+      const double number = FoldableNumber(value, "gauge \"" + name + "\"", i);
       auto it = std::find_if(gauges.begin(), gauges.end(),
                              [&](const auto& g) { return g.first == name; });
       if (it == gauges.end()) {
-        gauges.emplace_back(name, value.number);
+        gauges.emplace_back(name, number);
       } else {
-        it->second = std::max(it->second, value.number);
+        it->second = std::max(it->second, number);
       }
     }
     for (const auto& [name, value] : metrics->At("histograms").object) {
@@ -331,21 +352,24 @@ std::string MergeManifests(const std::vector<std::string>& texts) {
         throw util::Error("manifest conflict: histogram \"" + name +
                           "\" bucket layouts differ");
       }
+      const std::string what = "histogram \"" + name + "\"";
       for (std::size_t b = 0; b < buckets.array.size(); ++b) {
-        it->buckets[b] += buckets.array[b].number;
+        it->buckets[b] += FoldableNumber(buckets.array[b], what + " bucket", i);
       }
-      const double count = value.NumberAt("count");
+      const double count = FoldableNumber(value.At("count"), what + " count", i);
       if (count > 0.0) {
+        const double mn = FoldableNumber(value.At("min"), what + " min", i);
+        const double mx = FoldableNumber(value.At("max"), what + " max", i);
         if (it->count == 0.0) {
-          it->min = value.NumberAt("min");
-          it->max = value.NumberAt("max");
+          it->min = mn;
+          it->max = mx;
         } else {
-          it->min = std::min(it->min, value.NumberAt("min"));
-          it->max = std::max(it->max, value.NumberAt("max"));
+          it->min = std::min(it->min, mn);
+          it->max = std::max(it->max, mx);
         }
       }
       it->count += count;
-      it->sum += value.NumberAt("sum");
+      it->sum += FoldableNumber(value.At("sum"), what + " sum", i);
     }
   }
 

@@ -69,6 +69,9 @@ MetricsRegistry::MetricsRegistry() {
   // bucket bounds are cell counts, not wall times.
   AddHistogram("family.cells_per_worker",
                {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6});
+  AddCounter("drift.replans");
+  AddCounter("online.dp_dispatches");
+  AddCounter("prepare.oversized_rejects");
   ACS_REQUIRE(definitions_.size() == metric::kBuiltinCount,
               "builtin metric count drifted from obs::metric ids");
 }

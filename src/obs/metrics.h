@@ -177,7 +177,11 @@ inline constexpr MetricId kFamilySteals = 26;       // family.steals
 inline constexpr MetricId kFamilyCount = 27;        // family.count (gauge)
 inline constexpr MetricId kFamilyCellsPerWorker = 28;  // family.cells_per_
                                                        // worker (histogram)
-inline constexpr std::size_t kBuiltinCount = 29;
+inline constexpr MetricId kDriftReplans = 29;       // drift.replans
+inline constexpr MetricId kOnlineDpDispatches = 30;  // online.dp_dispatches
+inline constexpr MetricId kPrepareOversized = 31;   // prepare.oversized_
+                                                    // rejects
+inline constexpr std::size_t kBuiltinCount = 32;
 }  // namespace metric
 
 /// The installed registry, or nullptr.  Installation is not synchronised

@@ -125,6 +125,9 @@ struct ExperimentGrid {
   /// master seed keeps their cells paired), exactly like the bench sweeps
   /// sigma-insensitive scenarios.
   core::PlanningOptions planning;
+  /// Online expected-case dispatch + drift replanning knobs, applied to
+  /// every cell; only the acs-online / acs-online-drift arms read them.
+  core::OnlineOptions online;
   /// Workload-stream labels: each entry yields an independent realisation
   /// stream per cell (replaying fixed sets under `k` streams = `k` entries).
   std::vector<std::uint64_t> workload_seeds = {0};

@@ -56,6 +56,7 @@ CellResult RunCell(const ExperimentGrid& grid,
         &grid.Scenarios().Get(grid.scenarios[cell.coord.scenario_index]);
     options.scenario_key = scenario_name;
     options.planning = grid.planning;
+    options.online = grid.online;
     options.scheduler = grid.scheduler;
     options.warm_start = grid.warm_start;
     if (grid.warm_start == core::WarmStartPolicy::kNeighbor) {

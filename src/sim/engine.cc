@@ -36,6 +36,8 @@ void ResetResult(SimResult& result, std::size_t task_count) {
   result.makespan = 0.0;
   result.first_miss.clear();
   result.trace.Clear();
+  result.sampled_cycles.assign(task_count, 0.0);
+  result.sampled_counts.assign(task_count, 0);
 }
 
 /// The engine loop, templated on the policy type so built-in policies
@@ -119,6 +121,8 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
       ACS_CHECK(cycles >= -kCycleEps && cycles <= wcec * (1.0 + 1e-9),
                 "sampled workload outside [0, WCEC]");
       inst.remaining = std::clamp(cycles, 0.0, wcec);
+      result.sampled_cycles[inst.task] += inst.remaining;
+      ++result.sampled_counts[inst.task];
       active.push_back(inst);
       ++stream_pos;
       if (stream_pos == release_order.size()) {
@@ -260,6 +264,12 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
     double dt = inst.remaining / speed;
     if (!last_sub && budget_rem < inst.remaining) {
       dt = std::min(dt, budget_rem / speed);
+    }
+    if (decision.cycle_cap.has_value()) {
+      // Policy-imposed profile breakpoint: end the slice after the capped
+      // cycles and re-dispatch.  The floor keeps a vanishing cap from
+      // stalling the clock (progress is at least kCycleEps cycles).
+      dt = std::min(dt, std::max(*decision.cycle_cap, kCycleEps) / speed);
     }
     double slice_end = now + dt;
     slice_end = std::min(slice_end, next_release_global());

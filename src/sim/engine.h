@@ -57,6 +57,11 @@ struct SimResult {
   double makespan = 0.0;            // completion time of the last instance
   std::string first_miss;           // description of the first deadline miss
   Trace trace;                      // populated when record_trace is set
+  /// Per-task realised workload bookkeeping, accumulated at activation (one
+  /// entry per sampler draw): the raw material of the drift detector's
+  /// per-task EWMA (core::EvaluateMethod's adaptive arms).
+  std::vector<double> sampled_cycles;        // sum of drawn cycles
+  std::vector<std::int64_t> sampled_counts;  // draws per task
 
   /// Energy per simulated hyper-period (the paper's reported quantity).
   /// Guarded: a non-positive count (a failed or skipped run) reports zero

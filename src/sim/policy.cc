@@ -1,6 +1,7 @@
 #include "sim/policy.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 
@@ -15,7 +16,243 @@ DispatchDecision GreedyReclaimPolicy::Dispatch(
     return decision;
   }
   const double window = ctx.sub_end_time - ctx.local_time;
+  if (window <= 0.0 || ctx.budget_remaining <= 0.0) {
+    // Degenerate dispatch: a zero-width (or overrun) window at a
+    // hyper-period wrap, or a sub whose budget is already spent while the
+    // instance still holds cycles.  There is no span to stretch over, so
+    // run flat out — never divide the stretch ratio by a non-positive
+    // window or hand a zero budget to the voltage solve.
+    decision.voltage = dvs_->vmax();
+    return decision;
+  }
   decision.voltage = dvs_->VoltageForWork(ctx.budget_remaining, window);
+  return decision;
+}
+
+ExpectedCasePolicy::ExpectedCasePolicy(
+    const fps::FullyPreemptiveSchedule& fps, const StaticSchedule& schedule,
+    const model::DvsModel& dvs,
+    const std::vector<std::vector<double>>& sorted_draws, std::int64_t bins,
+    const std::vector<double>* task_scale)
+    : dvs_(&dvs), bins_(static_cast<std::size_t>(std::max<std::int64_t>(
+                      1, std::min<std::int64_t>(bins, 64)))) {
+  const model::TaskSet& set = fps.task_set();
+  ACS_REQUIRE(sorted_draws.size() == set.size(),
+              "ExpectedCasePolicy needs one calibrated draw vector per task");
+
+  // Per-sub worst-case prefix: cycles of the parent instance consumed
+  // before each sub under the static schedule's budgets.  Conditions the
+  // survival weights on realised progress at dispatch time.
+  budgets_.resize(fps.sub_count(), 0.0);
+  done_before_.resize(fps.sub_count(), 0.0);
+  for (std::size_t p = 0; p < fps.instance_count(); ++p) {
+    double before = 0.0;
+    for (std::size_t order : fps.instance(p).subs) {
+      budgets_[order] = schedule.worst_budget(order);
+      done_before_[order] = before;
+      before += budgets_[order];
+    }
+  }
+
+  // Per-task survival grids over [BCEC, WCEC]: survival_[i][k] is the
+  // fraction of calibrated draws strictly above the k-th grid point.
+  // Dispatch interpolates linearly, so grid resolution only smooths the
+  // profile, never breaks feasibility.
+  constexpr std::size_t kGridPoints = 129;
+  scale_.assign(set.size(), 1.0);
+  if (task_scale != nullptr) {
+    ACS_REQUIRE(task_scale->size() == set.size(),
+                "task_scale must have one entry per task");
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      scale_[i] = std::max(1e-9, (*task_scale)[i]);
+    }
+  }
+  grid_lo_.resize(set.size(), 0.0);
+  grid_step_.resize(set.size(), 0.0);
+  survival_.assign(set.size(), std::vector<double>(kGridPoints, 0.0));
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const model::Task& task = set.task(i);
+    grid_lo_[i] = task.bcec;
+    grid_step_[i] = (task.wcec - task.bcec) /
+                    static_cast<double>(kGridPoints - 1);
+    const std::vector<double>& sorted = sorted_draws[i];
+    for (std::size_t k = 0; k < kGridPoints; ++k) {
+      const double x = task.bcec + grid_step_[i] * static_cast<double>(k);
+      if (sorted.empty()) {
+        // No calibration data: assume the worst (always reaches WCEC), which
+        // degrades to the greedy stretch profile.
+        survival_[i][k] = x < task.wcec ? 1.0 : 0.0;
+        continue;
+      }
+      // First index with sorted[idx] > x; the tail fraction is survival.
+      const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+      survival_[i][k] =
+          static_cast<double>(sorted.end() - it) /
+          static_cast<double>(sorted.size());
+    }
+  }
+
+  weight_.resize(bins_, 0.0);
+  speed_.resize(bins_, 0.0);
+  pinned_.resize(bins_, 0);
+}
+
+double ExpectedCasePolicy::Survival(model::TaskIndex task,
+                                    double cycles) const {
+  // Drift stretch: the adaptor models the shifted law as f * X, so
+  // Pr[f X > c] = Pr[X > c / f] evaluated on the base grid.
+  const double x = cycles / scale_[task];
+  const std::vector<double>& grid = survival_[task];
+  const double step = grid_step_[task];
+  if (step <= 0.0) {
+    // Degenerate BCEC == WCEC task: deterministic workload.
+    return x < grid_lo_[task] ? 1.0 : 0.0;
+  }
+  const double pos = (x - grid_lo_[task]) / step;
+  if (pos <= 0.0) {
+    return grid.front();
+  }
+  if (pos >= static_cast<double>(grid.size() - 1)) {
+    return grid.back();
+  }
+  const std::size_t k = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(k);
+  return grid[k] + frac * (grid[k + 1] - grid[k]);
+}
+
+DispatchDecision ExpectedCasePolicy::Dispatch(
+    const DispatchContext& ctx) const {
+  DispatchDecision decision;
+  // Same release gate as GreedyReclaimPolicy: before its segment start the
+  // static plan assigns the processor elsewhere; starting early would break
+  // the feasibility argument.
+  if (ctx.local_time < ctx.sub_release) {
+    decision.not_before = ctx.sub_release;
+    decision.voltage = dvs_->vmax();
+    return decision;
+  }
+  const double window = ctx.sub_end_time - ctx.local_time;
+  const double budget = ctx.budget_remaining;
+  if (window <= 0.0 || budget <= 0.0) {
+    decision.voltage = dvs_->vmax();  // degenerate window: no room to shape
+    return decision;
+  }
+
+  const double smin = dvs_->MinSpeed();
+  const double smax = dvs_->MaxSpeed();
+  if (budget / smax >= window) {
+    // Even flat-out barely (or doesn't) fit: the whole window runs at Vmax,
+    // exactly the greedy clamp.
+    decision.voltage = dvs_->vmax();
+    return decision;
+  }
+
+  // Condition on realised progress: the parent instance has consumed its
+  // worst-case prefix up to this sub plus whatever this sub already ran.
+  const double consumed =
+      done_before_[ctx.sub_order] + (budgets_[ctx.sub_order] - budget);
+  const double bin_w = budget / static_cast<double>(bins_);
+  double total_weight = 0.0;
+  for (std::size_t j = 0; j < bins_; ++j) {
+    weight_[j] = Survival(
+        ctx.task, consumed + (static_cast<double>(j) + 0.5) * bin_w);
+    total_weight += weight_[j];
+  }
+  if (weight_[0] <= 0.0 || total_weight <= 0.0) {
+    // Progress is already past every calibrated draw: expected marginal
+    // energy is ~0 everywhere, so fall back to the greedy stretch.
+    decision.voltage = dvs_->VoltageForWork(budget, window);
+    return decision;
+  }
+  ++dp_dispatches_;
+
+  // Water-filling over the PACE rule s_j ∝ S_j^{-1/3}: bins with zero
+  // weight cost nothing at any speed, so they run at MaxSpeed to donate
+  // window time; bins whose unconstrained optimum leaves [smin, smax] are
+  // pinned to the violated bound and the rest re-normalised.  Each pass
+  // pins at least one bin, so the loop runs at most bins_ passes.
+  double pinned_time = 0.0;
+  for (std::size_t j = 0; j < bins_; ++j) {
+    if (weight_[j] <= 0.0) {
+      pinned_[j] = 1;
+      speed_[j] = smax;
+      pinned_time += bin_w / smax;
+    } else {
+      pinned_[j] = 0;
+    }
+  }
+  while (true) {
+    double cbrt_sum = 0.0;
+    std::size_t free_bins = 0;
+    for (std::size_t j = 0; j < bins_; ++j) {
+      if (pinned_[j] == 0) {
+        cbrt_sum += std::cbrt(weight_[j]);
+        ++free_bins;
+      }
+    }
+    if (free_bins == 0) {
+      break;
+    }
+    const double free_time = window - pinned_time;
+    if (free_time <= 0.0) {
+      // Pinned bins ate the window (can only happen within float noise of
+      // the feasibility check above): run everything else flat out.
+      for (std::size_t j = 0; j < bins_; ++j) {
+        if (pinned_[j] == 0) {
+          pinned_[j] = 1;
+          speed_[j] = smax;
+        }
+      }
+      break;
+    }
+    const double scale = bin_w * cbrt_sum / free_time;
+    bool repinned = false;
+    // Pin max-speed violations first: they *consume* window time, so
+    // resolving them before min-speed pins keeps every pass feasible.
+    for (std::size_t j = 0; j < bins_; ++j) {
+      if (pinned_[j] == 0 && scale / std::cbrt(weight_[j]) > smax) {
+        pinned_[j] = 1;
+        speed_[j] = smax;
+        pinned_time += bin_w / smax;
+        repinned = true;
+      }
+    }
+    if (repinned) {
+      continue;
+    }
+    for (std::size_t j = 0; j < bins_; ++j) {
+      if (pinned_[j] == 0 && scale / std::cbrt(weight_[j]) < smin) {
+        pinned_[j] = 1;
+        speed_[j] = smin;
+        pinned_time += bin_w / smin;
+        repinned = true;
+      }
+    }
+    if (repinned) {
+      continue;
+    }
+    for (std::size_t j = 0; j < bins_; ++j) {
+      if (pinned_[j] == 0) {
+        speed_[j] = scale / std::cbrt(weight_[j]);
+      }
+    }
+    break;
+  }
+
+  // Run the first bin's speed and cap the slice at the end of the
+  // equal-speed prefix, so a flat profile dispatches once while a shaped
+  // one re-dispatches exactly at its breakpoints.
+  double cap = bin_w;
+  for (std::size_t j = 1; j < bins_; ++j) {
+    if (std::fabs(speed_[j] - speed_[0]) > 1e-12) {
+      break;
+    }
+    cap += bin_w;
+  }
+  decision.voltage = dvs_->ClampVoltage(dvs_->VoltageForSpeed(speed_[0]));
+  if (cap < budget) {
+    decision.cycle_cap = cap;
+  }
   return decision;
 }
 

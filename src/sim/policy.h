@@ -9,11 +9,13 @@
 #ifndef ACS_SIM_POLICY_H
 #define ACS_SIM_POLICY_H
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "fps/expansion.h"
 #include "model/power_model.h"
@@ -38,6 +40,12 @@ struct DispatchDecision {
   /// When set and > now, the engine keeps the instance parked until this
   /// local time (used by the conservative no-early-start variant).
   std::optional<double> not_before;
+  /// When set, the engine ends the slice after at most this many cycles and
+  /// re-dispatches (even though the sub-instance's budget is not exhausted).
+  /// Lets a policy run a piecewise speed profile *within* one sub-instance
+  /// (ExpectedCasePolicy's per-bin speeds); unset preserves the legacy
+  /// run-to-budget slicing bit-for-bit.
+  std::optional<double> cycle_cap;
 };
 
 class DvsPolicy {
@@ -99,13 +107,74 @@ class StaticOnlyPolicy final : public DvsPolicy {
   std::vector<double> voltages_;  // per sub-instance, fixed offline
 };
 
+/// Expected-case online DVS (the Berten/Chang/Kuo-style "online half" of the
+/// adaptive stack): at every dispatch the policy splits the current
+/// sub-instance's remaining worst-case budget into `bins` equal cycle bins,
+/// weights each bin by the calibrated probability the instance actually
+/// *reaches* it (the survival function of the scenario's realised per-task
+/// law), and picks per-bin speeds minimising expected energy subject to the
+/// same worst-case window constraint GreedyReclaimPolicy enforces:
+///
+///   min  sum_j S_j * w * s_j^2      (E = ceff v^2 cycles, s ∝ v)
+///   s.t. sum_j w / s_j <= window,   s_j in [MinSpeed, MaxSpeed]
+///
+/// whose interior optimum is s_j ∝ S_j^{-1/3} (the classic PACE speed rule);
+/// range clamps are resolved by water-filling (pin violated bins, re-
+/// normalise the rest).  Because the worst-case time budget is preserved
+/// exactly, the policy inherits greedy-reclaim's zero-miss guarantee; it
+/// merely *orders* the work slow-to-fast so instances that finish near the
+/// calibrated mean never pay for the tail.  The dispatch returns the first
+/// bin's speed plus a cycle_cap at the end of the equal-speed prefix, so the
+/// engine re-dispatches at profile breakpoints and the profile re-conditions
+/// on realised progress as the instance advances.
+///
+/// All tables (per-sub worst-case prefix cycles, per-task survival grids)
+/// are precomputed at construction; Dispatch touches only fixed-size
+/// scratch, so the engine's hot loop stays allocation-free.  `task_scale`
+/// (optional) stretches task i's calibrated law by scale[i] — the drift
+/// adaptor's cheap mid-run re-conditioning knob (Pr[f·X > x] = Pr[X > x/f]).
+class ExpectedCasePolicy final : public DvsPolicy {
+ public:
+  ExpectedCasePolicy(const fps::FullyPreemptiveSchedule& fps,
+                     const StaticSchedule& schedule,
+                     const model::DvsModel& dvs,
+                     const std::vector<std::vector<double>>& sorted_draws,
+                     std::int64_t bins,
+                     const std::vector<double>* task_scale = nullptr);
+
+  DispatchDecision Dispatch(const DispatchContext& ctx) const override;
+
+  /// Dispatches that went through the DP profile (vs degenerate fallbacks).
+  std::int64_t dp_dispatches() const { return dp_dispatches_; }
+
+ private:
+  double Survival(model::TaskIndex task, double cycles) const;
+
+  const model::DvsModel* dvs_;
+  std::size_t bins_;
+  std::vector<double> budgets_;      // per sub: worst-case budget
+  std::vector<double> done_before_;  // per sub: parent cycles before it
+  std::vector<double> scale_;        // per task: drift stretch factor
+  std::vector<double> grid_lo_;      // per task: survival grid origin (BCEC)
+  std::vector<double> grid_step_;    // per task: survival grid spacing
+  std::vector<std::vector<double>> survival_;  // per task: P(X > grid point)
+  // Dispatch-time scratch, sized once at construction (hot loop stays
+  // allocation-free).  The policy is used by a single simulation at a time
+  // (the engine contract), so mutable scratch is safe.
+  mutable std::vector<double> weight_;
+  mutable std::vector<double> speed_;
+  mutable std::vector<char> pinned_;
+  mutable std::int64_t dp_dispatches_ = 0;
+};
+
 /// The built-in policies as a closed variant.  The engine dispatches these
 /// without virtual calls: it visits the variant *once* per simulation and
 /// runs a loop specialised to the concrete policy type, so the per-slice
 /// Dispatch call inlines (see sim/engine.cc).  kNone marks an AnyPolicy
 /// holding an external plugin instead.
-using BuiltinPolicy = std::variant<std::monostate, GreedyReclaimPolicy,
-                                   VmaxPolicy, StaticOnlyPolicy>;
+using BuiltinPolicy =
+    std::variant<std::monostate, GreedyReclaimPolicy, VmaxPolicy,
+                 StaticOnlyPolicy, ExpectedCasePolicy>;
 
 /// A policy by value: either one of the built-ins (variant fast path) or an
 /// owned external DvsPolicy plugin (virtual dispatch, the extension point).
@@ -117,6 +186,7 @@ class AnyPolicy {
   AnyPolicy(GreedyReclaimPolicy policy) : builtin_(std::move(policy)) {}
   AnyPolicy(VmaxPolicy policy) : builtin_(std::move(policy)) {}
   AnyPolicy(StaticOnlyPolicy policy) : builtin_(std::move(policy)) {}
+  AnyPolicy(ExpectedCasePolicy policy) : builtin_(std::move(policy)) {}
 
   /// External plugin path; accepts unique_ptr to any DvsPolicy subclass so
   /// existing `std::make_unique<MyPolicy>(...)` call sites keep compiling.

@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -110,10 +111,22 @@ JsonWriter& JsonWriter::Value(const char* value) {
 }
 
 JsonWriter& JsonWriter::Value(double value) {
+  // %.17g spells NaN/Inf as bare `nan`/`inf` tokens, which no JSON parser
+  // accepts — the whole document would be lost to one bad metric.  JSON has
+  // no non-finite numbers, so emit null and let readers decide.
+  if (!std::isfinite(value)) {
+    return Null();
+  }
   BeforeValue();
   char buffer[40];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
   return *this;
 }
 

@@ -6,7 +6,9 @@
 // of objects/arrays with string/number/bool leaves.  It tracks nesting and
 // comma placement; keys and string values are escaped per RFC 8259
 // (quotes, backslashes, control characters).  Numbers use %.17g, enough
-// digits to round-trip an IEEE double.
+// digits to round-trip an IEEE double; non-finite doubles (NaN, +/-Inf)
+// have no JSON spelling and serialise as null — bare `nan`/`inf` tokens
+// would make the whole document unparseable.
 //
 // The parser (ParseJson -> JsonValue) reads the same dialect back for the
 // telemetry merge paths (tools/merge_results combining per-shard manifests
@@ -36,10 +38,13 @@ class JsonWriter {
 
   JsonWriter& Value(const std::string& value);
   JsonWriter& Value(const char* value);
+  /// Finite doubles as %.17g; NaN and +/-Inf as null (JSON has no
+  /// non-finite number tokens).
   JsonWriter& Value(double value);
   JsonWriter& Value(std::int64_t value);
   JsonWriter& Value(std::uint64_t value);
   JsonWriter& Value(bool value);
+  JsonWriter& Null();
 
   /// The document so far.  Callers are responsible for having closed every
   /// container they opened.

@@ -77,6 +77,23 @@ model::TaskSet TwoTaskSet(const std::string& prefix) {
   return model::TaskSet({a, b});
 }
 
+/// A set whose prepared footprint (expansion records scale with the
+/// sub-instance count) dwarfs TwoTaskSet's — the oversized-entry case of
+/// the byte-budget tests.  Low per-task demand keeps it RM-feasible.
+model::TaskSet ManyTaskSet(const std::string& prefix, int count) {
+  std::vector<model::Task> tasks;
+  for (int i = 0; i < count; ++i) {
+    model::Task task;
+    task.name = prefix + "-" + std::to_string(i);
+    task.period = (i % 2 == 0) ? 10 : 20;
+    task.wcec = 0.05;
+    task.acec = 0.03;
+    task.bcec = 0.01;
+    tasks.push_back(task);
+  }
+  return model::TaskSet(tasks);
+}
+
 /// A StoredCell with every optional populated: both whole-set solves, the
 /// vmax schedule, one planned solve with a chain and a mixture, and one
 /// calibration with draws.
@@ -402,6 +419,75 @@ TEST(SolveStoreEviction, ByteBudgetEvictsLruIntoStore) {
   obs::InstallMetrics(nullptr);
   EXPECT_EQ(evictions, 2);
   EXPECT_GT(resident_bytes, 0.0);
+}
+
+// A single entry bigger than the whole byte budget can never be paid for
+// by eviction.  The buggy behavior — charge it anyway — flushed every
+// smaller resident entry (futile: the budget stayed blown) before the
+// while-condition's size floor stopped it.  The fix admits the oversized
+// MRU charge-exempt: nothing is evicted, the smaller entries stay hot, and
+// prepare.oversized_rejects counts the event.
+TEST(SolveStoreEviction, OversizedMruEvictsNothing) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const SchedulerOptions scheduler;
+
+  obs::MetricsRegistry metrics;
+  obs::InstallMetrics(&metrics);
+  metrics.EnsureShards(1);
+  {
+    obs::ScopedMetricsShard scoped(&metrics.Shard(0));
+    const model::TaskSet small0 = TwoTaskSet("fit-0");
+    const model::TaskSet small1 = TwoTaskSet("fit-1");
+    const model::TaskSet big = ManyTaskSet("oversized", 32);
+
+    // Measure the three footprints against an unconstrained budget first.
+    std::size_t small_bytes = 0;
+    std::size_t big_bytes = 0;
+    {
+      EvalWorkspace probe;
+      small_bytes =
+          EvalWorkspace::ApproxBytes(probe.Prepare(0, small0, cpu, scheduler));
+      small_bytes +=
+          EvalWorkspace::ApproxBytes(probe.Prepare(1, small1, cpu, scheduler));
+      big_bytes =
+          EvalWorkspace::ApproxBytes(probe.Prepare(2, big, cpu, scheduler));
+    }
+    // Both small entries fit the budget exactly; the big one alone blows it.
+    const std::size_t budget = small_bytes;
+    ASSERT_GT(big_bytes, budget);
+
+    EvalWorkspace workspace;
+    workspace.set_prepared_budget_bytes(budget);
+    workspace.Prepare(0, small0, cpu, scheduler);
+    workspace.Prepare(1, small1, cpu, scheduler);
+    EvalWorkspace::PreparedCell& cell =
+        workspace.Prepare(2, big, cpu, scheduler);
+    EXPECT_EQ(cell.key, 2u);
+
+    // The small entries must still be resident: re-preparing them hits the
+    // cache instead of rebuilding (no new misses below).
+    EXPECT_EQ(workspace.Prepare(0, small0, cpu, scheduler).key, 0u);
+    EXPECT_EQ(workspace.Prepare(1, small1, cpu, scheduler).key, 1u);
+  }
+
+  std::int64_t evictions = -1;
+  std::int64_t misses = -1;
+  std::int64_t oversized = -1;
+  for (const obs::AggregatedMetric& m : metrics.Aggregate()) {
+    if (m.name == "prepare.evictions") {
+      evictions = m.count;
+    } else if (m.name == "prepare.cache_misses") {
+      misses = m.count;
+    } else if (m.name == "prepare.oversized_rejects") {
+      oversized = m.count;
+    }
+  }
+  obs::InstallMetrics(nullptr);
+  EXPECT_EQ(evictions, 0);
+  // 3 probe inserts + 3 workspace inserts; the two re-Prepares were hits.
+  EXPECT_EQ(misses, 6);
+  // Exactly the big insert's budget pass saw an oversized MRU.
+  EXPECT_EQ(oversized, 1);
 }
 
 }  // namespace

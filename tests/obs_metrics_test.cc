@@ -36,7 +36,8 @@ TEST(MetricsRegistry, BuiltinNamesArePinnedInIdOrder) {
       "persist.cache_hits",   "persist.cache_misses",
       "persist.verify_rejects", "persist.write_backs",
       "family.steals",        "family.count",
-      "family.cells_per_worker",
+      "family.cells_per_worker", "drift.replans",
+      "online.dp_dispatches", "prepare.oversized_rejects",
   };
   ASSERT_EQ(expected.size(), metric::kBuiltinCount);
   ASSERT_EQ(registry.MetricCount(), metric::kBuiltinCount);
@@ -63,6 +64,9 @@ TEST(MetricsRegistry, BuiltinKindsMatchTheIdTable) {
   EXPECT_EQ(agg[metric::kFamilySteals].kind, MetricKind::kCounter);
   EXPECT_EQ(agg[metric::kFamilyCount].kind, MetricKind::kGauge);
   EXPECT_EQ(agg[metric::kFamilyCellsPerWorker].kind, MetricKind::kHistogram);
+  EXPECT_EQ(agg[metric::kDriftReplans].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kOnlineDpDispatches].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kPrepareOversized].kind, MetricKind::kCounter);
 }
 
 /// The determinism invariant: the same set of charges, however they are

@@ -211,5 +211,60 @@ TEST(PropInvariants, AcsScenarioFleetNeverAboveWcsFleetPerScenarioAndCores) {
   }
 }
 
+// (a) + (c) for the online arms at the fleet level: acs-online and
+// acs-online-drift keep the worst-case window at every dispatch, so
+// partitioned fleets built from them inherit zero deadline misses per
+// scenario x core count, and their fleet energy stays inside the physical
+// Vmin/BCEC floor and the paired static-vmax ceiling.  (The per-method m=1
+// sweep above already audits their offline schedules; this pins the
+// multi-core path through mp::EvaluateFleet, including the mid-run drift
+// replans.)
+TEST(PropInvariants, OnlineArmsFleetSafeAndBoundedPerScenarioAndCores) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const core::MethodRegistry& methods = core::MethodRegistry::Builtin();
+  const std::vector<std::string> arm_names = {"acs-online",
+                                              "acs-online-drift"};
+  const std::vector<const core::ScheduleMethod*> arms = {
+      &methods.Get("acs-online"), &methods.Get("acs-online-drift"),
+      &methods.Get("static-vmax")};
+  const mp::Partitioner& ffd =
+      mp::PartitionerRegistry::Builtin().Get("ffd");
+
+  for (const model::TaskSet& set : PropertySets(cpu)) {
+    // Fleet energy is per-ms normalised (each core's hyper-period energy
+    // over its hyper-period length, summed), so the floor is the BCEC/Vmin
+    // *power*: partitioning never changes a task's bcec/period rate, so the
+    // full-set rate bounds every partition.
+    const double floor =
+        VminBcecFloor(set, cpu) / static_cast<double>(set.hyper_period());
+    for (const std::string& scenario_name :
+         workload::ScenarioRegistry::Builtin().Names()) {
+      core::ExperimentOptions options = PropertyOptions();
+      options.scenario =
+          &workload::ScenarioRegistry::Builtin().Get(scenario_name);
+      // A twitchy detector makes the drift arm actually replan on these
+      // short runs, so the invariants cover the recalibrated plans too.
+      options.online.drift_threshold = 0.05;
+
+      for (int cores : {1, 2}) {
+        const mp::FleetResult fleet =
+            mp::EvaluateFleet(set, cpu, ffd, cores, arms, options);
+        const core::MethodOutcome& ceiling = fleet.outcomes[2].fleet;
+        for (int arm = 0; arm < 2; ++arm) {
+          const core::MethodOutcome& online = fleet.outcomes[arm].fleet;
+          const std::string label = arm_names[arm] + " under " +
+                                    scenario_name + " m=" +
+                                    std::to_string(cores);
+          EXPECT_EQ(online.deadline_misses, 0) << label;
+          EXPECT_GE(online.measured_energy, floor * (1.0 - 1e-9)) << label;
+          EXPECT_LE(online.measured_energy,
+                    ceiling.measured_energy * (1.0 + 1e-9))
+              << label;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dvs

@@ -549,6 +549,52 @@ TEST(RunGrid, IidNormalScenarioMatchesDefaultPipeline) {
   }
 }
 
+// Determinism with the online arms and mid-run drift replanning enabled:
+// a 4-thread run is bit-identical to the serial run.  Drift replans happen
+// inside a cell's evaluation from state derived only from (master_seed,
+// cell_index) — the EWMA is fed by the cell's own realised cycles and the
+// recalibration draws from the cell's seeded streams — so which worker
+// executes the cell cannot change the arithmetic.
+TEST(RunGrid, OnlineDriftReplanningFourThreadsBitIdenticalToOneThread) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  ExperimentGrid grid = ScenarioGrid(cpu);
+  grid.methods = {"acs-online", "wcs", "acs-online-drift"};
+  // Volatile scenarios plus a hair-trigger detector: the drift arm must
+  // actually replan mid-run, not just carry the knob.
+  grid.scenarios = {"heavy-tail", "correlated", "bursty"};
+  grid.online.drift_threshold = 0.05;
+  grid.online.drift_ewma = 0.5;
+  grid.hyper_periods = 8;
+
+  RunOptions serial;
+  serial.threads = 1;
+  RunOptions parallel;
+  parallel.threads = 4;
+
+  const GridResult a = RunGrid(grid, serial);
+  const GridResult b = RunGrid(grid, parallel);
+
+  ASSERT_EQ(a.cells.size(), grid.CellCount());
+  ASSERT_EQ(b.cells.size(), grid.CellCount());
+  EXPECT_EQ(a.failed_cells, 0u);
+  EXPECT_EQ(b.failed_cells, 0u);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const CellResult& ca = a.cells[i];
+    const CellResult& cb = b.cells[i];
+    ASSERT_EQ(ca.outcomes.size(), grid.methods.size()) << "cell " << i;
+    ASSERT_EQ(cb.outcomes.size(), grid.methods.size()) << "cell " << i;
+    for (std::size_t m = 0; m < grid.methods.size(); ++m) {
+      EXPECT_EQ(ca.outcomes[m].measured_energy, cb.outcomes[m].measured_energy)
+          << "cell " << i << " method " << grid.methods[m];
+      EXPECT_EQ(ca.outcomes[m].predicted_energy,
+                cb.outcomes[m].predicted_energy)
+          << "cell " << i << " method " << grid.methods[m];
+      EXPECT_EQ(ca.outcomes[m].deadline_misses, cb.outcomes[m].deadline_misses)
+          << "cell " << i << " method " << grid.methods[m];
+    }
+  }
+}
+
 TEST(RunGrid, UtilizationAxisAppliesToRandomSources) {
   const model::LinearDvsModel cpu = workload::DefaultModel();
   workload::RandomTaskSetOptions gen;

@@ -409,6 +409,101 @@ TEST(RunnerShard, TelemetryArtifactsMergeAlongsideTheCsvs) {
   EXPECT_THROW(obs::MergeChromeTraces({"{}"}, {0}), util::Error);
 }
 
+TEST(RunnerShard, HeaderOnlyShardAndMissingTrailingNewlineMerge) {
+  // A shard handed a set range past the grid's set count evaluates nothing
+  // and writes only the CSV header; hand-truncated or foreign files may
+  // additionally lack the trailing newline.  Both parse, the empty shard
+  // contributes zero rows to the merge, and the merged text is normalized
+  // (every line newline-terminated) regardless of the inputs.
+  const std::string empty_path = FreshPath("shard_header_only");
+  const std::string full_path = FreshPath("shard_no_trailing_newline");
+  {
+    std::ofstream out(empty_path, std::ios::binary);
+    out << "h";  // header only, no trailing newline
+  }
+  {
+    std::ofstream out(full_path, std::ios::binary);
+    out << "h\n0,a\n1,b";  // last row unterminated
+  }
+  const ShardCsv empty = ParseShardCsv(empty_path);
+  EXPECT_EQ(empty.header, "h");
+  EXPECT_TRUE(empty.rows.empty());
+  const ShardCsv full = ParseShardCsv(full_path);
+  ASSERT_EQ(full.rows.size(), 2u);
+  EXPECT_EQ(full.rows.back(), "1,b");
+  EXPECT_EQ(MergeShardCsvs({empty, full}), "h\n0,a\n1,b\n");
+
+  // Same through the file API: the row count excludes the empty shard.
+  const std::string merged_path = FreshPath("shard_header_only_merged");
+  EXPECT_EQ(MergeShardCsvFiles({empty_path, full_path}, merged_path), 2u);
+  EXPECT_EQ(ReadFile(merged_path), "h\n0,a\n1,b\n");
+  std::remove(empty_path.c_str());
+  std::remove(full_path.c_str());
+  std::remove(merged_path.c_str());
+}
+
+/// A metrics-free shard manifest for the synthetic merge tests.
+std::string RenderPlainManifest(std::size_t shard, std::size_t count) {
+  obs::RunManifest manifest;
+  manifest.tool = "runner_shard_test";
+  manifest.master_seed = 7;
+  manifest.threads = 1;
+  manifest.shard_index = shard;
+  manifest.shard_count = count;
+  manifest.wall_ms = 1.0;
+  manifest.config = {{"grid", "smoke"}};
+  return obs::RenderManifest(manifest, nullptr);
+}
+
+TEST(RunnerShard, ManifestMergeAcceptsAnEmptyShardList) {
+  // The manifest companion of the header-only CSV: a shard that covered no
+  // cells may legitimately report an empty "shards" list.  It folds its
+  // measurements without claiming an index; coverage is still enforced
+  // over the other inputs.
+  const std::string s0 = RenderPlainManifest(0, 2);
+  const std::string s1 = RenderPlainManifest(1, 2);
+  std::string empty = RenderPlainManifest(0, 2);
+  const std::string needle = "\"shards\":[0]";
+  const std::size_t pos = empty.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  empty.replace(pos, needle.size(), "\"shards\":[]");
+
+  const util::JsonValue merged =
+      util::ParseJson(obs::MergeManifests({s0, empty, s1}));
+  ASSERT_EQ(merged.At("shards").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.At("shards").array[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(merged.At("shards").array[1].number, 1.0);
+  // All three wall clocks folded, the empty shard's included.
+  EXPECT_DOUBLE_EQ(merged.At("run").NumberAt("wall_ms"), 3.0);
+}
+
+TEST(RunnerShard, ManifestMergeRejectsNullMetricValues) {
+  // A non-finite metric serialises as null (util::JsonWriter); folding it
+  // as 0 would silently understate the merged totals, so the merge refuses
+  // and names the metric.
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const ExperimentGrid grid = SmokeGrid(cpu);
+  const ShardTelemetry s0 = RunShardWithTelemetry(grid, 0, 2);
+  const ShardTelemetry s1 = RunShardWithTelemetry(grid, 1, 2);
+  std::string corrupted = s1.manifest;
+  const std::string needle = "\"grid.cells_evaluated\":";
+  const std::size_t pos = corrupted.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t value_at = pos + needle.size();
+  const std::size_t value_end = corrupted.find_first_of(",}", value_at);
+  ASSERT_NE(value_end, std::string::npos);
+  corrupted.replace(value_at, value_end - value_at, "null");
+
+  try {
+    obs::MergeManifests({s0.manifest, corrupted});
+    FAIL() << "null metric not rejected";
+  } catch (const util::Error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("grid.cells_evaluated"), std::string::npos) << what;
+  }
+}
+
 TEST(RunnerShard, ParseRejectsMissingAndMalformedFiles) {
   EXPECT_THROW(ParseShardCsv(FreshPath("shard_test_nonexistent")),
                util::Error);

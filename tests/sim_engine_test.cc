@@ -281,5 +281,44 @@ TEST(GreedyPolicy, LateDispatchSaturatesAtVmax) {
   EXPECT_DOUBLE_EQ(policy.Dispatch(ctx).voltage, cpu.vmax());
 }
 
+// Degenerate dispatch regression: a window of exactly zero (dispatched at
+// the scheduled end, e.g. right at a hyper-period wrap) and an exhausted
+// worst-case budget with a live instance must both run flat out.  The old
+// zero-budget path stretched "0 cycles" through VoltageForWork's
+// cycles == 0 guard into vmin — the slowest possible speed at the moment
+// the schedule has no slack left.
+TEST(GreedyPolicy, ZeroWindowAndZeroBudgetClampToVmax) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const GreedyReclaimPolicy policy(cpu);
+  DispatchContext ctx;
+  ctx.budget_remaining = 8.0;
+  ctx.local_time = 6.0;
+  ctx.sub_end_time = 6.0;  // window == 0 exactly
+  ctx.sub_release = 0.0;
+  EXPECT_DOUBLE_EQ(policy.Dispatch(ctx).voltage, cpu.vmax());
+
+  ctx.budget_remaining = 0.0;  // budget gone, instance still has cycles
+  ctx.local_time = 2.0;
+  ctx.sub_end_time = 6.0;  // positive window
+  EXPECT_DOUBLE_EQ(policy.Dispatch(ctx).voltage, cpu.vmax());
+}
+
+// Engine-level wrap-boundary companion: a sub-instance whose worst-case
+// budget is zero (a degenerate schedule row) still carries real drawn
+// cycles.  At vmin (the old zero-budget behavior) 8 cycles need 16 ms
+// against a 10 ms period — a guaranteed miss every hyper-period; at vmax
+// they finish in 2 ms.  Two hyper-periods cover the wrap.
+TEST(Engine, ZeroBudgetSubRunsAtVmaxWithoutMissing) {
+  Harness h(model::TaskSet({MakeTask("solo", 10, 8.0)}));
+  const StaticSchedule schedule(h.fps, {10.0}, {0.0});
+  const model::FixedWorkload worst(h.set, model::FixedScenario::kWorst);
+  const GreedyReclaimPolicy policy(h.cpu);
+  const SimResult result = h.Run(schedule, policy, worst, /*hyper_periods=*/2);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_EQ(result.completed_instances, 2);
+  // Both instances at Vmax: E = ceff * vmax^2 * cycles = 16 * 8 per HP.
+  EXPECT_NEAR(result.total_energy, 2.0 * 16.0 * 8.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace dvs::sim

@@ -5,6 +5,8 @@
 // lean on.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 #include "util/error.h"
@@ -66,6 +68,50 @@ TEST(JsonParser, RoundTripsWriterOutput) {
   EXPECT_EQ(doc.NumberAt("ratio"), 0.30000000000000004);
   EXPECT_TRUE(doc.At("flags").array[0].bool_value);
   EXPECT_DOUBLE_EQ(doc.At("nested").NumberAt("pi"), 3.5);
+}
+
+// JSON has no NaN/Inf tokens: %.17g would emit bare `nan` / `inf` and the
+// whole document would fail to parse.  The writer maps every non-finite
+// double to null instead, so one bad metric cannot poison an artifact.
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("nan").Value(std::nan(""));
+  json.Key("inf").Value(std::numeric_limits<double>::infinity());
+  json.Key("ninf").Value(-std::numeric_limits<double>::infinity());
+  json.Key("finite").Value(1.5);
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            R"({"nan":null,"inf":null,"ninf":null,"finite":1.5})");
+
+  const JsonValue doc = ParseJson(json.str());
+  EXPECT_TRUE(doc.At("nan").IsNull());
+  EXPECT_TRUE(doc.At("inf").IsNull());
+  EXPECT_TRUE(doc.At("ninf").IsNull());
+  EXPECT_DOUBLE_EQ(doc.NumberAt("finite"), 1.5);
+}
+
+TEST(JsonWriter, ExplicitNullRoundTrips) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Null().Value(2.0).Null();
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,2,null]");
+
+  const JsonValue doc = ParseJson(json.str());
+  ASSERT_EQ(doc.array.size(), 3u);
+  EXPECT_TRUE(doc.array[0].IsNull());
+  EXPECT_TRUE(doc.array[2].IsNull());
+}
+
+// Non-finite values inside arrays keep the comma bookkeeping intact — the
+// null substitution goes through the same BeforeValue path as any value.
+TEST(JsonWriter, NonFiniteInsideArraysKeepsCommasValid) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value(1.0).Value(std::nan("")).Value(3.0);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[1,null,3]");
 }
 
 TEST(JsonParser, FindReturnsNullForMissingOrNonObject) {

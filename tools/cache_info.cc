@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_workspace.h"
 #include "core/solve_store.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -62,12 +63,17 @@ const char* ModelName(std::uint8_t tag) {
 
 int Run(int argc, const char* const* argv) {
   std::string dir;
+  std::int64_t budget =
+      static_cast<std::int64_t>(core::EvalWorkspace::kDefaultPreparedBudgetBytes);
 
   util::ArgParser parser("cache_info",
                          "List the entries of a persistent solve-cache "
                          "directory (core/solve_store.h) without locking or "
                          "modifying it.");
   parser.AddString("dir", &dir, "cache directory to inspect (required)");
+  parser.AddInt("budget", &budget,
+                "prepared-cache byte budget to flag oversized entries "
+                "against (default: the workspace default)");
   if (!parser.Parse(argc, argv)) {
     return EXIT_SUCCESS;
   }
@@ -83,8 +89,9 @@ int Run(int argc, const char* const* argv) {
             << core::kSolveStoreSchemaVersion << ")\n\n";
 
   util::TextTable table({"key", "bytes", "model", "tasks", "wcs", "acs",
-                         "vmax", "planned", "calibrations"});
+                         "vmax", "planned", "calibrations", "budget"});
   std::size_t rejected = 0;
+  std::size_t oversized = 0;
   for (std::uint64_t key : keys) {
     const std::string path = store.EntryPath(key);
     std::string reason;
@@ -94,6 +101,16 @@ int Run(int argc, const char* const* argv) {
       if (cell.EntryKey() != key) {
         reason = "foreign fingerprint (file name does not match content)";
       } else {
+        // Serialized size is the inspector's proxy for resident footprint
+        // (ApproxBytes needs the restored expansion).  An entry alone above
+        // the budget is admitted charge-exempt by EvalWorkspace and can
+        // never persist in the prepared cache alongside others.
+        const bool over =
+            bytes.size() > static_cast<std::size_t>(std::max<std::int64_t>(
+                               0, budget));
+        if (over) {
+          ++oversized;
+        }
         table.AddRow({KeyHex(key), std::to_string(bytes.size()),
                       ModelName(cell.model.tag),
                       std::to_string(cell.set.size()),
@@ -101,7 +118,8 @@ int Run(int argc, const char* const* argv) {
                       cell.acs.has_value() ? "yes" : "-",
                       cell.vmax_asap.has_value() ? "yes" : "-",
                       std::to_string(cell.planned.size()),
-                      std::to_string(cell.calibrations.size())});
+                      std::to_string(cell.calibrations.size()),
+                      over ? "OVER" : "-"});
         continue;
       }
     } catch (const util::Error& error) {
@@ -109,9 +127,16 @@ int Run(int argc, const char* const* argv) {
     }
     ++rejected;
     table.AddRow({KeyHex(key), "REJECTED: " + reason, "", "", "", "", "", "",
-                  ""});
+                  "", ""});
   }
   std::cout << table.Render();
+  if (oversized > 0) {
+    std::cout << "\n" << oversized << " entr" << (oversized == 1 ? "y" : "ies")
+              << " exceed" << (oversized == 1 ? "s" : "")
+              << " the prepared-cache byte budget (" << budget
+              << " bytes) — resident charge-exempt, never cached alongside "
+                 "other entries\n";
+  }
   if (rejected > 0) {
     std::cout << "\n" << rejected << " entr" << (rejected == 1 ? "y" : "ies")
               << " rejected — a run pointed at this directory re-solves "
