@@ -69,6 +69,18 @@ void SweepConfig::Register(util::ArgParser& parser) {
   parser.AddFlag("csv-solver-stats", &csv_solver_stats,
                  "append solver iteration/evaluation columns to --cell-csv "
                  "rows");
+  parser.AddFlag("dpm", &dpm,
+                 "enable the leakage-aware DPM layer (sleep states, "
+                 "critical-speed floor, core reallocation)");
+  parser.AddString("sleep-state", &sleep_state,
+                   "DPM sleep-state preset: ideal | shallow | deep");
+  parser.AddDouble("critical-speed", &critical_speed,
+                   "critical-speed floor as a fraction of top speed "
+                   "(0 = derive from the model, < 0 = no floor)");
+  parser.AddFlag("dpm-no-realloc", &dpm_no_realloc,
+                 "disable the cross-hyper-period core reallocation pass");
+  parser.AddInt("realloc-after", &realloc_after,
+                "hyper-periods before the consolidated partition takes over");
   parser.AddFlag("paper", &paper,
                  "paper scale: 100 task sets, 1000 hyper-periods");
   parser.AddString("csv", &csv, "write results to this CSV file");
@@ -106,7 +118,7 @@ std::unique_ptr<runner::CsvSink> SweepConfig::OpenCellSink() {
     return nullptr;
   }
   auto cell_sink = std::make_unique<runner::CsvSink>(
-      cell_csv, SweepsScenarios(), csv_solver_stats);
+      cell_csv, SweepsScenarios(), csv_solver_stats, dpm);
   sink = cell_sink.get();
   return cell_sink;
 }
@@ -181,6 +193,17 @@ runner::CellScheduling SweepConfig::Scheduling() const {
   throw util::InvalidArgumentError(
       "--cell-scheduling must be family or cursor, got \"" + scheduling +
       "\"");
+}
+
+dvs::dpm::Options SweepConfig::DpmOptions(const model::IdlePower& idle) const {
+  dvs::dpm::Options options;
+  options.enabled = dpm;
+  options.idle = idle;
+  options.sleep = dvs::dpm::ResolveSleepState(sleep_state, idle);
+  options.critical_speed = critical_speed;
+  options.reallocate = !dpm_no_realloc;
+  options.realloc_after = realloc_after;
+  return options;
 }
 
 core::WarmStartPolicy SweepConfig::WarmStartPolicy() const {

@@ -19,6 +19,7 @@
 
 #include "core/eval_workspace.h"
 #include "core/pipeline.h"
+#include "dpm/dpm.h"
 #include "model/power_model.h"
 #include "model/task.h"
 #include "runner/csv_sink.h"
@@ -112,6 +113,24 @@ struct SweepConfig {
   /// Appends the opt-in solver iteration/evaluation columns to --cell-csv
   /// rows (--csv-solver-stats); the legacy schema is untouched without it.
   bool csv_solver_stats = false;
+  /// Leakage-aware DPM layer (--dpm): sleep states across break-even idle
+  /// intervals, a critical-speed dispatch floor and cross-hyper-period core
+  /// reallocation.  Off keeps every bench byte-identical to the pre-DPM
+  /// tree.  Enabling it also adds the DPM ledger columns to --cell-csv.
+  bool dpm = false;
+  /// Sleep-state preset (--sleep-state): ideal | shallow | deep, resolved
+  /// against the bench's idle floor by dpm::ResolveSleepState.
+  std::string sleep_state = "deep";
+  /// Critical-speed floor request (--critical-speed): 0 derives it from the
+  /// model and idle floor, > 0 forces that fraction of top speed, < 0
+  /// disables the floor (see dpm::Options::critical_speed).
+  double critical_speed = 0.0;
+  /// Disables the cross-hyper-period reallocation pass (--dpm-no-realloc);
+  /// on by default under --dpm.
+  bool dpm_no_realloc = false;
+  /// Hyper-periods run on the original partition before the consolidated
+  /// one takes over (--realloc-after).
+  std::int64_t realloc_after = 1;
   bool paper = false;               // restore the paper's full scale
   std::string csv;                  // optional CSV output path (aggregates)
   std::string cell_csv;             // optional per-cell streaming CSV path
@@ -190,6 +209,12 @@ struct SweepConfig {
 
   /// `warm_start` parsed; throws InvalidArgumentError on unknown text.
   core::WarmStartPolicy WarmStartPolicy() const;
+
+  /// The DPM options the --dpm flags describe, resolved against `idle` (the
+  /// bench's per-core floor): sleep preset, critical-speed request,
+  /// reallocation knobs.  `enabled` mirrors --dpm, so benches can assign
+  /// the result to ExperimentGrid::dpm unconditionally.
+  dvs::dpm::Options DpmOptions(const model::IdlePower& idle) const;
 
   /// `scheduling` parsed; throws InvalidArgumentError on unknown text.
   runner::CellScheduling Scheduling() const;

@@ -490,6 +490,11 @@ MethodOutcome EvaluateWithDrift(MethodContext& context,
   sim::SimOptions chunk_options;
   chunk_options.hyper_periods = 1;
   chunk_options.transition = options.transition;
+  if (options.dpm.enabled) {
+    chunk_options.dpm = true;
+    chunk_options.idle_power = options.dpm.idle;
+    chunk_options.sleep = options.dpm.sleep;
+  }
 
   EvalWorkspace* ws = context.workspace();
   sim::EngineWorkspace own_engine;
@@ -512,6 +517,10 @@ MethodOutcome EvaluateWithDrift(MethodContext& context,
   std::int64_t switches = 0;
   std::int64_t dp_dispatches = 0;
   std::int64_t replans = 0;
+  double idle_energy = 0.0;
+  double sleep_energy = 0.0;
+  double sleep_time = 0.0;
+  std::int64_t sleeps = 0;
   std::vector<double> scale(set.size(), 1.0);
 
   for (std::int64_t hp = 0; hp < options.hyper_periods; ++hp) {
@@ -521,6 +530,10 @@ MethodOutcome EvaluateWithDrift(MethodContext& context,
     total_energy += sim.total_energy;
     misses += sim.deadline_misses;
     switches += sim.voltage_switches;
+    idle_energy += sim.idle_energy;
+    sleep_energy += sim.sleep_energy;
+    sleep_time += sim.sleep_time;
+    sleeps += sim.sleeps;
 
     // EWMA over this hyper-period's realised per-task mean cycles.
     double drift = 0.0;
@@ -588,6 +601,13 @@ MethodOutcome EvaluateWithDrift(MethodContext& context,
   outcome.solver_outer_iterations = plan.solver_outer_iterations;
   outcome.solver_inner_iterations = plan.solver_inner_iterations;
   outcome.solver_evaluations = plan.solver_evaluations;
+  const double norm = options.hyper_periods > 0
+                          ? 1.0 / static_cast<double>(options.hyper_periods)
+                          : 0.0;
+  outcome.idle_energy = idle_energy * norm;
+  outcome.sleep_energy = sleep_energy * norm;
+  outcome.sleep_time = sleep_time;
+  outcome.sleeps = sleeps;
   return outcome;
 }
 
@@ -615,6 +635,11 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
   sim::SimOptions sim_options;
   sim_options.hyper_periods = options.hyper_periods;
   sim_options.transition = options.transition;
+  if (options.dpm.enabled) {
+    sim_options.dpm = true;
+    sim_options.idle_power = options.dpm.idle;
+    sim_options.sleep = options.dpm.sleep;
+  }
 
   const auto fill = [&](const sim::SimResult& sim) {
     // Result-charged: the DP-dispatch count is part of the deterministic
@@ -631,6 +656,14 @@ MethodOutcome EvaluateMethod(const ScheduleMethod& method,
     outcome.solver_outer_iterations = plan.solver_outer_iterations;
     outcome.solver_inner_iterations = plan.solver_inner_iterations;
     outcome.solver_evaluations = plan.solver_evaluations;
+    const double norm =
+        options.hyper_periods > 0
+            ? 1.0 / static_cast<double>(options.hyper_periods)
+            : 0.0;
+    outcome.idle_energy = sim.idle_energy * norm;
+    outcome.sleep_energy = sim.sleep_energy * norm;
+    outcome.sleep_time = sim.sleep_time;
+    outcome.sleeps = sim.sleeps;
     return outcome;
   };
 

@@ -6,12 +6,15 @@
 #ifndef ACS_CORE_PIPELINE_H
 #define ACS_CORE_PIPELINE_H
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/scheduler.h"
+#include "dpm/options.h"
 #include "fps/expansion.h"
 #include "model/power_model.h"
 #include "model/task.h"
@@ -96,6 +99,12 @@ struct ExperimentOptions {
   PlanningOptions planning;
   /// Online expected-case dispatch + drift replanning knobs.
   OnlineOptions online;
+  /// Leakage-aware DPM layer (dpm/options.h): sleep states across
+  /// break-even idle intervals, the critical-speed floor (applied by the
+  /// driver via dpm::CriticalSpeedFloor), cross-hyper-period reallocation.
+  /// Disabled by default; every consumer's DPM-off path is byte-identical
+  /// to the pre-DPM pipeline.
+  dpm::Options dpm;
   SchedulerOptions scheduler;
 };
 
@@ -120,15 +129,39 @@ struct MethodOutcome {
   std::int64_t solver_outer_iterations = 0;
   std::int64_t solver_inner_iterations = 0;
   std::int64_t solver_evaluations = 0;
+  /// DPM ledger (all zero when ExperimentOptions::dpm is off).  The two
+  /// energies are included in measured_energy; units follow it (per
+  /// hyper-period single-core, per-ms for a fleet aggregate).
+  double idle_energy = 0.0;   // awake floor paid across the run
+  double sleep_energy = 0.0;  // sleep transitions + residency
+  double sleep_time = 0.0;    // ms spent in committed sleeps
+  std::int64_t sleeps = 0;    // committed sleep transitions
+  /// Fleet-only DPM fields (zero on single-core outcomes): tasks migrated by
+  /// the cross-hyper-period reallocation (identical across a cell's methods)
+  /// and the time-weighted powered-core count — cores that the reallocation
+  /// emptied or that slept part of the mission count fractionally.
+  std::int64_t migrations = 0;
+  double weighted_cores = 0.0;
 };
 
 /// The paper's reported metric, shared by every result type that compares a
-/// method against a baseline: (E_base - E_method) / E_base, 0 when the
-/// baseline carries no energy.
+/// method against a baseline: (E_base - E_method) / E_base.  Degenerate
+/// inputs stay honest instead of reading as "no improvement": a non-finite
+/// energy propagates NaN, a zero baseline reports signed infinity toward
+/// the method's sign (and 0 only when the method is also free).  CSV/JSON
+/// sinks render the non-finite cases as empty/null fields.
 inline double ImprovementRatio(double baseline_energy, double method_energy) {
-  return baseline_energy > 0.0
-             ? (baseline_energy - method_energy) / baseline_energy
-             : 0.0;
+  if (!std::isfinite(baseline_energy) || !std::isfinite(method_energy)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (baseline_energy == 0.0) {
+    if (method_energy == 0.0) {
+      return 0.0;
+    }
+    return method_energy > 0.0 ? -std::numeric_limits<double>::infinity()
+                               : std::numeric_limits<double>::infinity();
+  }
+  return (baseline_energy - method_energy) / baseline_energy;
 }
 
 struct ComparisonResult {
@@ -137,12 +170,9 @@ struct ComparisonResult {
   std::size_t sub_instances = 0;
 
   /// The paper's reported metric: (E_wcs - E_acs) / E_wcs on measured
-  /// runtime energy.
+  /// runtime energy (ImprovementRatio's degenerate-input contract applies).
   double Improvement() const {
-    return wcs.measured_energy > 0.0
-               ? (wcs.measured_energy - acs.measured_energy) /
-                     wcs.measured_energy
-               : 0.0;
+    return ImprovementRatio(wcs.measured_energy, acs.measured_energy);
   }
 };
 

@@ -1,0 +1,160 @@
+#include "dpm/reallocate.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "fps/expansion.h"
+#include "sim/engine.h"
+
+namespace dvs::dpm {
+namespace {
+
+double TaskUtilization(const model::TaskSet& set, const model::DvsModel& dvs,
+                       model::TaskIndex task) {
+  const model::Task& t = set.task(task);
+  return t.wcec / (static_cast<double>(t.period) * dvs.MaxSpeed());
+}
+
+/// Closed-form steady-state dynamic power (energy/ms) of one core carrying
+/// worst-case utilisation `utilization`: the demand rate u*MaxSpeed run at
+/// the slowest sustaining speed (clamped into the model's range).  This is
+/// the stretched-to-deadline WCS estimate the energy gate below compares —
+/// deliberately worst-case, so a committed consolidation can only look
+/// better under measured (ACS) workloads.
+double EstimatedCorePower(const model::DvsModel& dvs, double utilization) {
+  if (utilization <= 0.0) {
+    return 0.0;
+  }
+  const double rate = utilization * dvs.MaxSpeed();
+  const double speed =
+      std::min(std::max(rate, dvs.MinSpeed()), dvs.MaxSpeed());
+  return rate * dvs.EnergyPerCycle(dvs.VoltageForSpeed(speed));
+}
+
+/// Exact admission test, mirroring the partitioners': cheap utilisation
+/// filter first, then RM schedulability at Vmax on the expanded subset.
+bool FitsOnCore(const model::TaskSet& set, const model::DvsModel& dvs,
+                const mp::Partition& partition, int c, model::TaskIndex task,
+                double task_utilization) {
+  if (partition.CoreUtilization(set, dvs, c) + task_utilization >
+      1.0 + 1e-12) {
+    return false;
+  }
+  std::vector<model::TaskIndex> candidate =
+      partition.assignment[static_cast<std::size_t>(c)];
+  candidate.push_back(task);
+  const model::TaskSet subset = mp::SubTaskSet(set, candidate);
+  const fps::FullyPreemptiveSchedule expansion(subset);
+  return sim::IsRmSchedulable(expansion, dvs);
+}
+
+/// Tries to empty core `victim`, moving each of its tasks (decreasing
+/// utilisation) onto the most-loaded feasible core in `receivers`.  Commits
+/// into `partition` and returns the number of tasks moved on success;
+/// leaves `partition` untouched and returns 0 when any task fails to place.
+std::int64_t TryEmpty(const model::TaskSet& set, const model::DvsModel& dvs,
+                      const model::IdlePower& idle, mp::Partition& partition,
+                      int victim, const std::vector<int>& receivers) {
+  mp::Partition trial = partition;
+  std::vector<model::TaskIndex> tasks =
+      std::move(trial.assignment[static_cast<std::size_t>(victim)]);
+  trial.assignment[static_cast<std::size_t>(victim)].clear();
+  std::sort(tasks.begin(), tasks.end(),
+            [&set, &dvs](model::TaskIndex a, model::TaskIndex b) {
+              const double ua = TaskUtilization(set, dvs, a);
+              const double ub = TaskUtilization(set, dvs, b);
+              return ua != ub ? ua > ub : a < b;
+            });
+  for (model::TaskIndex task : tasks) {
+    const double u = TaskUtilization(set, dvs, task);
+    // Most-loaded feasible receiver (best-fit: pack tight so the remaining
+    // cores stay as empty as possible); core index breaks ties.
+    std::vector<std::pair<double, int>> ranked;
+    ranked.reserve(receivers.size());
+    for (int c : receivers) {
+      ranked.emplace_back(-trial.CoreUtilization(set, dvs, c), c);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    bool placed = false;
+    for (const auto& [key, c] : ranked) {
+      if (FitsOnCore(set, dvs, trial, c, task, u)) {
+        trial.assignment[static_cast<std::size_t>(c)].push_back(task);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      return 0;
+    }
+  }
+  // Energy gate: emptying the victim saves its idle floor but packs its
+  // work onto faster (cubically more expensive) receivers.  Commit only
+  // when the estimated fleet rate strictly drops — below the critical-speed
+  // regime the dynamic penalty is small (often zero, when every core is
+  // vmin-clamped) and the floor saving wins; at moderate loads the gate
+  // correctly refuses, so reallocation can never cost energy by estimate.
+  double dynamic_before =
+      EstimatedCorePower(dvs, partition.CoreUtilization(set, dvs, victim));
+  double dynamic_after = 0.0;
+  for (int c : receivers) {
+    dynamic_before +=
+        EstimatedCorePower(dvs, partition.CoreUtilization(set, dvs, c));
+    dynamic_after +=
+        EstimatedCorePower(dvs, trial.CoreUtilization(set, dvs, c));
+  }
+  if (dynamic_after >= dynamic_before + idle.power_per_ms - 1e-12) {
+    return 0;
+  }
+  const std::int64_t moved = static_cast<std::int64_t>(tasks.size());
+  partition = std::move(trial);
+  return moved;
+}
+
+}  // namespace
+
+ReallocationResult Consolidate(const mp::Partition& partition,
+                               const model::TaskSet& set,
+                               const model::DvsModel& dvs,
+                               const model::IdlePower& idle) {
+  ReallocationResult result;
+  result.partition = partition;
+
+  bool moved_any = true;
+  while (moved_any) {
+    moved_any = false;
+    // Powered cores in ascending utilisation (index breaks ties): the
+    // cheapest core to empty first.
+    std::vector<std::pair<double, int>> victims;
+    for (int c = 0; c < result.partition.cores(); ++c) {
+      if (!result.partition.assignment[static_cast<std::size_t>(c)].empty()) {
+        victims.emplace_back(result.partition.CoreUtilization(set, dvs, c), c);
+      }
+    }
+    if (victims.size() < 2) {
+      break;  // nothing to consolidate onto
+    }
+    std::sort(victims.begin(), victims.end());
+    for (const auto& [utilization, victim] : victims) {
+      std::vector<int> receivers;
+      for (const auto& [other_u, other] : victims) {
+        if (other != victim) {
+          receivers.push_back(other);
+        }
+      }
+      std::sort(receivers.begin(), receivers.end());
+      const std::int64_t moved =
+          TryEmpty(set, dvs, idle, result.partition, victim, receivers);
+      if (moved > 0) {
+        result.migrations += moved;
+        ++result.emptied_cores;
+        moved_any = true;
+        break;  // loads changed; rescan victims against the new partition
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dvs::dpm

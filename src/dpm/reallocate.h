@@ -1,0 +1,54 @@
+// Cross-hyper-period task reallocation (core shutdown).
+//
+// A partitioner places tasks before any hyper-period runs; with an idle
+// floor, a lightly-loaded core then pays the floor for the whole mission
+// even though its tasks would fit elsewhere.  Consolidate() is the
+// leakage-aware reallocation pass (Huang et al.): repeatedly try to empty
+// the least-utilised powered core by migrating its tasks onto the other
+// powered cores — accepting a move only when every receiving core stays
+// *exactly* RM-schedulable at Vmax (the same admission test the
+// partitioners use) — until no core can be emptied.  mp::EvaluateFleet
+// runs the original partition for `Options::realloc_after` hyper-periods
+// and the consolidated one for the remainder, which is what turns the
+// powered-core count into a time-weighted quantity.
+//
+// Deterministic: victims are scanned in ascending utilisation (core index
+// breaks ties), each victim's tasks move in decreasing utilisation onto the
+// most-loaded feasible receiver (tightest packing; index breaks ties), and
+// a successful emptying restarts the scan against the new loads.  A pure
+// function of (partition, set, model) — no randomness, no execution-order
+// dependence.
+#ifndef ACS_DPM_REALLOCATE_H
+#define ACS_DPM_REALLOCATE_H
+
+#include <cstdint>
+
+#include "model/power_model.h"
+#include "model/task.h"
+#include "mp/partition.h"
+
+namespace dvs::dpm {
+
+struct ReallocationResult {
+  mp::Partition partition;       // the consolidated assignment
+  std::int64_t migrations = 0;   // tasks whose core changed
+  int emptied_cores = 0;         // cores shut down by the pass
+};
+
+/// Consolidates `partition` as described above.  Emptying a core is
+/// additionally gated on a closed-form energy estimate: packing the
+/// victim's work onto faster receivers costs cubically more dynamic power,
+/// so a move commits only when that penalty (stretched-to-deadline WCS
+/// rates) stays strictly below the `idle` floor the shut-down core stops
+/// paying.  With a zero floor nothing ever moves.  Returns the input
+/// partition unchanged (0 migrations) when nothing can move; never powers a
+/// previously empty core, and the result always passes
+/// Partition::Validate(set) with every core exactly RM-schedulable at Vmax.
+ReallocationResult Consolidate(const mp::Partition& partition,
+                               const model::TaskSet& set,
+                               const model::DvsModel& dvs,
+                               const model::IdlePower& idle);
+
+}  // namespace dvs::dpm
+
+#endif  // ACS_DPM_REALLOCATE_H

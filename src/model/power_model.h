@@ -15,6 +15,8 @@
 #ifndef ACS_MODEL_POWER_MODEL_H
 #define ACS_MODEL_POWER_MODEL_H
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -189,6 +191,59 @@ struct IdlePower {
 
   /// Energy the floor costs one core over `duration` ms.
   double Energy(double duration) const { return power_per_ms * duration; }
+};
+
+/// One processor sleep state (the DPM layer's table entry, beside the
+/// IdlePower floor): the power drawn while asleep plus the latency and
+/// energy of the enter/exit transitions.  A core commits a *timed* sleep
+/// across a known idle interval — the wake-up timer fires exit_latency
+/// before the interval ends, so a committed sleep can never push the next
+/// dispatch late (deadline-safe by construction); the engine only commits
+/// when the interval beats BreakEvenTime.  Units match IdlePower (energy
+/// per ms in the ceff*V^2 scale).
+struct SleepState {
+  double power_per_ms = 0.0;   // drawn while asleep (< the awake floor)
+  double enter_latency = 0.0;  // ms to enter the state
+  double exit_latency = 0.0;   // ms to wake from it
+  double enter_energy = 0.0;   // charged per committed transition
+  double exit_energy = 0.0;
+
+  bool IsZero() const {
+    return power_per_ms == 0.0 && enter_latency == 0.0 &&
+           exit_latency == 0.0 && enter_energy == 0.0 && exit_energy == 0.0;
+  }
+
+  double TransitionLatency() const { return enter_latency + exit_latency; }
+  double TransitionEnergy() const { return enter_energy + exit_energy; }
+
+  /// Shortest idle interval worth sleeping through under the awake floor
+  /// `idle`: the interval must cover both transitions and the floor energy
+  /// saved must pay for the transition energy net of the sleep power drawn
+  /// while transitioning.  +infinity when the state never pays (floor <=
+  /// sleep power), so Worthwhile is false for every finite interval.
+  double BreakEvenTime(const IdlePower& idle) const {
+    const double saved_per_ms = idle.power_per_ms - power_per_ms;
+    if (saved_per_ms <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double amortize =
+        (TransitionEnergy() - power_per_ms * TransitionLatency()) /
+        saved_per_ms;
+    return std::max(TransitionLatency(), amortize);
+  }
+
+  /// True when sleeping through a `gap`-ms idle interval costs less than
+  /// idling it at the floor (and the interval covers both transitions).
+  bool Worthwhile(double gap, const IdlePower& idle) const {
+    return gap >= BreakEvenTime(idle);
+  }
+
+  /// Energy of a committed sleep across a `gap`-ms interval: both
+  /// transitions plus sleep-power residency.  Requires
+  /// gap >= TransitionLatency().
+  double Energy(double gap) const {
+    return TransitionEnergy() + power_per_ms * (gap - TransitionLatency());
+  }
 };
 
 }  // namespace dvs::model

@@ -17,10 +17,22 @@
 // what makes consolidating partitioners (ffd, energy-greedy with idle > 0)
 // meaningfully different from load-balancing ones (wfd).
 //
+// With the DPM layer on (ExperimentOptions::dpm), the floor moves into the
+// per-core simulation — which can then sleep through break-even idle
+// intervals (model::SleepState) — and the mission optionally splits into
+// two spans around a cross-hyper-period reallocation (dpm::Consolidate):
+// the partitioner's assignment for the first realloc_after hyper-periods,
+// the consolidated one for the rest, each span weighted by its share of the
+// mission.  The fleet outcome then carries the idle/sleep energy breakdown,
+// the migration count and a time-weighted powered-core tally.  DPM off
+// keeps this file's aggregation byte-identical to the legacy pipeline.
+//
 // Determinism: core c's workload stream is Rng(options.seed).ForkWith(c),
 // a pure function of the experiment seed and the physical core index, and
 // every method sees the identical per-core streams — the paper's
-// fair-comparison methodology, per core.
+// fair-comparison methodology, per core.  A post-reallocation span forks
+// Rng(options.seed).ForkWith(span).ForkWith(c) — still a pure function of
+// grid coordinates, never of execution order.
 #ifndef ACS_MP_FLEET_H
 #define ACS_MP_FLEET_H
 
@@ -38,7 +50,8 @@ namespace dvs::mp {
 
 /// One method's fleet result: the aggregate (energy-per-ms units, see
 /// above) plus the raw per-core outcomes (per-core-hyper-period units), in
-/// powered-core order.
+/// powered-core order — under a reallocation split, the first span's cores
+/// followed by the second's.
 struct FleetOutcome {
   core::MethodOutcome fleet;
   std::vector<core::MethodOutcome> per_core;

@@ -72,6 +72,11 @@ MetricsRegistry::MetricsRegistry() {
   AddCounter("drift.replans");
   AddCounter("online.dp_dispatches");
   AddCounter("prepare.oversized_rejects");
+  AddCounter("dpm.sleeps");
+  AddCounter("dpm.migrations");
+  // Fleet sleep energy per cell-method, in per-ms fleet-power units —
+  // typically a small fraction of the idle floor.
+  AddHistogram("dpm.sleep_energy", {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0});
   ACS_REQUIRE(definitions_.size() == metric::kBuiltinCount,
               "builtin metric count drifted from obs::metric ids");
 }

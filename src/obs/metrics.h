@@ -181,7 +181,11 @@ inline constexpr MetricId kDriftReplans = 29;       // drift.replans
 inline constexpr MetricId kOnlineDpDispatches = 30;  // online.dp_dispatches
 inline constexpr MetricId kPrepareOversized = 31;   // prepare.oversized_
                                                     // rejects
-inline constexpr std::size_t kBuiltinCount = 32;
+inline constexpr MetricId kDpmSleeps = 32;          // dpm.sleeps
+inline constexpr MetricId kDpmMigrations = 33;      // dpm.migrations
+inline constexpr MetricId kDpmSleepEnergy = 34;     // dpm.sleep_energy
+                                                    // (histogram)
+inline constexpr std::size_t kBuiltinCount = 35;
 }  // namespace metric
 
 /// The installed registry, or nullptr.  Installation is not synchronised

@@ -1,5 +1,6 @@
 #include "runner/csv_sink.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/csv.h"
@@ -53,11 +54,19 @@ const std::vector<std::string>& CsvSink::SolverStatsColumns() {
   return columns;
 }
 
+const std::vector<std::string>& CsvSink::DpmColumns() {
+  static const std::vector<std::string> columns = {
+      "idle_energy", "sleep_energy", "dpm_sleeps", "dpm_migrations",
+      "weighted_cores"};
+  return columns;
+}
+
 CsvSink::CsvSink(const std::string& path, bool scenario_column,
-                 bool solver_stats_columns)
+                 bool solver_stats_columns, bool dpm_columns)
     : out_(path),
       scenario_column_(scenario_column),
-      solver_stats_columns_(solver_stats_columns) {
+      solver_stats_columns_(solver_stats_columns),
+      dpm_columns_(dpm_columns) {
   if (!out_) {
     throw util::Error("cannot open CSV sink file: " + path);
   }
@@ -67,6 +76,10 @@ CsvSink::CsvSink(const std::string& path, bool scenario_column,
     // Between used_fallback and error, per the documented schema.
     header.insert(header.end() - 1, SolverStatsColumns().begin(),
                   SolverStatsColumns().end());
+  }
+  if (dpm_columns_) {
+    // After the solver stats (when present), still before error.
+    header.insert(header.end() - 1, DpmColumns().begin(), DpmColumns().end());
   }
   for (std::size_t i = 0; i < header.size(); ++i) {
     out_ << (i == 0 ? "" : ",") << util::CsvEscape(header[i]);
@@ -105,7 +118,8 @@ void CsvSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!cell.ok()) {
     out_ << prefix << ",,,,,,,," << (solver_stats_columns_ ? ",,," : "")
-         << util::CsvEscape(cell.error) << '\n';
+         << (dpm_columns_ ? ",,,,," : "") << util::CsvEscape(cell.error)
+         << '\n';
     ++rows_;
     out_.flush();
     return;
@@ -117,7 +131,13 @@ void CsvSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
          << FormatG(outcome.predicted_energy) << ','
          << FormatG(outcome.measured_energy) << ',';
     if (m != baseline) {
-      out_ << FormatG(100.0 * cell.ImprovementOver(m, baseline));
+      // A degenerate ratio (zero or non-finite baseline energy — see
+      // core::ImprovementRatio) leaves the field empty rather than printing
+      // "inf"/"nan" a CSV consumer would choke on.
+      const double improvement = 100.0 * cell.ImprovementOver(m, baseline);
+      if (std::isfinite(improvement)) {
+        out_ << FormatG(improvement);
+      }
     }
     out_ << ',' << outcome.deadline_misses << ',' << outcome.voltage_switches
          << ',' << (outcome.used_fallback ? 1 : 0);
@@ -125,6 +145,11 @@ void CsvSink::OnCell(const ExperimentGrid& grid, const CellResult& cell) {
       out_ << ',' << outcome.solver_outer_iterations << ','
            << outcome.solver_inner_iterations << ','
            << outcome.solver_evaluations;
+    }
+    if (dpm_columns_) {
+      out_ << ',' << FormatG(outcome.idle_energy) << ','
+           << FormatG(outcome.sleep_energy) << ',' << outcome.sleeps << ','
+           << outcome.migrations << ',' << FormatG(outcome.weighted_cores);
     }
     out_ << ",\n";
     ++rows_;

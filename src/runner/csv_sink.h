@@ -28,10 +28,12 @@ class CsvSink : public ResultSink {
   /// execution-time scenario name; `solver_stats_columns` adds the
   /// per-method offline solver counters (solver_outer_iterations,
   /// solver_inner_iterations, solver_evaluations — see core::MethodOutcome)
-  /// between used_fallback and error.  Both default off so existing sinks
-  /// keep the historical schema byte-for-byte.
+  /// between used_fallback and error; `dpm_columns` adds the DPM ledger
+  /// (idle_energy, sleep_energy, dpm_sleeps, dpm_migrations, weighted_cores)
+  /// after the solver stats (still before error).  All default off so
+  /// existing sinks keep the historical schema byte-for-byte.
   explicit CsvSink(const std::string& path, bool scenario_column = false,
-                   bool solver_stats_columns = false);
+                   bool solver_stats_columns = false, bool dpm_columns = false);
 
   /// Thread-safe: rows are formatted and written under an internal mutex.
   void OnCell(const ExperimentGrid& grid, const CellResult& cell) override;
@@ -48,11 +50,15 @@ class CsvSink : public ResultSink {
   /// The opt-in solver-stats column names, in emission order.
   static const std::vector<std::string>& SolverStatsColumns();
 
+  /// The opt-in DPM ledger column names, in emission order.
+  static const std::vector<std::string>& DpmColumns();
+
  private:
   mutable std::mutex mutex_;
   std::ofstream out_;
   bool scenario_column_ = false;
   bool solver_stats_columns_ = false;
+  bool dpm_columns_ = false;
   std::size_t rows_ = 0;
 };
 

@@ -174,6 +174,18 @@ void ExperimentGrid::Validate(const core::MethodRegistry& registry) const {
   ACS_REQUIRE(transition.time_per_volt >= 0.0 &&
                   transition.energy_per_volt >= 0.0,
               "transition overheads must be non-negative");
+  if (dpm.enabled) {
+    ACS_REQUIRE(!idle_power.IsZero(),
+                "DPM needs a non-zero idle power floor to manage");
+    ACS_REQUIRE(dpm.sleep.power_per_ms >= 0.0 &&
+                    dpm.sleep.enter_latency >= 0.0 &&
+                    dpm.sleep.exit_latency >= 0.0 &&
+                    dpm.sleep.enter_energy >= 0.0 &&
+                    dpm.sleep.exit_energy >= 0.0,
+                "sleep-state fields must be non-negative");
+    ACS_REQUIRE(dpm.realloc_after >= 1,
+                "realloc_after must be at least one hyper-period");
+  }
   // A utilization must stay below the fleet's capacity; single-core grids
   // keep the paper's (0, 1) admission.
   for (double utilization : utilizations) {

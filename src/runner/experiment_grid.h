@@ -33,6 +33,7 @@
 
 #include "core/method_registry.h"
 #include "core/scheduler.h"
+#include "dpm/options.h"
 #include "model/power_model.h"
 #include "model/task.h"
 #include "mp/partitioner.h"
@@ -95,6 +96,14 @@ struct ExperimentGrid {
   const mp::PartitionerRegistry* partitioner_registry = nullptr;
   /// Always-on per-powered-core power floor for multi-core cells.
   model::IdlePower idle_power;
+  /// Leakage-aware DPM layer (sleep states, critical-speed floor,
+  /// cross-hyper-period reallocation), applied to every cell.  Requires a
+  /// non-zero idle_power when enabled (there is no floor to manage
+  /// otherwise — Validate enforces it); dpm.idle itself is overwritten per
+  /// cell with `idle_power`, the grid's single source of truth for the
+  /// floor.  Note the critical-speed floor is realised by wrapping `dvs` in
+  /// a dpm::CriticalSpeedFloor at the driver — see dpm/dpm.h.
+  dpm::Options dpm;
   /// Voltage-transition overhead charged in every cell's simulation.
   model::TransitionOverhead transition;
   /// Execution-time scenario axis (workload::ScenarioRegistry names).  The

@@ -1,5 +1,6 @@
 #include "runner/run_grid.h"
 
+#include <cmath>
 #include <utility>
 
 #include "core/solve_store.h"
@@ -59,6 +60,7 @@ CellResult RunCell(const ExperimentGrid& grid,
     options.online = grid.online;
     options.scheduler = grid.scheduler;
     options.warm_start = grid.warm_start;
+    options.dpm = grid.dpm;
     if (grid.warm_start == core::WarmStartPolicy::kNeighbor) {
       // The cell's continuation chain: the sigma-axis prefix through its
       // own divisor, in axis order (see core::WarmStartPolicy::kNeighbor).
@@ -199,7 +201,12 @@ MethodAggregate GridResult::Aggregate(const ExperimentGrid& grid,
     const core::MethodOutcome& outcome = cell.outcomes.at(method_index);
     aggregate.measured_energy.Add(outcome.measured_energy);
     if (method_index != baseline) {
-      aggregate.improvement.Add(cell.ImprovementOver(method_index, baseline));
+      // Degenerate ratios (zero/non-finite baseline — core::ImprovementRatio)
+      // are excluded rather than allowed to poison the running mean.
+      const double improvement = cell.ImprovementOver(method_index, baseline);
+      if (std::isfinite(improvement)) {
+        aggregate.improvement.Add(improvement);
+      }
     }
     aggregate.deadline_misses += outcome.deadline_misses;
     aggregate.fallbacks += outcome.used_fallback ? 1 : 0;

@@ -34,6 +34,10 @@ void ResetResult(SimResult& result, std::size_t task_count) {
   result.preemptions = 0;
   result.voltage_switches = 0;
   result.makespan = 0.0;
+  result.idle_energy = 0.0;
+  result.sleep_energy = 0.0;
+  result.sleep_time = 0.0;
+  result.sleeps = 0;
   result.first_miss.clear();
   result.trace.Clear();
   result.sampled_cycles.assign(task_count, 0.0);
@@ -163,6 +167,33 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
   const double sim_horizon_guard =
       static_cast<double>(options.hyper_periods + 2) * hyper;
 
+  // DPM idle consolidation: contiguous idle intervals are bracketed by
+  // idle_begin (set at the first idle jump, reset at the next dispatch), so
+  // back-to-back jumps — empty set, then a policy deferral — merge into one
+  // interval.  An interval beating the sleep state's break-even is slept
+  // through with a timed wake at its end; since the engine already knows the
+  // dispatch that ends the interval, sleeping never moves it (deadline-safe
+  // by construction) — only the energy ledger changes, after the loop.
+  const bool dpm = options.dpm && options.idle_power.power_per_ms > 0.0;
+  double idle_begin = -1.0;
+  const auto dpm_mark_idle = [&]() {
+    if (dpm && idle_begin < 0.0) {
+      idle_begin = now;
+    }
+  };
+  const auto dpm_close_idle = [&](double idle_end) {
+    if (!dpm || idle_begin < 0.0) {
+      return;
+    }
+    const double gap = idle_end - idle_begin;
+    if (gap > 0.0 && options.sleep.Worthwhile(gap, options.idle_power)) {
+      ++result.sleeps;
+      result.sleep_time += gap;
+      result.sleep_energy += options.sleep.Energy(gap);
+    }
+    idle_begin = -1.0;
+  };
+
   while (true) {
     activate_due();
     if (active.empty()) {
@@ -170,6 +201,7 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
         break;  // all releases issued, nothing left to run
       }
       const double due = next_release_global();
+      dpm_mark_idle();
       result.idle_time += due - now;
       now = due;
       continue;
@@ -209,13 +241,15 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
       // Everybody deferred: jump to the earliest wake or release.
       const double due = std::min(next_release_global(), wake);
       ACS_CHECK(std::isfinite(due), "deadlock: all instances deferred");
+      dpm_mark_idle();
       result.idle_time += due - now;
       now = due;
       continue;
     }
 
-    const double voltage = dvs.ClampVoltage(decision.voltage);
-    const double speed = dvs.SpeedAt(voltage);
+    dpm_close_idle(now);
+
+    double voltage = dvs.ClampVoltage(decision.voltage);
 
     // Voltage-transition accounting (optional overhead model).  References
     // into `active` are taken only after this block: the activation inside
@@ -224,6 +258,26 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
     if (last_voltage >= 0.0 && std::fabs(voltage - last_voltage) > 1e-12) {
       ++result.voltage_switches;
       if (!options.transition.IsZero()) {
+        if (options.transition.time_per_volt > 0.0) {
+          // The stall advances the clock after the policy chose a voltage
+          // for the pre-stall window, so a slice sized to just meet its
+          // deadline would land late by up to the stall.  Ratchet the
+          // voltage up against its own stall until it covers the post-stall
+          // window; the required voltage is monotone in the stall and
+          // clamped at vmax, so a few passes reach the fixed point.
+          const double remaining_cycles = active[chosen].remaining;
+          const double deadline = active[chosen].deadline_global;
+          for (int pass = 0; pass < 4; ++pass) {
+            const double stall = options.transition.time_per_volt *
+                                 std::fabs(voltage - last_voltage);
+            const double required = dvs.ClampVoltage(dvs.VoltageForWork(
+                remaining_cycles, deadline - (now + stall)));
+            if (required <= voltage + 1e-12) {
+              break;
+            }
+            voltage = required;
+          }
+        }
         const double dv = std::fabs(voltage - last_voltage);
         const double stall = options.transition.time_per_volt * dv;
         result.transition_energy += options.transition.energy_per_volt * dv;
@@ -234,6 +288,7 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
       }
     }
     last_voltage = voltage;
+    const double speed = dvs.SpeedAt(voltage);
 
     ActiveInstance& inst = active[chosen];
     const SubRef& sub = ws.sub_refs[ws.sub_begin[inst.parent] + inst.sub_pos];
@@ -325,6 +380,26 @@ void SimulateLoop(const fps::FullyPreemptiveSchedule& fps,
     // Otherwise: budget exhausted (cursor advances on the next pass), a
     // release arrived (activation at loop head may preempt), or a deferred
     // instance woke up.  All handled by the next iteration.
+  }
+
+  if (dpm) {
+    // The mission spans whole hyper-periods even after the last completion;
+    // the remainder is one final idle interval.  The floor is paid for the
+    // full mission except while asleep; sleep residency and transitions are
+    // ledgered separately.  DPM never touches dispatch times, so everything
+    // above this point is bit-identical to the DPM-off run.
+    const double mission_end =
+        static_cast<double>(options.hyper_periods) * hyper;
+    if (now < mission_end) {
+      dpm_mark_idle();
+      result.idle_time += mission_end - now;
+      now = mission_end;
+    }
+    dpm_close_idle(now);
+    const double mission = std::max(now, mission_end);
+    result.idle_energy =
+        options.idle_power.power_per_ms * (mission - result.sleep_time);
+    result.total_energy += result.idle_energy + result.sleep_energy;
   }
 }
 

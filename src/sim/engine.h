@@ -40,6 +40,16 @@ struct SimOptions {
   /// Optional voltage-transition overhead (energy and stall time); zero by
   /// default, matching the paper's assumption.
   model::TransitionOverhead transition;
+  /// DPM sleep accounting: when `dpm` is set (and the idle floor is
+  /// positive), the engine charges `idle_power` across the whole mission
+  /// time and consolidates idle intervals — an interval beating the sleep
+  /// state's break-even is slept through (timed wake, so dispatch times are
+  /// untouched and the schedule is bit-identical to the DPM-off run; only
+  /// the energy ledger changes).  Off by default: the legacy path charges
+  /// nothing for idleness (the fleet layer's per-core floor accounting).
+  bool dpm = false;
+  model::IdlePower idle_power;
+  model::SleepState sleep;
 };
 
 struct SimResult {
@@ -55,6 +65,15 @@ struct SimResult {
   std::int64_t preemptions = 0;     // running instance displaced by another
   std::int64_t voltage_switches = 0;
   double makespan = 0.0;            // completion time of the last instance
+  /// DPM ledger (all zero unless SimOptions::dpm): floor energy paid while
+  /// awake (busy or idle — the always-on IdlePower over the mission minus
+  /// slept time), sleep-state energy (transitions + residency), time spent
+  /// in committed sleeps and their count.  idle_energy + sleep_energy are
+  /// both included in total_energy.
+  double idle_energy = 0.0;
+  double sleep_energy = 0.0;
+  double sleep_time = 0.0;
+  std::int64_t sleeps = 0;
   std::string first_miss;           // description of the first deadline miss
   Trace trace;                      // populated when record_trace is set
   /// Per-task realised workload bookkeeping, accumulated at activation (one

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "workload/motivation.h"
 #include "workload/presets.h"
 #include "workload/random_taskset.h"
@@ -93,6 +96,26 @@ TEST(Pipeline, SigmaDivisorPropagates) {
   EXPECT_EQ(rn.acs.deadline_misses, 0);
   EXPECT_EQ(rw.acs.deadline_misses, 0);
   EXPECT_NE(rn.acs.measured_energy, rw.acs.measured_energy);
+}
+
+// Regression for the zero-baseline bug: the ratio used to divide by zero
+// silently.  Now the degenerate cases are explicit — NaN for non-finite
+// inputs, signed infinity for a zero baseline (sign says which side won) —
+// so sinks can detect and skip them instead of emitting "inf"/"nan".
+TEST(Pipeline, ImprovementRatioHandlesDegenerateBaselines) {
+  EXPECT_DOUBLE_EQ(ImprovementRatio(10.0, 7.5), 0.25);
+  EXPECT_DOUBLE_EQ(ImprovementRatio(10.0, 12.5), -0.25);
+  // Zero baseline, zero method: a tie, reported as no improvement.
+  EXPECT_DOUBLE_EQ(ImprovementRatio(0.0, 0.0), 0.0);
+  // Zero baseline, positive method: infinitely worse than the baseline.
+  EXPECT_TRUE(std::isinf(ImprovementRatio(0.0, 1.0)));
+  EXPECT_LT(ImprovementRatio(0.0, 1.0), 0.0);
+  EXPECT_GT(ImprovementRatio(0.0, -1.0), 0.0);
+  // Non-finite inputs propagate as NaN, never as a plausible-looking ratio.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(ImprovementRatio(nan, 1.0)));
+  EXPECT_TRUE(std::isnan(ImprovementRatio(1.0, inf)));
 }
 
 }  // namespace

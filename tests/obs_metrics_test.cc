@@ -38,6 +38,8 @@ TEST(MetricsRegistry, BuiltinNamesArePinnedInIdOrder) {
       "family.steals",        "family.count",
       "family.cells_per_worker", "drift.replans",
       "online.dp_dispatches", "prepare.oversized_rejects",
+      "dpm.sleeps",           "dpm.migrations",
+      "dpm.sleep_energy",
   };
   ASSERT_EQ(expected.size(), metric::kBuiltinCount);
   ASSERT_EQ(registry.MetricCount(), metric::kBuiltinCount);
@@ -67,6 +69,9 @@ TEST(MetricsRegistry, BuiltinKindsMatchTheIdTable) {
   EXPECT_EQ(agg[metric::kDriftReplans].kind, MetricKind::kCounter);
   EXPECT_EQ(agg[metric::kOnlineDpDispatches].kind, MetricKind::kCounter);
   EXPECT_EQ(agg[metric::kPrepareOversized].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kDpmSleeps].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kDpmMigrations].kind, MetricKind::kCounter);
+  EXPECT_EQ(agg[metric::kDpmSleepEnergy].kind, MetricKind::kHistogram);
 }
 
 /// The determinism invariant: the same set of charges, however they are

@@ -23,8 +23,12 @@
 #include <vector>
 
 #include "core/api.h"
+#include "dpm/dpm.h"
+#include "dpm/reallocate.h"
+#include "fps/expansion.h"
 #include "mp/fleet.h"
 #include "mp/partitioner.h"
+#include "sim/engine.h"
 #include "sim/static_schedule.h"
 #include "workload/presets.h"
 #include "workload/random_taskset.h"
@@ -260,6 +264,149 @@ TEST(PropInvariants, OnlineArmsFleetSafeAndBoundedPerScenarioAndCores) {
           EXPECT_LE(online.measured_energy,
                     ceiling.measured_energy * (1.0 + 1e-9))
               << label;
+        }
+      }
+    }
+  }
+}
+
+// (d) DPM audit 1 — the critical speed really is the per-cycle optimum:
+// for randomized leakage floors, no speed in the model's range beats it on
+// total (dynamic + floor) energy per cycle, and below it energy rises
+// monotonically as speed falls.
+TEST(PropInvariants, CriticalSpeedMinimisesPerCycleEnergy) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  stats::Rng rng(4242);
+  for (int draw = 0; draw < 32; ++draw) {
+    const double p = rng.Uniform(0.05, 3.0);
+    const double star = dpm::CriticalSpeed(cpu, p);
+    const auto per_cycle = [&](double s) {
+      return cpu.EnergyPerCycle(cpu.VoltageForSpeed(s)) + p / s;
+    };
+    const double at_star = per_cycle(star);
+    double below_prev = at_star;
+    for (int i = 1; i <= 16; ++i) {
+      const double frac = static_cast<double>(i) / 16.0;
+      // Nothing in [MinSpeed, MaxSpeed] beats the critical speed...
+      const double s =
+          cpu.MinSpeed() + frac * (cpu.MaxSpeed() - cpu.MinSpeed());
+      EXPECT_GE(per_cycle(s), at_star - 1e-9) << "p=" << p << " s=" << s;
+      // ...and below it, slowing down monotonically costs more.
+      const double below = star - frac * (star - cpu.MinSpeed());
+      if (below < star - 1e-9) {
+        EXPECT_GE(per_cycle(below), below_prev - 1e-12)
+            << "p=" << p << " s=" << below;
+        below_prev = per_cycle(below);
+      }
+    }
+  }
+}
+
+// (e) DPM audit 2 — timed sleeps are deadline-neutral and never lose
+// energy: with a non-zero idle floor, DPM-on fleets finish every draw with
+// zero misses and no more measured energy than the identical DPM-off run.
+TEST(PropInvariants, DpmSleepNeverMissesAndNeverCostsEnergy) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const model::IdlePower idle{0.5};
+  const std::vector<const core::ScheduleMethod*> arms = {
+      &core::MethodRegistry::Builtin().Get("acs"),
+      &core::MethodRegistry::Builtin().Get("wcs")};
+  for (const model::TaskSet& set : PropertySets(cpu)) {
+    for (const std::string& name :
+         mp::PartitionerRegistry::Builtin().Names()) {
+      const mp::Partitioner& partitioner =
+          mp::PartitionerRegistry::Builtin().Get(name);
+      core::ExperimentOptions off_options = PropertyOptions();
+      const mp::FleetResult off =
+          mp::EvaluateFleet(set, cpu, partitioner, 2, arms, off_options,
+                            idle);
+
+      core::ExperimentOptions on_options = off_options;
+      on_options.dpm.enabled = true;
+      on_options.dpm.sleep = dpm::ResolveSleepState("deep", idle);
+      on_options.dpm.reallocate = true;
+      const mp::FleetResult on =
+          mp::EvaluateFleet(set, cpu, partitioner, 2, arms, on_options,
+                            idle);
+
+      for (std::size_t m = 0; m < on.outcomes.size(); ++m) {
+        const std::string label = name + " method " + std::to_string(m);
+        EXPECT_EQ(on.outcomes[m].fleet.deadline_misses, 0) << label;
+        EXPECT_LE(on.outcomes[m].fleet.measured_energy,
+                  off.outcomes[m].fleet.measured_energy + 1e-9)
+            << label;
+      }
+    }
+  }
+}
+
+// (f) DPM audit 3 — the master switch is inert bit-for-bit: a disabled but
+// fully-populated dpm::Options leaves every fleet figure exactly equal to
+// the legacy run's, for every partitioner and property set.
+TEST(PropInvariants, DpmOffFleetEnergyBitIdentical) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  const model::IdlePower idle{0.3};
+  const std::vector<const core::ScheduleMethod*> arms = {
+      &core::MethodRegistry::Builtin().Get("acs"),
+      &core::MethodRegistry::Builtin().Get("wcs")};
+  for (const model::TaskSet& set : PropertySets(cpu)) {
+    for (const std::string& name :
+         mp::PartitionerRegistry::Builtin().Names()) {
+      const mp::Partitioner& partitioner =
+          mp::PartitionerRegistry::Builtin().Get(name);
+      const mp::FleetResult legacy = mp::EvaluateFleet(
+          set, cpu, partitioner, 2, arms, PropertyOptions(), idle);
+
+      core::ExperimentOptions disarmed = PropertyOptions();
+      disarmed.dpm.sleep = dpm::ResolveSleepState("shallow", idle);
+      disarmed.dpm.reallocate = true;
+      disarmed.dpm.critical_speed = 0.9;
+      const mp::FleetResult off = mp::EvaluateFleet(
+          set, cpu, partitioner, 2, arms, disarmed, idle);
+
+      for (std::size_t m = 0; m < legacy.outcomes.size(); ++m) {
+        const std::string label = name + " method " + std::to_string(m);
+        EXPECT_EQ(off.outcomes[m].fleet.measured_energy,
+                  legacy.outcomes[m].fleet.measured_energy)
+            << label;
+        EXPECT_EQ(off.outcomes[m].fleet.predicted_energy,
+                  legacy.outcomes[m].fleet.predicted_energy)
+            << label;
+        EXPECT_EQ(off.outcomes[m].fleet.sleeps, 0) << label;
+        EXPECT_EQ(off.outcomes[m].fleet.migrations, 0) << label;
+      }
+    }
+  }
+}
+
+// (g) DPM audit 4 — the reallocator's output is always a valid partition
+// whose every powered core still passes the partitioners' exact RM
+// admission at Vmax, whatever partition it starts from.
+TEST(PropInvariants, ReallocatorPreservesRmAdmission) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  for (const model::TaskSet& set : PropertySets(cpu)) {
+    for (const std::string& name :
+         mp::PartitionerRegistry::Builtin().Names()) {
+      const mp::Partitioner& partitioner =
+          mp::PartitionerRegistry::Builtin().Get(name);
+      for (int cores : {2, 3}) {
+        const mp::Partition start =
+            partitioner.Assign(set, cpu, cores, model::IdlePower{1.0});
+        const dpm::ReallocationResult result =
+            dpm::Consolidate(start, set, cpu, model::IdlePower{1.0});
+        result.partition.Validate(set);
+        EXPECT_EQ(result.partition.used_cores(),
+                  start.used_cores() - result.emptied_cores);
+        for (int c = 0; c < result.partition.cores(); ++c) {
+          const auto& tasks =
+              result.partition.assignment[static_cast<std::size_t>(c)];
+          if (tasks.empty()) {
+            continue;
+          }
+          const model::TaskSet subset = mp::SubTaskSet(set, tasks);
+          const fps::FullyPreemptiveSchedule expansion(subset);
+          EXPECT_TRUE(sim::IsRmSchedulable(expansion, cpu))
+              << name << " m=" << cores << " core " << c;
         }
       }
     }

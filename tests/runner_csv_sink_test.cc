@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "dpm/dpm.h"
 #include "runner/experiment_grid.h"
 #include "runner/run_grid.h"
 #include "util/error.h"
@@ -133,6 +134,108 @@ TEST(CsvSink, ScenarioColumnCarriesTheAxisValue) {
     EXPECT_TRUE(fields[scenario_col] == "iid-normal" ||
                 fields[scenario_col] == "heavy-tail")
         << lines[i];
+  }
+}
+
+// A degenerate improvement ratio (zero-energy baseline -> -inf) must leave
+// the improvement_pct field empty instead of printing "inf"/"nan" into the
+// CSV.  Exercised through a hand-built cell: no real pipeline run can
+// produce zero measured energy, which is exactly why the formatting path
+// needs its own pin.
+TEST(CsvSink, NonFiniteImprovementLeavesFieldEmpty) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 2;
+  const ExperimentGrid grid = TinyGrid(cpu, gen);
+
+  const std::string path = testing::TempDir() + "/degenerate.csv";
+  {
+    CsvSink sink(path);
+    CellResult cell;
+    cell.hyper_period = 10;
+    cell.sub_instances = 1;
+    cell.outcomes.resize(2);
+    cell.outcomes[0].measured_energy = 0.0;  // baseline "wcs": zero energy
+    cell.outcomes[1].measured_energy = 1.0;
+    sink.OnCell(grid, cell);
+    EXPECT_EQ(sink.rows(), 2u);
+  }
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  std::size_t improvement_col = 0;
+  for (std::size_t c = 0; c < CsvSink::Header().size(); ++c) {
+    if (CsvSink::Header()[c] == "improvement_pct") {
+      improvement_col = c;
+    }
+  }
+  // Row for the non-baseline method: the ratio is -inf, the field empty.
+  const std::vector<std::string> fields = util::Split(lines[2], ',');
+  ASSERT_EQ(fields.size(), CsvSink::Header().size());
+  EXPECT_EQ(fields[improvement_col], "");
+}
+
+// The opt-in DPM ledger columns: schema position (before error), real
+// values on ok rows, and comma padding on failed rows.
+TEST(CsvSink, DpmColumnsCarryTheLedger) {
+  const model::LinearDvsModel cpu = workload::DefaultModel();
+  workload::RandomTaskSetOptions gen;
+  gen.num_tasks = 3;
+  gen.bcec_wcec_ratio = 0.5;
+  gen.utilization = 0.3;
+  gen.max_sub_instances = 40;
+  ExperimentGrid grid = TinyGrid(cpu, gen);
+  grid.sources = {RandomSource("random-2", gen, 1)};
+  grid.core_counts = {2};
+  grid.idle_power.power_per_ms = 0.5;
+  grid.dpm.enabled = true;
+  grid.dpm.sleep = dpm::ResolveSleepState("deep", grid.idle_power);
+
+  const std::string path = testing::TempDir() + "/dpm_cells.csv";
+  {
+    CsvSink sink(path, /*scenario_column=*/false,
+                 /*solver_stats_columns=*/false, /*dpm_columns=*/true);
+    RunOptions options;
+    options.threads = 1;
+    options.sink = &sink;
+    const GridResult result = RunGrid(grid, options);
+    ASSERT_EQ(result.failed_cells, 0u);
+  }
+
+  const std::vector<std::string> lines = ReadLines(path);
+  const std::vector<std::string> header = util::Split(lines[0], ',');
+  ASSERT_EQ(header.size(), CsvSink::Header().size() + 5);
+  EXPECT_EQ(header[header.size() - 1], "error");
+  std::size_t idle_col = 0;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == "idle_energy") {
+      idle_col = c;
+    }
+  }
+  ASSERT_GT(idle_col, 0u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> fields = util::Split(lines[i], ',');
+    ASSERT_EQ(fields.size(), header.size()) << lines[i];
+    // The fleet paid a floor while awake on every successful cell.
+    EXPECT_GT(std::stod(fields[idle_col]), 0.0) << lines[i];
+  }
+
+  // Failed cells pad the DPM group so the row still parses.
+  workload::RandomTaskSetOptions bad = gen;
+  bad.max_sub_instances = 0;
+  bad.max_attempts = 3;
+  ExperimentGrid failing = TinyGrid(cpu, bad);
+  const std::string failed_path = testing::TempDir() + "/dpm_failed.csv";
+  {
+    CsvSink sink(failed_path, false, false, /*dpm_columns=*/true);
+    RunOptions options;
+    options.sink = &sink;
+    RunGrid(failing, options);
+  }
+  const std::vector<std::string> failed_lines = ReadLines(failed_path);
+  for (std::size_t i = 1; i < failed_lines.size(); ++i) {
+    EXPECT_EQ(util::Split(failed_lines[i], ',').size(), header.size())
+        << failed_lines[i];
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dpm/dpm.h"
 #include "fps/expansion.h"
 #include "model/workload.h"
 #include "sim/policy.h"
@@ -318,6 +319,112 @@ TEST(Engine, ZeroBudgetSubRunsAtVmaxWithoutMissing) {
   EXPECT_EQ(result.completed_instances, 2);
   // Both instances at Vmax: E = ceff * vmax^2 * cycles = 16 * 8 per HP.
   EXPECT_NEAR(result.total_energy, 2.0 * 16.0 * 8.0, 1e-9);
+}
+
+// Regression for the transition-stall deadline hazard: the stall advances
+// the clock *after* the policy sized the voltage for the pre-stall window,
+// so a slice planned to just meet its deadline used to land late by the
+// stall.  Two equal-period tasks, stretched ends {10, 20}: "a" runs [0,10]
+// at 0.8 V, then "b" needs 16 cycles in [10,20] -> 1.6 V, and the
+// 0.8 V switch at time_per_volt=0.1 stalls 0.08 ms.  Pre-fix, b finished
+// at 20.08 and missed; the ratchet now raises b's voltage against its own
+// stall and the deadline holds.
+TEST(Engine, TransitionStallDoesNotPushTightDeadlineLate) {
+  Harness h(model::TaskSet(
+      {MakeTask("a", 20, 8.0, 1.0), MakeTask("b", 20, 16.0, 1.0)}));
+  const StaticSchedule schedule(h.fps, {10.0, 20.0}, {8.0, 16.0});
+  const model::FixedWorkload worst(h.set, model::FixedScenario::kWorst);
+  const GreedyReclaimPolicy policy(h.cpu);
+
+  stats::Rng rng(1);
+  SimOptions options;
+  options.hyper_periods = 1;
+  options.transition = model::TransitionOverhead{0.01, 0.1};
+  const SimResult result =
+      Simulate(h.fps, schedule, h.cpu, policy, worst, rng, options);
+  EXPECT_EQ(result.deadline_misses, 0);
+  EXPECT_GT(result.stall_time, 0.0);
+  EXPECT_GE(result.voltage_switches, 1);
+  EXPECT_LE(result.makespan, 20.0 + 1e-6);
+}
+
+// DPM sleep accounting, closed form.  One task, 1 cycle, period 100: the
+// vmin clamp finishes it at t=2, leaving one 98 ms idle interval.  Under a
+// 0.5/ms floor the "deep" preset (2% residency, 1 ms round trip, one
+// floor-ms per transition pair) commits a single sleep:
+//   sleep_energy = 0.5 + 0.01*(98-1) = 1.47
+//   idle_energy  = 0.5 * (100 - 98)  = 1.0   (floor paid only while awake)
+//   total        = 0.25 (dynamic) + 1.0 + 1.47 = 2.72
+// versus 0.25 + 0.5*98 + 1.0 = 50.25 had the floor run through the gap.
+TEST(Engine, DpmSleepAccountingClosedForm) {
+  Harness h(model::TaskSet({MakeTask("solo", 100, 1.0)}));
+  const StaticSchedule schedule(h.fps, {100.0}, {1.0});
+  const model::FixedWorkload worst(h.set, model::FixedScenario::kWorst);
+  const GreedyReclaimPolicy policy(h.cpu);
+  const model::IdlePower idle{0.5};
+
+  stats::Rng rng(1);
+  SimOptions options;
+  options.hyper_periods = 1;
+  options.dpm = true;
+  options.idle_power = idle;
+  options.sleep = dpm::ResolveSleepState("deep", idle);
+  const SimResult deep =
+      Simulate(h.fps, schedule, h.cpu, policy, worst, rng, options);
+  EXPECT_EQ(deep.deadline_misses, 0);
+  EXPECT_EQ(deep.sleeps, 1);
+  EXPECT_NEAR(deep.sleep_time, 98.0, 1e-9);
+  EXPECT_NEAR(deep.sleep_energy, 1.47, 1e-9);
+  EXPECT_NEAR(deep.idle_energy, 1.0, 1e-9);
+  EXPECT_NEAR(deep.total_energy, 0.25 + 1.0 + 1.47, 1e-9);
+
+  // The "ideal" preset is the savings bound: zero-cost gating leaves only
+  // the awake floor around the gap.
+  stats::Rng rng_ideal(1);
+  SimOptions ideal_options = options;
+  ideal_options.sleep = dpm::ResolveSleepState("ideal", idle);
+  const SimResult ideal =
+      Simulate(h.fps, schedule, h.cpu, policy, worst, rng_ideal, ideal_options);
+  EXPECT_NEAR(ideal.sleep_energy, 0.0, 1e-12);
+  EXPECT_NEAR(ideal.total_energy, 0.25 + 1.0, 1e-9);
+  EXPECT_LE(ideal.total_energy, deep.total_energy);
+}
+
+// Timed sleeps only ever touch the energy ledger: the dispatch sequence,
+// busy time and completions are identical with DPM on and off.
+TEST(Engine, DpmLeavesTheScheduleUntouched) {
+  Harness h(model::TaskSet({MakeTask("a", 10, 8.0), MakeTask("b", 20, 12.0)}));
+  const StaticSchedule schedule = BuildVmaxAsapSchedule(h.fps, h.cpu);
+  const model::TruncatedNormalWorkload sampler(h.set, 6.0);
+  const GreedyReclaimPolicy policy(h.cpu);
+  const model::IdlePower idle{0.3};
+
+  stats::Rng rng_off(9);
+  SimOptions off;
+  off.hyper_periods = 4;
+  off.record_trace = true;
+  const SimResult plain =
+      Simulate(h.fps, schedule, h.cpu, policy, sampler, rng_off, off);
+
+  stats::Rng rng_on(9);
+  SimOptions on = off;
+  on.dpm = true;
+  on.idle_power = idle;
+  on.sleep = dpm::ResolveSleepState("deep", idle);
+  const SimResult managed =
+      Simulate(h.fps, schedule, h.cpu, policy, sampler, rng_on, on);
+
+  EXPECT_EQ(managed.deadline_misses, plain.deadline_misses);
+  EXPECT_EQ(managed.completed_instances, plain.completed_instances);
+  EXPECT_EQ(managed.voltage_switches, plain.voltage_switches);
+  EXPECT_DOUBLE_EQ(managed.busy_time, plain.busy_time);
+  EXPECT_DOUBLE_EQ(managed.makespan, plain.makespan);
+  ASSERT_EQ(managed.trace.size(), plain.trace.size());
+  // The DPM ledger sits strictly on top of the identical dynamic energy.
+  EXPECT_NEAR(managed.total_energy,
+              plain.total_energy + managed.idle_energy + managed.sleep_energy,
+              1e-9);
+  EXPECT_LE(managed.sleep_time, managed.idle_time + 1e-9);
 }
 
 }  // namespace
